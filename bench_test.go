@@ -1,0 +1,347 @@
+package morphtree
+
+// One benchmark per table and figure of the paper's evaluation (DESIGN.md,
+// per-experiment index). Each bench regenerates its experiment at reduced
+// scale and reports the figure's headline quantity as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation's shape. cmd/experiments runs the same
+// experiments at full scale with per-workload tables.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/sim"
+	"github.com/securemem/morphtree/internal/workloads"
+)
+
+// benchOpts keeps benchmark runs short; cmd/experiments uses full runs.
+func benchOpts() sim.RunOptions {
+	return sim.RunOptions{
+		WarmupAccesses:  60_000,
+		MeasureAccesses: 60_000,
+		FootprintScale:  1.0 / 128,
+		Seed:            1,
+	}
+}
+
+// benchWorkloads is a representative slice of the 28-workload set: two
+// random-access (Morph's best case), two streaming (SC-128's worst case),
+// the paper's outlier, and one mix.
+func benchWorkloads(b *testing.B) []workloads.Workload {
+	b.Helper()
+	names := []string{"mcf", "pr-twit", "libquantum", "gcc", "GemsFDTD"}
+	var out []workloads.Workload
+	for _, n := range names {
+		bench, err := workloads.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, workloads.Rate(bench, 4))
+	}
+	out = append(out, workloads.Mixes()[0])
+	return out
+}
+
+// runSet simulates one config over the bench workloads, returning gmean
+// IPC, mean traffic per data access, and mean overflows per million.
+func runSet(b *testing.B, cfg sim.Config, opt sim.RunOptions) (ipc, traffic, ovf float64) {
+	b.Helper()
+	ws := benchWorkloads(b)
+	logIPC := 0.0
+	for _, w := range ws {
+		res, err := sim.Run(cfg, w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logIPC += math.Log(res.IPC)
+		traffic += res.MemAccessPerDataAccess()
+		ovf += res.OverflowsPerMillion()
+	}
+	n := float64(len(ws))
+	return math.Exp(logIPC / n), traffic / n, ovf / n
+}
+
+// BenchmarkFig01TreeGeometry regenerates Figure 1: tree sizes and heights
+// at 16 GB for VAULT, SC-64 and MorphCtr-128.
+func BenchmarkFig01TreeGeometry(b *testing.B) {
+	var morphMB, baseMB float64
+	var morphLevels int
+	for i := 0; i < b.N; i++ {
+		vault, err := Geometry(16<<30, 64, []int{32, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc64, _ := Geometry(16<<30, 64, []int{64})
+		morph, _ := Geometry(16<<30, 128, []int{128})
+		morphMB = float64(morph.TreeBytes()) / (1 << 20)
+		baseMB = float64(sc64.TreeBytes()) / (1 << 20)
+		morphLevels = morph.NumLevels()
+		if vault.NumLevels() != 6 || sc64.NumLevels() != 4 || morph.NumLevels() != 3 {
+			b.Fatal("tree heights diverge from the paper")
+		}
+	}
+	b.ReportMetric(morphMB, "morph-tree-MB")
+	b.ReportMetric(baseMB, "sc64-tree-MB")
+	b.ReportMetric(float64(morphLevels), "morph-levels")
+}
+
+// BenchmarkFig05AritySweep regenerates Figure 5: the performance and
+// traffic impact of scaling split-counter arity (VAULT vs SC-64 vs SC-128).
+func BenchmarkFig05AritySweep(b *testing.B) {
+	opt := benchOpts()
+	var vaultRel, sc128Rel float64
+	for i := 0; i < b.N; i++ {
+		baseIPC, _, _ := runSet(b, sim.SC64(), opt)
+		vaultIPC, _, _ := runSet(b, sim.VAULT(), opt)
+		sc128IPC, _, _ := runSet(b, sim.SC128(), opt)
+		vaultRel = vaultIPC / baseIPC
+		sc128Rel = sc128IPC / baseIPC
+	}
+	b.ReportMetric(vaultRel, "vault-vs-sc64")
+	b.ReportMetric(sc128Rel, "sc128-vs-sc64")
+}
+
+// BenchmarkFig06WritesToOverflow regenerates Figure 6's analytic curves.
+func BenchmarkFig06WritesToOverflow(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		c64 := counters.SplitOverflowCurve(64)
+		c128 := counters.SplitOverflowCurve(128)
+		gap = float64(c64[0].WritesToOverflow) / float64(c128[0].WritesToOverflow)
+	}
+	b.ReportMetric(gap, "sc64/sc128-worst-case")
+}
+
+// BenchmarkFig07OverflowHistogram regenerates Figure 7: the fraction of a
+// counter line in use when SC-64 overflows (bimodal: <25% and ~100%).
+func BenchmarkFig07OverflowHistogram(b *testing.B) {
+	opt := benchOpts()
+	var low, high float64
+	for i := 0; i < b.N; i++ {
+		var hist [sim.HistBuckets]uint64
+		for _, w := range benchWorkloads(b) {
+			res, err := sim.Run(sim.SC64(), w, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, v := range res.Stats.OverflowHist {
+				hist[j] += v
+			}
+		}
+		var total uint64
+		for _, v := range hist {
+			total += v
+		}
+		if total == 0 {
+			b.Fatal("no overflows observed")
+		}
+		low = float64(hist[0]+hist[1]+hist[2]) / float64(total)
+		high = float64(hist[sim.HistBuckets-1]) / float64(total)
+	}
+	b.ReportMetric(low, "frac-below-25pct")
+	b.ReportMetric(high, "frac-at-100pct")
+}
+
+// BenchmarkFig10ZCCWritesToOverflow regenerates Figure 10: ZCC's
+// time-to-overflow advantage in the sparse regime, plus the Section V
+// anchors (MCR uniform tolerance, the 67-write adversarial pattern).
+func BenchmarkFig10ZCCWritesToOverflow(b *testing.B) {
+	var sparseAdvantage, mcr, adversary float64
+	for i := 0; i < b.N; i++ {
+		sparseAdvantage = float64(counters.ZCCWritesToOverflow(16)) /
+			float64(counters.SplitWritesToOverflow(64, 8))
+		mcr = float64(counters.MCRWritesToOverflow())
+		adversary = float64(counters.PathologicalZCCWrites())
+	}
+	b.ReportMetric(sparseAdvantage, "zcc-sparse-advantage")
+	b.ReportMetric(mcr, "mcr-uniform-writes")
+	b.ReportMetric(adversary, "adversarial-writes")
+}
+
+// BenchmarkFig11OverflowRates regenerates Figure 11: overflows per million
+// accesses for SC-64, SC-128 and MorphCtr-128 (ZCC-only).
+func BenchmarkFig11OverflowRates(b *testing.B) {
+	opt := benchOpts()
+	var sc64, sc128, zcc float64
+	for i := 0; i < b.N; i++ {
+		_, _, sc64 = runSet(b, sim.SC64(), opt)
+		_, _, sc128 = runSet(b, sim.SC128(), opt)
+		_, _, zcc = runSet(b, sim.MorphCtr128ZCC(), opt)
+	}
+	b.ReportMetric(sc64, "sc64-ovf/M")
+	b.ReportMetric(sc128, "sc128-ovf/M")
+	b.ReportMetric(zcc, "morph-zcc-ovf/M")
+}
+
+// BenchmarkFig14RebasingOverflowRates regenerates Figure 14: rebasing's
+// effect on the streaming workloads that defeat ZCC alone.
+func BenchmarkFig14RebasingOverflowRates(b *testing.B) {
+	opt := benchOpts()
+	opt.MeasureAccesses = 150_000
+	stream := workloads.Rate(mustBench(b, "libquantum"), 4)
+	var zccOnly, rebased float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Run(sim.MorphCtr128ZCC(), stream, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(sim.MorphCtr128(), stream, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zccOnly = r1.OverflowsPerMillion()
+		rebased = r2.OverflowsPerMillion()
+	}
+	b.ReportMetric(zccOnly, "zcc-only-ovf/M")
+	b.ReportMetric(rebased, "rebased-ovf/M")
+}
+
+// BenchmarkFig15Performance regenerates Figure 15's headline: MorphCtr-128
+// and VAULT IPC relative to the SC-64 baseline.
+func BenchmarkFig15Performance(b *testing.B) {
+	opt := benchOpts()
+	var morphRel, vaultRel float64
+	for i := 0; i < b.N; i++ {
+		baseIPC, _, _ := runSet(b, sim.SC64(), opt)
+		morphIPC, _, _ := runSet(b, sim.MorphCtr128(), opt)
+		vaultIPC, _, _ := runSet(b, sim.VAULT(), opt)
+		morphRel = morphIPC / baseIPC
+		vaultRel = vaultIPC / baseIPC
+	}
+	b.ReportMetric(morphRel, "morph-vs-sc64")
+	b.ReportMetric(vaultRel, "vault-vs-sc64")
+}
+
+// BenchmarkFig16Traffic regenerates Figure 16: memory accesses per data
+// access for the three designs.
+func BenchmarkFig16Traffic(b *testing.B) {
+	opt := benchOpts()
+	var vault, sc64, morph float64
+	for i := 0; i < b.N; i++ {
+		_, vault, _ = runSet(b, sim.VAULT(), opt)
+		_, sc64, _ = runSet(b, sim.SC64(), opt)
+		_, morph, _ = runSet(b, sim.MorphCtr128(), opt)
+	}
+	b.ReportMetric(vault, "vault-traffic/DA")
+	b.ReportMetric(sc64, "sc64-traffic/DA")
+	b.ReportMetric(morph, "morph-traffic/DA")
+}
+
+// BenchmarkFig17TreeLevels regenerates Figure 17: per-level footprints.
+func BenchmarkFig17TreeLevels(b *testing.B) {
+	var l1Ratio float64
+	for i := 0; i < b.N; i++ {
+		sc64, err := Geometry(16<<30, 64, []int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		morph, _ := Geometry(16<<30, 128, []int{128})
+		l1Ratio = float64(sc64.Levels[0].Bytes) / float64(morph.Levels[0].Bytes)
+	}
+	b.ReportMetric(l1Ratio, "sc64/morph-L1-size")
+}
+
+// BenchmarkFig18Energy regenerates Figure 18: EDP relative to SC-64.
+func BenchmarkFig18Energy(b *testing.B) {
+	opt := benchOpts()
+	w := workloads.Rate(mustBench(b, "mcf"), 4)
+	var morphEDP, vaultEDP float64
+	for i := 0; i < b.N; i++ {
+		base, err := sim.Run(sim.SC64(), w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		morph, err := sim.Run(sim.MorphCtr128(), w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vault, err := sim.Run(sim.VAULT(), w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		morphEDP = morph.Energy.EDP / base.Energy.EDP
+		vaultEDP = vault.Energy.EDP / base.Energy.EDP
+	}
+	b.ReportMetric(morphEDP, "morph-EDP-vs-sc64")
+	b.ReportMetric(vaultEDP, "vault-EDP-vs-sc64")
+}
+
+// BenchmarkFig19CacheSensitivity regenerates Figure 19: the MorphTree's
+// speedup at small vs large metadata caches.
+func BenchmarkFig19CacheSensitivity(b *testing.B) {
+	opt := benchOpts()
+	w := workloads.Rate(mustBench(b, "mcf"), 4)
+	var smallGain, largeGain float64
+	for i := 0; i < b.N; i++ {
+		gain := func(size uint64) float64 {
+			sc := sim.SC64()
+			sc.MetaCacheBytes = size
+			mo := sim.MorphCtr128()
+			mo.MetaCacheBytes = size
+			rb, err := sim.Run(sc, w, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rm, err := sim.Run(mo, w, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rm.IPC / rb.IPC
+		}
+		smallGain = gain(sim.DefaultMetaCacheBytes)
+		largeGain = gain(sim.DefaultMetaCacheBytes * 4)
+	}
+	b.ReportMetric(smallGain, "speedup-small-cache")
+	b.ReportMetric(largeGain, "speedup-large-cache")
+}
+
+// BenchmarkFig20MACOrganization regenerates Figure 20: in-line (Synergy)
+// vs separate MACs.
+func BenchmarkFig20MACOrganization(b *testing.B) {
+	opt := benchOpts()
+	w := workloads.Rate(mustBench(b, "omnetpp"), 4)
+	var sepRel float64
+	for i := 0; i < b.N; i++ {
+		inline, err := sim.Run(sim.SC64(), w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sep := sim.SC64()
+		sep.Name = "SC-64-sepmac"
+		sep.SeparateMAC = true
+		r, err := sim.Run(sep, w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sepRel = r.IPC / inline.IPC
+	}
+	b.ReportMetric(sepRel, "separate-vs-inline")
+}
+
+// BenchmarkTable3Storage regenerates Table III: storage overheads at 16 GB.
+func BenchmarkTable3Storage(b *testing.B) {
+	var morphEncPct, morphTreePct float64
+	for i := 0; i < b.N; i++ {
+		morph, err := Geometry(16<<30, 128, []int{128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		morphEncPct = morph.EncOverheadPercent()
+		morphTreePct = morph.TreeOverheadPercent()
+	}
+	b.ReportMetric(morphEncPct, "morph-enc-pct")
+	b.ReportMetric(morphTreePct, "morph-tree-pct")
+}
+
+func mustBench(b *testing.B, name string) workloads.Benchmark {
+	b.Helper()
+	bench, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bench
+}

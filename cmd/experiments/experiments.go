@@ -1,0 +1,489 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/sim"
+	"github.com/securemem/morphtree/internal/tree"
+	"github.com/securemem/morphtree/internal/workloads"
+)
+
+// geometry presets at the paper's 16 GB capacity.
+func paperGeometries() []struct {
+	name string
+	g    *tree.Geometry
+} {
+	mk := func(name string, encArity int, arities []int) struct {
+		name string
+		g    *tree.Geometry
+	} {
+		g, err := tree.New(sim.PaperMemoryBytes, encArity, arities)
+		if err != nil {
+			panic(err)
+		}
+		return struct {
+			name string
+			g    *tree.Geometry
+		}{name, g}
+	}
+	return []struct {
+		name string
+		g    *tree.Geometry
+	}{
+		mk("Commercial-SGX", 8, []int{8}),
+		mk("VAULT", 64, []int{32, 16}),
+		mk("SC-64", 64, []int{64}),
+		mk("MorphCtr-128", 128, []int{128}),
+	}
+}
+
+func table1(*runner) {
+	header("Table I: Baseline System Configuration")
+	cfg := sim.SC64()
+	fmt.Printf("  %-34s %d\n", "Number of cores", cfg.Cores)
+	fmt.Printf("  %-34s %.1fGHz\n", "Processor clock speed", cfg.CPUHz/1e9)
+	fmt.Printf("  %-34s %d\n", "Processor ROB size", cfg.ROBSize)
+	fmt.Printf("  %-34s %d\n", "Processor fetch / retire width", cfg.FetchWidth)
+	fmt.Printf("  %-34s %s, %d-way, 64B lines (scaled; paper: 128KB)\n",
+		"Metadata Cache (Shared)", tree.FormatBytes(cfg.MetaCacheBytes), cfg.MetaCacheWays)
+	fmt.Printf("  %-34s %s timing-sim (paper: 16GB; geometry results use 16GB)\n",
+		"Memory size", tree.FormatBytes(cfg.MemoryBytes))
+	fmt.Printf("  %-34s %dMHz\n", "Memory bus speed", 800)
+	fmt.Printf("  %-34s %d x %d x %d\n", "Banks x Ranks x Channels",
+		cfg.DRAM.Banks, cfg.DRAM.Ranks, cfg.DRAM.Channels)
+	fmt.Printf("  %-34s %dK\n", "Rows per bank", cfg.DRAM.RowsPerBank>>10)
+	fmt.Printf("  %-34s %d\n", "Columns (cache lines) per row", cfg.DRAM.ColumnsPerRow)
+	fmt.Printf("  %-34s Random (dense resident set, affine scatter)\n", "OS Page Allocation Policy")
+}
+
+func table2(*runner) {
+	header("Table II: Workload Characteristics (per paper; synthetic generators)")
+	fmt.Printf("  %-12s %-5s %8s %9s %14s %s\n", "Workload", "Suite", "Read-PKI", "Write-PKI", "Footprint(GB)", "Pattern")
+	for _, b := range workloads.Table2 {
+		fmt.Printf("  %-12s %-5s %8.1f %9.1f %14.1f %s\n",
+			b.Name, b.Suite, b.ReadPKI, b.WritePKI, float64(b.Footprint)/(1<<30), b.Pattern)
+	}
+}
+
+func fig1(*runner) {
+	header("Figure 1: Integrity-tree size and height (16GB memory)")
+	for _, pg := range paperGeometries() {
+		if pg.name == "Commercial-SGX" {
+			continue
+		}
+		fmt.Printf("  %-14s tree %7s  (%d levels)   encryption counters %s\n",
+			pg.name, tree.FormatBytes(pg.g.TreeBytes()), pg.g.NumLevels(),
+			tree.FormatBytes(pg.g.EncCounterBytes()))
+	}
+	fmt.Println("  paper: VAULT 8.5MB/6 levels, SC-64 4MB/4 levels, MorphCtr-128 1MB/3 levels")
+}
+
+func fig17(*runner) {
+	header("Figure 17: Per-level footprints (16GB memory)")
+	for _, pg := range paperGeometries() {
+		if pg.name == "Commercial-SGX" {
+			continue
+		}
+		fmt.Printf("  %-14s enc=%s", pg.name, tree.FormatBytes(pg.g.EncCounterBytes()))
+		for _, l := range pg.g.Levels {
+			fmt.Printf("  L%d=%s", l.Level, tree.FormatBytes(l.Bytes))
+		}
+		fmt.Println()
+	}
+}
+
+func table3(*runner) {
+	header("Table III: Storage overheads for 16GB memory")
+	fmt.Printf("  %-16s %22s %22s\n", "Configuration", "Encryption Counters", "Integrity-Tree")
+	for _, pg := range paperGeometries() {
+		fmt.Printf("  %-16s %12s (%5.3f%%) %12s (%6.4f%%)\n", pg.name,
+			tree.FormatBytes(pg.g.EncCounterBytes()), pg.g.EncOverheadPercent(),
+			tree.FormatBytes(pg.g.TreeBytes()), pg.g.TreeOverheadPercent())
+	}
+	fmt.Println("  paper: SGX 2GB+292MB, VAULT 256MB+8.5MB, SC-64 256MB+4MB, MorphCtr 128MB+1MB")
+}
+
+func fig6(*runner) {
+	header("Figure 6: Writes per overflow vs fraction of counter-cacheline used (split counters)")
+	fmt.Printf("  %-10s %12s %12s\n", "fraction", "SC-64", "SC-128")
+	for _, u := range []int{1, 2, 4, 8, 16, 32, 48, 64} {
+		f := float64(u) / 64
+		fmt.Printf("  %-10.3f %12d %12d\n", f,
+			counters.SplitWritesToOverflow(64, u),
+			counters.SplitWritesToOverflow(128, 2*u))
+	}
+	fmt.Println("  paper: SC-128 tolerates 8x fewer writes than SC-64 at equal counter count")
+}
+
+func fig10(*runner) {
+	header("Figure 10: Writes per overflow, MorphCtr-128 (ZCC) vs SC-64")
+	fmt.Printf("  %-10s %12s %14s\n", "fraction", "SC-64", "MorphCtr(ZCC)")
+	for _, u := range []int{1, 2, 4, 8, 16, 32, 48, 64} {
+		f := float64(u) / 64
+		fmt.Printf("  %-10.3f %12d %14d\n", f,
+			counters.SplitWritesToOverflow(64, u),
+			counters.ZCCWritesToOverflow(2*u))
+	}
+	fmt.Printf("  MCR uniform-write tolerance: %d writes (paper: 500+)\n", counters.MCRWritesToOverflow())
+	fmt.Printf("  pathological adversarial pattern: %d writes (paper: 67)\n", counters.PathologicalZCCWrites())
+}
+
+func fig7(r *runner) {
+	header("Figure 7: Fraction of counter-cacheline used at overflow (SC-64, all workloads)")
+	results := r.sweep(sim.SC64())
+	var hist [sim.HistBuckets]float64
+	n := 0
+	for _, res := range results {
+		var total uint64
+		for _, v := range res.Stats.OverflowHist {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		n++
+		for i, v := range res.Stats.OverflowHist {
+			hist[i] += float64(v) / float64(total)
+		}
+	}
+	for i := range hist {
+		if n > 0 {
+			hist[i] /= float64(n)
+		}
+		fmt.Printf("  %4.1f-%4.1f  %6.3f  %s\n", float64(i)/10, float64(i+1)/10,
+			hist[i], bar(hist[i], 0.5))
+	}
+	low := hist[0] + hist[1] + hist[2]
+	high := hist[sim.HistBuckets-1]
+	fmt.Printf("  <25%% used: %.2f   100%% used: %.2f  (paper: bimodal — most overflows at <25%% or ~100%%)\n", low, high)
+}
+
+func overflowTable(r *runner, cfgs []sim.Config, paperNote string) {
+	fmt.Printf("  %-12s", "workload")
+	for _, c := range cfgs {
+		fmt.Printf(" %16s", c.Name)
+	}
+	fmt.Println()
+	means := make([][]float64, len(cfgs))
+	for _, w := range r.all {
+		if w.Suite == "MIX" {
+			continue // the paper's overflow figures show the 22 benchmarks
+		}
+		fmt.Printf("  %-12s", w.Name)
+		for i, c := range cfgs {
+			res := r.run(c, w)
+			v := res.OverflowsPerMillion()
+			means[i] = append(means[i], v)
+			fmt.Printf(" %16.1f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  %-12s", "Average")
+	for i := range cfgs {
+		fmt.Printf(" %16.1f", mean(means[i]))
+	}
+	fmt.Println()
+	fmt.Println("  " + paperNote)
+}
+
+func fig11(r *runner) {
+	header("Figure 11: Overflows per million memory accesses (ZCC-only)")
+	overflowTable(r,
+		[]sim.Config{sim.SC64(), sim.SC128(), sim.MorphCtr128ZCC()},
+		"paper: SC-128 ~7.4x SC-64; MorphCtr(ZCC) ~1.4x fewer than SC-64, ~10.2x fewer than SC-128")
+}
+
+func fig14(r *runner) {
+	header("Figure 14: Overflows per million memory accesses (ZCC+Rebasing)")
+	overflowTable(r,
+		[]sim.Config{sim.SC64(), sim.MorphCtr128ZCC(), sim.MorphCtr128()},
+		"paper: ZCC+Rebasing ~1.6x fewer overflows than SC-64 (ZCC-only: ~1.4x)")
+}
+
+func fig5(r *runner) {
+	header("Figure 5: Impact of counter arity (normalized to SC-64)")
+	cfgs := []sim.Config{sim.VAULT(), sim.SC64(), sim.SC128()}
+	base := r.sweep(sim.SC64())
+	ns := r.sweep(sim.NonSecure())
+	fmt.Printf("  (a) Performance (gmean IPC relative to SC-64):\n")
+	var nsRel []float64
+	for _, w := range r.all {
+		nsRel = append(nsRel, ns[w.Name].IPC/base[w.Name].IPC)
+	}
+	fmt.Printf("      %-12s %6.3f   (paper: ~1.40 — the 40%% gap of Section II-B)\n", "Non-Secure", gmean(nsRel))
+	for _, c := range cfgs {
+		res := r.sweep(c)
+		var rel []float64
+		for _, w := range r.all {
+			rel = append(rel, res[w.Name].IPC/base[w.Name].IPC)
+		}
+		fmt.Printf("      %-12s %6.3f\n", c.Name, gmean(rel))
+	}
+	fmt.Println("      paper: VAULT 0.936, SC-64 1.000, SC-128 0.72")
+	fmt.Printf("  (b) Memory accesses per data access (average):\n")
+	fmt.Printf("      %-12s %8s %8s %8s %8s %8s %8s %8s\n",
+		"config", "Data", "CtrEncr", "Ctr1", "Ctr2", "Ctr3&Up", "Overflow", "Total")
+	for _, c := range cfgs {
+		res := r.sweep(c)
+		printTrafficRow(r, c.Name, res)
+	}
+	fmt.Println("      paper: VAULT 0.7 ctr + ~0.01 ovf; SC-64 0.5 ctr + 0.07 ovf; SC-128 0.4 ctr + ~1.0 ovf")
+}
+
+func printTrafficRow(r *runner, name string, res map[string]*sim.Result) {
+	cats := []sim.Category{sim.CatData, sim.CatCtrEncr, sim.CatCtr1, sim.CatCtr2, sim.CatCtr3Up, sim.CatOverflow}
+	var sums [7]float64
+	for _, w := range r.all {
+		re := res[w.Name]
+		for i, c := range cats {
+			sums[i] += re.CategoryPerDataAccess(c)
+		}
+		sums[6] += re.MemAccessPerDataAccess()
+	}
+	n := float64(len(r.all))
+	fmt.Printf("      %-12s", name)
+	for i := range sums {
+		fmt.Printf(" %8.3f", sums[i]/n)
+	}
+	fmt.Println()
+}
+
+func fig15(r *runner) {
+	header("Figure 15: Performance normalized to SC-64 (VAULT / SC-64 / MorphCtr-128)")
+	vault := r.sweep(sim.VAULT())
+	base := r.sweep(sim.SC64())
+	morph := r.sweep(sim.MorphCtr128())
+	fmt.Printf("  %-12s %8s %8s %12s\n", "workload", "VAULT", "SC-64", "MorphCtr-128")
+	var vAll, mAll []float64
+	suiteAcc := map[string][2][]float64{}
+	for _, w := range r.all {
+		v := vault[w.Name].IPC / base[w.Name].IPC
+		m := morph[w.Name].IPC / base[w.Name].IPC
+		vAll = append(vAll, v)
+		mAll = append(mAll, m)
+		acc := suiteAcc[w.Suite]
+		acc[0] = append(acc[0], v)
+		acc[1] = append(acc[1], m)
+		suiteAcc[w.Suite] = acc
+		fmt.Printf("  %-12s %8.3f %8.3f %12.3f\n", w.Name, v, 1.0, m)
+	}
+	for _, suite := range []string{"SPEC", "MIX", "GAP"} {
+		acc := suiteAcc[suite]
+		fmt.Printf("  %-12s %8.3f %8.3f %12.3f\n", "GMEAN-"+suite, gmean(acc[0]), 1.0, gmean(acc[1]))
+	}
+	fmt.Printf("  %-12s %8.3f %8.3f %12.3f\n", "GMEAN-ALL28", gmean(vAll), 1.0, gmean(mAll))
+	fmt.Println("  paper: VAULT 0.936 (up to -x%), MorphCtr-128 1.063 on average (up to 1.283)")
+}
+
+func fig16(r *runner) {
+	header("Figure 16: Memory accesses per data access, by stream")
+	vault := r.sweep(sim.VAULT())
+	base := r.sweep(sim.SC64())
+	morph := r.sweep(sim.MorphCtr128())
+	fmt.Printf("  %-12s | %25s | %25s | %25s\n", "", "VAULT", "SC-64", "MorphCtr-128")
+	fmt.Printf("  %-12s | %8s %8s %7s | %8s %8s %7s | %8s %8s %7s\n", "workload",
+		"ctrs", "overflow", "total", "ctrs", "overflow", "total", "ctrs", "overflow", "total")
+	row := func(name string, v, b, m *sim.Result) {
+		pr := func(re *sim.Result) {
+			ctrs := re.CategoryPerDataAccess(sim.CatCtrEncr) + re.CategoryPerDataAccess(sim.CatCtr1) +
+				re.CategoryPerDataAccess(sim.CatCtr2) + re.CategoryPerDataAccess(sim.CatCtr3Up)
+			fmt.Printf(" %8.3f %8.3f %7.3f |", ctrs, re.CategoryPerDataAccess(sim.CatOverflow), re.MemAccessPerDataAccess())
+		}
+		fmt.Printf("  %-12s |", name)
+		pr(v)
+		pr(b)
+		pr(m)
+		fmt.Println()
+	}
+	for _, w := range r.all {
+		row(w.Name, vault[w.Name], base[w.Name], morph[w.Name])
+	}
+	var vT, bT, mT []float64
+	for _, w := range r.all {
+		vT = append(vT, vault[w.Name].MemAccessPerDataAccess())
+		bT = append(bT, base[w.Name].MemAccessPerDataAccess())
+		mT = append(mT, morph[w.Name].MemAccessPerDataAccess())
+	}
+	fmt.Printf("  AVG totals: VAULT %.3f  SC-64 %.3f  MorphCtr-128 %.3f\n", mean(vT), mean(bT), mean(mT))
+	fmt.Println("  paper: MorphCtr reduces traffic ~8.8% vs SC-64; VAULT +9.7% vs SC-64")
+}
+
+func fig18(r *runner) {
+	header("Figure 18: Power, Execution Time, Energy, EDP (normalized to SC-64)")
+	cfgs := []sim.Config{sim.VAULT(), sim.SC64(), sim.MorphCtr128()}
+	base := r.sweep(sim.SC64())
+	fmt.Printf("  %-14s %8s %10s %8s %8s\n", "config", "Power", "ExecTime", "Energy", "EDP")
+	for _, c := range cfgs {
+		res := r.sweep(c)
+		var pw, tm, en, edp []float64
+		for _, w := range r.all {
+			b := base[w.Name]
+			x := res[w.Name]
+			pw = append(pw, x.Energy.AvgPowerW/b.Energy.AvgPowerW)
+			tm = append(tm, x.Seconds/b.Seconds)
+			en = append(en, x.Energy.TotalJ/b.Energy.TotalJ)
+			edp = append(edp, x.Energy.EDP/b.Energy.EDP)
+		}
+		fmt.Printf("  %-14s %8.3f %10.3f %8.3f %8.3f\n", c.Name,
+			gmean(pw), gmean(tm), gmean(en), gmean(edp))
+	}
+	fmt.Println("  paper: MorphCtr -6% time, +4% power, -2.7% energy, -8.8% EDP; VAULT +3.2% energy, +10.5% EDP")
+}
+
+func fig19(r *runner) {
+	header("Figure 19: Sensitivity to metadata cache size (speedup vs SC-64 at each size)")
+	sizes := []uint64{
+		sim.DefaultMetaCacheBytes / 2, sim.DefaultMetaCacheBytes,
+		sim.DefaultMetaCacheBytes * 2, sim.DefaultMetaCacheBytes * 4,
+	}
+	labels := []string{"0.5x default", "1x default (paper 128KB)", "2x default", "4x default"}
+	for i, size := range sizes {
+		sc := sim.SC64()
+		sc.MetaCacheBytes = size
+		mo := sim.MorphCtr128()
+		mo.MetaCacheBytes = size
+		b := r.sweep(sc)
+		m := r.sweep(mo)
+		var rel []float64
+		for _, w := range r.all {
+			rel = append(rel, m[w.Name].IPC/b[w.Name].IPC)
+		}
+		fmt.Printf("  %-24s (scaled %6s): MorphCtr speedup %.3f\n",
+			labels[i], tree.FormatBytes(size), gmean(rel))
+	}
+	fmt.Println("  paper: 11% at 64KB, 6.3% at 128KB, 3.3% at 256KB — gains grow as the cache")
+	fmt.Println("  shrinks (until both designs thrash; see examples/cachetune for the full curve)")
+}
+
+func fig20(r *runner) {
+	header("Figure 20: Separate vs In-Line MACs (normalized to SC-64 In-Line)")
+	base := r.sweep(sim.SC64())
+	configs := []struct {
+		cfg   sim.Config
+		label string
+	}{
+		{sepMAC(sim.SC64()), "SC-64 Separate-MACs"},
+		{sepMAC(sim.MorphCtr128()), "MorphCtr Separate-MACs"},
+		{sim.SC64(), "SC-64 In-Line"},
+		{sim.MorphCtr128(), "MorphCtr In-Line"},
+	}
+	for _, c := range configs {
+		res := r.sweep(c.cfg)
+		var rel []float64
+		for _, w := range r.all {
+			rel = append(rel, res[w.Name].IPC/base[w.Name].IPC)
+		}
+		fmt.Printf("  %-26s %6.3f\n", c.label, gmean(rel))
+	}
+	fmt.Println("  paper: separate MACs ~29% slower for both; MorphCtr +4.7% (separate) vs +6.3% (in-line)")
+}
+
+func sepMAC(c sim.Config) sim.Config {
+	c.Name += "-sepmac"
+	c.SeparateMAC = true
+	return c
+}
+
+func scaling(*runner) {
+	header("Scaling: integrity-tree footprint vs memory capacity (analytic)")
+	fmt.Printf("  %-10s %16s %16s %16s\n", "capacity", "VAULT", "SC-64", "MorphCtr-128")
+	for _, gb := range []uint64{4, 16, 64, 256, 1024} {
+		mem := gb << 30
+		row := fmt.Sprintf("  %-10s", tree.FormatBytes(mem))
+		for _, d := range []struct {
+			enc  int
+			tree []int
+		}{{64, []int{32, 16}}, {64, []int{64}}, {128, []int{128}}} {
+			g, err := tree.New(mem, d.enc, d.tree)
+			if err != nil {
+				panic(err)
+			}
+			row += fmt.Sprintf(" %9s/%d lvl", tree.FormatBytes(g.TreeBytes()), g.NumLevels())
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("  the MorphTree's 4x size and one-level advantage persists at every capacity;")
+	fmt.Println("  its higher arity defers each extra level by 128x instead of 64x of growth")
+}
+
+func dos(r *runner) {
+	header("Section V: Denial-of-service resilience and fairness-driven scheduling")
+	fmt.Printf("  analytic: adversarial pattern forces an overflow every %d writes (paper: 67);\n",
+		counters.PathologicalZCCWrites())
+	fmt.Printf("  baseline SC-64 overflows every %d writes worst-case.\n\n",
+		counters.SplitWritesToOverflow(64, 1))
+
+	victim, err := workloads.ByName("omnetpp")
+	if err != nil {
+		panic(err)
+	}
+	attack := workloads.AttackMix(victim, 4)
+	solo := workloads.Rate(victim, 4)
+
+	victimIPC := func(res *sim.Result, skipFirst bool) float64 {
+		cores := res.PerCoreIPC
+		if skipFirst {
+			cores = cores[1:]
+		}
+		var sum float64
+		for _, v := range cores {
+			sum += v
+		}
+		return sum / float64(len(cores))
+	}
+	base := r.run(sim.MorphCtr128(), solo)
+	under := r.run(sim.MorphCtr128(), attack)
+	fair := sim.MorphCtr128()
+	fair.Name = "MorphCtr-128+fair"
+	fair.FairOverflowThrottle = true
+	shielded := r.run(fair, attack)
+
+	ref := victimIPC(base, false)
+	fmt.Printf("  %-44s %8s %10s\n", "scenario (victim = omnetpp x3)", "IPC", "vs solo")
+	fmt.Printf("  %-44s %8.4f %9.1f%%\n", "victims alone (no attacker)", ref, 0.0)
+	fmt.Printf("  %-44s %8.4f %9.1f%%\n", "victims + overflow adversary",
+		victimIPC(under, true), (victimIPC(under, true)/ref-1)*100)
+	fmt.Printf("  %-44s %8.4f %9.1f%%\n", "victims + adversary, fairness throttle",
+		victimIPC(shielded, true), (victimIPC(shielded, true)/ref-1)*100)
+	fmt.Printf("  adversary overflow traffic: %.2f accesses per data access\n",
+		under.CategoryPerDataAccess(sim.CatOverflow))
+	fmt.Println("  paper: fairness-driven memory scheduling can throttle the pathological")
+	fmt.Println("  application's overflow handling and maintain serviceability of others")
+}
+
+func related(r *runner) {
+	header("Related-work ablations (Section VIII): MAC trees and speculative verification")
+	base := r.sweep(sim.SC64())
+	typeAware := sim.MorphCtr128()
+	typeAware.Name = "MorphCtr-128+TA"
+	typeAware.TypeAwareCache = true
+	configs := []sim.Config{sim.BonsaiMerkle(), sim.Delta64(), sim.SC64(), sim.MorphCtr128(), sim.MorphSpeculative(), typeAware}
+	fmt.Printf("  %-20s %10s %12s\n", "config", "IPC/SC-64", "traffic/DA")
+	for _, c := range configs {
+		res := r.sweep(c)
+		var rel, traf []float64
+		for _, w := range r.all {
+			rel = append(rel, res[w.Name].IPC/base[w.Name].IPC)
+			traf = append(traf, res[w.Name].MemAccessPerDataAccess())
+		}
+		fmt.Printf("  %-20s %10.3f %12.3f\n", c.Name, gmean(rel), mean(traf))
+	}
+	fmt.Println("  8-ary MAC trees pay for their height (Section VIII-B1); delta encoding [19]")
+	fmt.Println("  only reduces overflows, not tree height; speculation hides the (already")
+	fmt.Println("  parallel) walk latency but not its bandwidth (Section VIII-B2); +TA is the")
+	fmt.Println("  type-aware metadata caching of [12]/[46], orthogonal to MorphCtr as claimed")
+}
+
+// bar renders a proportional ASCII bar.
+func bar(v, max float64) string {
+	n := int(v / max * 40)
+	if n > 40 {
+		n = 40
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		out += "#"
+	}
+	return out
+}

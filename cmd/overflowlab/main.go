@@ -1,0 +1,81 @@
+// Command overflowlab explores counter-overflow behavior analytically:
+// the writes-to-overflow curves of Figures 6 and 10, the MCR uniform-write
+// tolerance, and the adversarial worst case of Section V.
+//
+// Usage:
+//
+//	overflowlab -curve split   # Figure 6 (SC-64 vs SC-128)
+//	overflowlab -curve zcc     # Figure 10 (MorphCtr ZCC vs SC-64)
+//	overflowlab -adversary     # Section V's pathological pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/securemem/morphtree/internal/counters"
+)
+
+func main() {
+	curve := flag.String("curve", "split", "curve to print: split (Figure 6) or zcc (Figure 10)")
+	adversary := flag.Bool("adversary", false, "print Section V's denial-of-service analysis")
+	points := flag.Int("points", 16, "number of curve sample points")
+	flag.Parse()
+
+	if *adversary {
+		fmt.Println("Section V: resilience to denial of service")
+		fmt.Printf("  uniform round-robin writes before overflow (MCR): %d (paper: 500+)\n",
+			counters.MCRWritesToOverflow())
+		fmt.Printf("  pathological pattern (52 single writes + hammer): %d writes (paper: 67)\n",
+			counters.PathologicalZCCWrites())
+		fmt.Printf("  baseline SC-64 worst case:                        %d writes\n",
+			counters.SplitWritesToOverflow(64, 1))
+		return
+	}
+
+	switch *curve {
+	case "split":
+		fmt.Println("Figure 6: writes/overflow vs fraction of counter-cacheline used")
+		fmt.Printf("  %-10s %14s %14s\n", "fraction", "SC-64", "SC-128")
+		for _, f := range fractions(*points) {
+			u64 := clamp(int(math.Round(f*64)), 1, 64)
+			u128 := clamp(int(math.Round(f*128)), 1, 128)
+			fmt.Printf("  %-10.3f %14d %14d\n", f,
+				counters.SplitWritesToOverflow(64, u64),
+				counters.SplitWritesToOverflow(128, u128))
+		}
+	case "zcc":
+		fmt.Println("Figure 10: writes/overflow, SC-64 vs MorphCtr-128 (ZCC)")
+		fmt.Printf("  %-10s %14s %14s\n", "fraction", "SC-64", "MorphCtr(ZCC)")
+		for _, f := range fractions(*points) {
+			u64 := clamp(int(math.Round(f*64)), 1, 64)
+			u128 := clamp(int(math.Round(f*128)), 1, 128)
+			fmt.Printf("  %-10.3f %14d %14d\n", f,
+				counters.SplitWritesToOverflow(64, u64),
+				counters.ZCCWritesToOverflow(u128))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "overflowlab: unknown curve %q\n", *curve)
+		os.Exit(2)
+	}
+}
+
+func fractions(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, float64(i)/float64(n))
+	}
+	return out
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+// Attacksim mounts the attacks the paper's threat model targets (Section
+// II-A) against a live secure memory — direct tampering, MAC forgery,
+// splicing, and the replay attack that integrity trees exist to stop — and
+// shows each one being detected.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/securemem/morphtree"
+)
+
+func main() {
+	mem, err := morphtree.New(morphtree.Config{
+		MemoryBytes: 64 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         []byte("0123456789abcdef"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim stores an account balance.
+	balance := line64("balance=1000000 owner=alice")
+	if err := mem.Write(0x1000, balance); err != nil {
+		log.Fatal(err)
+	}
+
+	attacks := 0
+	caught := 0
+	expectCaught := func(name string, err error) {
+		attacks++
+		var ie *morphtree.IntegrityError
+		if errors.As(err, &ie) {
+			caught++
+			fmt.Printf("  [CAUGHT] %-22s %v\n", name, ie)
+			return
+		}
+		fmt.Printf("  [MISSED] %-22s read returned %v\n", name, err)
+	}
+
+	fmt.Println("attack 1: flip a bit in the stored ciphertext")
+	mem.Store().FlipBit(0x1000/64, 8, 1)
+	_, err = mem.Read(0x1000)
+	expectCaught("data tamper", err)
+	mem.Store().FlipBit(0x1000/64, 8, 1) // restore
+
+	fmt.Println("attack 2: forge the MAC without knowing the key")
+	m, _ := mem.Store().DataMAC(0x1000 / 64)
+	mem.Store().SetDataMAC(0x1000/64, m^0xDEAD)
+	_, err = mem.Read(0x1000)
+	expectCaught("MAC forgery", err)
+	mem.Store().SetDataMAC(0x1000/64, m)
+
+	fmt.Println("attack 3: splice a valid {data, MAC} pair to another address")
+	if err := mem.Write(0x2000, balance); err != nil {
+		log.Fatal(err)
+	}
+	ct, _ := mem.Store().DataLine(0x1000 / 64)
+	mac, _ := mem.Store().DataMAC(0x1000 / 64)
+	victim := mem.Store().Snapshot(0x2000/64, nil)
+	mem.Store().SetDataLine(0x2000/64, ct)
+	mem.Store().SetDataMAC(0x2000/64, mac)
+	_, err = mem.Read(0x2000)
+	expectCaught("splicing", err)
+	mem.Store().Replay(victim) // restore
+
+	fmt.Println("attack 4: replay a stale {data, MAC} pair after an update")
+	old := mem.Store().Snapshot(0x1000/64, nil)
+	spent := line64("balance=0000000 owner=alice")
+	if err := mem.Write(0x1000, spent); err != nil {
+		log.Fatal(err)
+	}
+	mem.Store().Replay(old)
+	_, err = mem.Read(0x1000)
+	expectCaught("stale-data replay", err)
+
+	fmt.Println("attack 5: full replay — data, MAC, AND every off-chip counter line")
+	if err := mem.Write(0x1000, spent); err != nil {
+		log.Fatal(err)
+	}
+	full := mem.Store().Snapshot(0x1000/64, mem.Path(0x1000))
+	richAgain := line64("balance=9999999 owner=mallory")
+	if err := mem.Write(0x1000, richAgain); err != nil {
+		log.Fatal(err)
+	}
+	mem.Store().Replay(full)
+	mem.FlushMetadataCache() // cold cache: trust re-derived from the on-chip root
+	_, err = mem.Read(0x1000)
+	expectCaught("full tuple replay", err)
+
+	fmt.Printf("\n%d/%d attacks detected (the on-chip root anchors everything)\n", caught, attacks)
+	if caught != attacks {
+		log.Fatal("SECURITY FAILURE: an attack went undetected")
+	}
+}
+
+// line64 pads a string to a full 64-byte cacheline.
+func line64(s string) []byte {
+	out := make([]byte, 64)
+	copy(out, s)
+	return out
+}

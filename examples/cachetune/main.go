@@ -1,0 +1,66 @@
+// Cachetune explores the metadata-cache sensitivity study of Figure 19:
+// how the MorphTree's advantage over the SC-64 baseline grows as the
+// on-chip metadata cache shrinks — and how MorphCtr-128 delivers the
+// baseline's performance with half the cache.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/securemem/morphtree"
+)
+
+func main() {
+	bench, err := morphtree.BenchmarkByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := morphtree.RateWorkload(bench, 4)
+	opt := morphtree.DefaultSimOptions()
+	opt.WarmupAccesses = 250_000
+	opt.MeasureAccesses = 250_000
+
+	base, _ := morphtree.SimPreset("sc64")
+	morph, _ := morphtree.SimPreset("morph")
+	sizes := []uint64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+	fmt.Printf("metadata-cache sensitivity on %s (4 cores)\n", bench.Name)
+	fmt.Printf("%-10s %12s %12s %10s\n", "cache", "SC-64 IPC", "MorphCtr IPC", "speedup")
+
+	type point struct {
+		size uint64
+		ipc  float64
+	}
+	var scCurve, moCurve []point
+	for _, size := range sizes {
+		b := base
+		b.MetaCacheBytes = size
+		m := morph
+		m.MetaCacheBytes = size
+		rb, err := morphtree.Simulate(b, w, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rm, err := morphtree.Simulate(m, w, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scCurve = append(scCurve, point{size, rb.IPC})
+		moCurve = append(moCurve, point{size, rm.IPC})
+		fmt.Printf("%7dKB %12.4f %12.4f %9.1f%%\n",
+			size>>10, rb.IPC, rm.IPC, (rm.IPC/rb.IPC-1)*100)
+	}
+
+	// The paper's half-the-cache claim: find the smallest MorphCtr cache
+	// whose IPC matches SC-64 at a reference size.
+	ref := scCurve[len(scCurve)-1].ipc
+	for _, p := range moCurve {
+		if p.ipc >= ref || math.Abs(p.ipc-ref)/ref < 0.02 {
+			fmt.Printf("\nMorphCtr-128 matches SC-64@%dKB with a %dKB cache (paper: half the cache)\n",
+				scCurve[len(scCurve)-1].size>>10, p.size>>10)
+			break
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a secure memory with Morphable Counters, store and
+// fetch data through the full encrypt-MAC-integrity-tree pipeline, and see
+// tampering get caught.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"github.com/securemem/morphtree"
+)
+
+func main() {
+	key := []byte("an example 16B k") // AES-128 key
+
+	// A 256 MB protected memory using the paper's proposal: MorphCtr-128
+	// (ZCC + Rebasing) for both encryption counters and the integrity
+	// tree — the compact 128-ary MorphTree.
+	mem, err := morphtree.New(morphtree.Config{
+		MemoryBytes: 256 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         key,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := mem.Geometry()
+	fmt.Printf("protected memory: %d MB\n", 256)
+	fmt.Printf("integrity tree:   %d levels, %.1f KB total (%.4f%% overhead)\n",
+		g.NumLevels(), float64(g.TreeBytes())/1024, g.TreeOverheadPercent())
+
+	// Writes encrypt with a per-line counter, MAC the ciphertext, and
+	// update the counter tree up to the on-chip root.
+	secret := []byte("attack at dawn; morphable counters keep this safe")
+	if err := mem.WriteAt(secret, 0x4000); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reads verify the MAC chain before decrypting.
+	buf := make([]byte, len(secret))
+	if err := mem.ReadAt(buf, 0x4000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back:        %q\n", buf)
+
+	// An adversary with physical access flips one bit of the stored
+	// ciphertext. The next read fails verification.
+	mem.Store().FlipBit(0x4000/64, 3, 5)
+	_, err = mem.Read(0x4000)
+	var ie *morphtree.IntegrityError
+	if errors.As(err, &ie) {
+		fmt.Printf("tamper detected:  %v\n", ie)
+	} else {
+		log.Fatalf("tampering went undetected: %v", err)
+	}
+
+	st := mem.Stats()
+	fmt.Printf("engine activity:  %d writes, %d reads, %d tree increments, %d overflows\n",
+		st.Writes, st.Reads, sum(st.Increments), sum(st.Overflows))
+}
+
+func sum(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,3 @@
+module github.com/securemem/morphtree
+
+go 1.22

@@ -1,0 +1,228 @@
+package morphtree_test
+
+// Cross-layer integration tests: the functional engine (internal/secmem)
+// and the performance simulator (internal/sim) share the counter
+// implementations but drive them through different plumbing. These tests
+// check that the two layers agree where their models overlap, and that the
+// public API composes end to end.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/securemem/morphtree"
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/tree"
+)
+
+// TestFunctionalAndAnalyticOverflowAgreement drives the exact adversarial
+// write sequence of Section V through the functional engine and checks that
+// overflows arrive at the analytically predicted rate (one per 67 writes).
+func TestFunctionalAndAnalyticOverflowAgreement(t *testing.T) {
+	mem, err := morphtree.New(morphtree.Config{
+		MemoryBytes: 1 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         []byte("0123456789abcdef"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, 64)
+	rounds := 10
+	for r := 0; r < rounds; r++ {
+		base := uint64(r) * 64 * 128 // fresh 128-counter region per round
+		for i := 0; i < 52; i++ {
+			if err := mem.Write(base+uint64(i)*64, line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 15; i++ {
+			if err := mem.Write(base, line); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := mem.Stats()
+	if got, want := st.Increments[0], uint64(rounds*67); got != want {
+		t.Fatalf("writes = %d, want %d", got, want)
+	}
+	if st.Overflows[0] != uint64(rounds) {
+		t.Fatalf("functional engine saw %d overflows over %d adversarial rounds (analytic: one per %d writes)",
+			st.Overflows[0], rounds, counters.PathologicalZCCWrites())
+	}
+}
+
+// TestFunctionalStreamingRebasing drives a uniform streaming write pattern
+// through the functional engine and checks the rebasing behavior the
+// analytic model promises: no overflow before MCRWritesToOverflow writes.
+func TestFunctionalStreamingRebasing(t *testing.T) {
+	mem, err := morphtree.New(morphtree.Config{
+		MemoryBytes: 1 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         []byte("0123456789abcdef"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, 64)
+	tolerance := counters.MCRWritesToOverflow()
+	// Round-robin writes over one 128-line region, staying well under
+	// the analytic tolerance.
+	writes := uint64(0)
+	for writes < tolerance/2 {
+		for i := uint64(0); i < 128 && writes < tolerance/2; i++ {
+			if err := mem.Write(i*64, line); err != nil {
+				t.Fatal(err)
+			}
+			writes++
+		}
+	}
+	st := mem.Stats()
+	if st.Overflows[0] != 0 {
+		t.Fatalf("streaming writes overflowed %d times before the analytic tolerance %d",
+			st.Overflows[0], tolerance)
+	}
+	if st.Rebases[0] == 0 {
+		t.Fatal("no rebases under uniform streaming writes")
+	}
+}
+
+// TestGeometryMatchesFunctionalEngine checks that the functional engine's
+// tree has exactly the shape the geometry module predicts.
+func TestGeometryMatchesFunctionalEngine(t *testing.T) {
+	for _, c := range []struct {
+		enc  morphtree.CounterSpec
+		tree []morphtree.CounterSpec
+	}{
+		{morphtree.SplitCounters(64), []morphtree.CounterSpec{morphtree.SplitCounters(64)}},
+		{morphtree.SplitCounters(64), []morphtree.CounterSpec{morphtree.SplitCounters(32), morphtree.SplitCounters(16)}},
+		{morphtree.MorphableCounters(true), []morphtree.CounterSpec{morphtree.MorphableCounters(true)}},
+	} {
+		mem, err := morphtree.New(morphtree.Config{
+			MemoryBytes: 64 << 20, Enc: c.enc, Tree: c.tree,
+			Key: []byte("0123456789abcdef"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arities := make([]int, len(c.tree))
+		for i, s := range c.tree {
+			arities[i] = s.Arity
+		}
+		g, err := tree.New(64<<20, c.enc.Arity, arities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mem.Geometry().NumLevels() != g.NumLevels() {
+			t.Fatalf("%s: engine tree has %d levels, geometry says %d",
+				c.enc.Name, mem.Geometry().NumLevels(), g.NumLevels())
+		}
+		if mem.Store().StoredLevels() != g.RootLevel() {
+			t.Fatalf("%s: store holds %d levels, want %d (root on-chip)",
+				c.enc.Name, mem.Store().StoredLevels(), g.RootLevel())
+		}
+	}
+}
+
+// TestSaveLoadThroughPublicAPI exercises persistence end to end through the
+// facade, including post-load attack detection.
+func TestSaveLoadThroughPublicAPI(t *testing.T) {
+	cfg := morphtree.Config{
+		MemoryBytes: 1 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         []byte("0123456789abcdef"),
+	}
+	mem, err := morphtree.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("persist me securely")
+	if err := mem.WriteAt(secret, 128); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mem.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := morphtree.Load(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(secret))
+	if err := loaded.ReadAt(got, 128); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("round trip through Save/Load failed")
+	}
+	loaded.Store().FlipBit(128/64, 1, 1)
+	if _, err := loaded.Read(128); err == nil {
+		t.Fatal("post-load tampering undetected")
+	}
+}
+
+// TestEndToEndEvaluationPipeline runs a miniature version of the paper's
+// whole evaluation through the public API: geometry, functional security,
+// and simulation must all tell the same story (the MorphTree is smaller,
+// no less secure, and at least as fast).
+func TestEndToEndEvaluationPipeline(t *testing.T) {
+	morphG, err := morphtree.Geometry(16<<30, 128, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseG, err := morphtree.Geometry(16<<30, 64, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if morphG.TreeBytes() >= baseG.TreeBytes() {
+		t.Fatal("MorphTree is not smaller than the baseline tree")
+	}
+
+	// Security: both organizations must catch a replay.
+	for _, spec := range []morphtree.CounterSpec{morphtree.SplitCounters(64), morphtree.MorphableCounters(true)} {
+		mem, err := morphtree.New(morphtree.Config{
+			MemoryBytes: 1 << 20, Enc: spec,
+			Tree: []morphtree.CounterSpec{spec},
+			Key:  []byte("0123456789abcdef"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := make([]byte, 64)
+		mem.Write(0, l)
+		old := mem.Store().Snapshot(0, mem.Path(0))
+		l[0] = 1
+		mem.Write(0, l)
+		mem.Store().Replay(old)
+		mem.FlushMetadataCache()
+		if _, err := mem.Read(0); err == nil {
+			t.Fatalf("%s: replay undetected", spec.Name)
+		}
+	}
+
+	// Performance: on a metadata-bound workload, Morph >= SC-64.
+	bench, err := morphtree.BenchmarkByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := morphtree.RateWorkload(bench, 4)
+	opt := morphtree.DefaultSimOptions()
+	opt.WarmupAccesses = 40_000
+	opt.MeasureAccesses = 40_000
+	morphCfg, _ := morphtree.SimPreset("morph")
+	baseCfg, _ := morphtree.SimPreset("sc64")
+	rm, err := morphtree.Simulate(morphCfg, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := morphtree.Simulate(baseCfg, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.IPC < rb.IPC {
+		t.Fatalf("MorphCtr IPC %v < SC-64 %v on a metadata-bound workload", rm.IPC, rb.IPC)
+	}
+}

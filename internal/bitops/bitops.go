@@ -1,0 +1,101 @@
+// Package bitops provides bit-granular readers and writers used to pack
+// counter cachelines into their exact 512-bit hardware layouts.
+//
+// Bits are numbered MSB-first within the 64-byte line, matching the layout
+// diagrams in the paper (Figures 8 and 13): field order in the figure is the
+// order fields are written, and the first field occupies the most significant
+// bits of byte 0.
+package bitops
+
+import "fmt"
+
+// Writer packs values into a fixed-size bit buffer, MSB-first.
+type Writer struct {
+	buf []byte
+	pos int // next bit index to write
+}
+
+// NewWriter returns a Writer over a zeroed buffer of size bytes.
+func NewWriter(size int) *Writer {
+	return &Writer{buf: make([]byte, size)}
+}
+
+// WriteBits appends the low width bits of v. It panics if width is outside
+// [0, 64], if v does not fit in width bits, or if the buffer would overflow;
+// these are programming errors in a fixed-layout codec, not runtime
+// conditions.
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitops: invalid width %d", width))
+	}
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bitops: value %d does not fit in %d bits", v, width))
+	}
+	if w.pos+width > len(w.buf)*8 {
+		panic(fmt.Sprintf("bitops: write of %d bits at %d overflows %d-byte buffer", width, w.pos, len(w.buf)))
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		if bit != 0 {
+			w.buf[w.pos/8] |= 1 << uint(7-w.pos%8)
+		}
+		w.pos++
+	}
+}
+
+// Pos reports the number of bits written so far.
+func (w *Writer) Pos() int { return w.pos }
+
+// Bytes returns the underlying buffer. The Writer must have been filled
+// exactly; partial lines indicate a layout bug.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reader unpacks values from a bit buffer, MSB-first.
+type Reader struct {
+	buf []byte
+	pos int
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits extracts the next width bits as an unsigned integer.
+func (r *Reader) ReadBits(width int) uint64 {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitops: invalid width %d", width))
+	}
+	if r.pos+width > len(r.buf)*8 {
+		panic(fmt.Sprintf("bitops: read of %d bits at %d overflows %d-byte buffer", width, r.pos, len(r.buf)))
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		v <<= 1
+		if r.buf[r.pos/8]&(1<<uint(7-r.pos%8)) != 0 {
+			v |= 1
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Pos reports the number of bits read so far.
+func (r *Reader) Pos() int { return r.pos }
+
+// Skip advances the read position by width bits.
+func (r *Reader) Skip(width int) {
+	if r.pos+width > len(r.buf)*8 {
+		panic("bitops: skip overflows buffer")
+	}
+	r.pos += width
+}
+
+// PopCount64 returns the number of set bits in v. Provided here so the
+// counters package has a single dependency for bit arithmetic.
+func PopCount64(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

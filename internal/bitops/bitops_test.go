@@ -1,0 +1,176 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.WriteBits(0x1FFFFFFFFFFFFFF, 57) // 57-bit all-ones
+	w.WriteBits(0x2A, 7)
+	w.WriteBits(0, 12)
+	w.WriteBits(0xDEADBEEF, 32)
+	if w.Pos() != 57+7+12+32 {
+		t.Fatalf("pos = %d", w.Pos())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(57); got != 0x1FFFFFFFFFFFFFF {
+		t.Errorf("57-bit field = %#x", got)
+	}
+	if got := r.ReadBits(7); got != 0x2A {
+		t.Errorf("7-bit field = %#x", got)
+	}
+	if got := r.ReadBits(12); got != 0 {
+		t.Errorf("12-bit field = %#x", got)
+	}
+	if got := r.ReadBits(32); got != 0xDEADBEEF {
+		t.Errorf("32-bit field = %#x", got)
+	}
+}
+
+func TestMSBFirstLayout(t *testing.T) {
+	// Writing a single 1-bit must set the MSB of byte 0.
+	w := NewWriter(2)
+	w.WriteBits(1, 1)
+	if w.Bytes()[0] != 0x80 {
+		t.Fatalf("byte 0 = %#x, want 0x80", w.Bytes()[0])
+	}
+	// A 4-bit value 0xF after 4 zero bits lands in the low nibble of byte 0.
+	w = NewWriter(2)
+	w.WriteBits(0, 4)
+	w.WriteBits(0xF, 4)
+	if w.Bytes()[0] != 0x0F {
+		t.Fatalf("byte 0 = %#x, want 0x0F", w.Bytes()[0])
+	}
+}
+
+func TestCrossByteBoundary(t *testing.T) {
+	w := NewWriter(3)
+	w.WriteBits(0x3, 3)   // 011
+	w.WriteBits(0x1FF, 9) // crosses byte 0 -> byte 1
+	w.WriteBits(0xAB, 8)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0x3 {
+		t.Errorf("field 1 = %#x", got)
+	}
+	if got := r.ReadBits(9); got != 0x1FF {
+		t.Errorf("field 2 = %#x", got)
+	}
+	if got := r.ReadBits(8); got != 0xAB {
+		t.Errorf("field 3 = %#x", got)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xAA, 8)
+	w.WriteBits(0x55, 8)
+	r := NewReader(w.Bytes())
+	r.Skip(8)
+	if got := r.ReadBits(8); got != 0x55 {
+		t.Fatalf("after skip = %#x", got)
+	}
+	if r.Pos() != 16 {
+		t.Fatalf("pos = %d", r.Pos())
+	}
+}
+
+func TestWidthZero(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0, 0)
+	if w.Pos() != 0 {
+		t.Fatalf("zero-width write moved position")
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(0); got != 0 {
+		t.Fatalf("zero-width read = %d", got)
+	}
+}
+
+func TestWriteOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on buffer overflow")
+		}
+	}()
+	w := NewWriter(1)
+	w.WriteBits(0, 9)
+}
+
+func TestValueTooWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversized value")
+		}
+	}()
+	w := NewWriter(8)
+	w.WriteBits(256, 8)
+}
+
+func TestReadOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on read overflow")
+		}
+	}()
+	r := NewReader([]byte{0})
+	r.ReadBits(9)
+}
+
+func TestPopCount64(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {0xFF, 8}, {1 << 63, 1}, {^uint64(0), 64}, {0xA5A5, 8},
+	}
+	for _, c := range cases {
+		if got := PopCount64(c.v); got != c.want {
+			t.Errorf("PopCount64(%#x) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: any sequence of (value, width) fields round-trips exactly.
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		type field struct {
+			v     uint64
+			width int
+		}
+		fields := make([]field, 0, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			width := 1 + rng.Intn(64)
+			if total+width > 512 {
+				break
+			}
+			var v uint64
+			if width == 64 {
+				v = rng.Uint64()
+			} else {
+				v = rng.Uint64() & ((1 << uint(width)) - 1)
+			}
+			fields = append(fields, field{v, width})
+			total += width
+		}
+		w := NewWriter(64)
+		for _, fl := range fields {
+			w.WriteBits(fl.v, fl.width)
+		}
+		r := NewReader(w.Bytes())
+		for _, fl := range fields {
+			if r.ReadBits(fl.width) != fl.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

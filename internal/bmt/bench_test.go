@@ -1,0 +1,36 @@
+package bmt
+
+import "testing"
+
+func BenchmarkUpdate(b *testing.B) {
+	tr, err := New([]byte("merkle-key-01234"), 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := make([]byte, LineBytes)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Update(uint64(i)%(1<<16), l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	tr, err := New([]byte("merkle-key-01234"), 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := make([]byte, LineBytes)
+	for i := uint64(0); i < 1024; i++ {
+		tr.Update(i, l)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Verify(uint64(i) % 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package bmt implements a Bonsai-style Merkle tree (a MAC tree): the
+// alternative integrity-tree class the paper contrasts counter trees
+// against (Section VIII-B1). Each 64-byte tree node holds 8 x 64-bit MACs
+// of its children, so the arity is fixed at 8 regardless of the counter
+// organization — which is exactly why MAC trees cannot benefit from
+// morphable counters and end up far larger than a 128-ary MorphTree.
+//
+// The tree authenticates an array of 64-byte leaf lines (in a secure
+// memory: the encryption-counter lines). Leaves and nodes live in
+// untrusted storage; only the root MAC is on-chip. Update and Verify are
+// the two operations a memory controller needs.
+package bmt
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Arity is the MAC-tree fan-in: 8 x 64-bit MACs fill a 64-byte node. The
+// paper notes 32-bit MACs (16-ary) "do not provide sufficient security".
+const Arity = 8
+
+// LineBytes is the leaf/node granularity.
+const LineBytes = 64
+
+// TamperError reports a failed verification.
+type TamperError struct {
+	// Level is 0 for a leaf, 1.. for internal node levels.
+	Level int
+	// Index is the failing line's index within its level.
+	Index uint64
+}
+
+// Error implements error.
+func (e *TamperError) Error() string {
+	what := "leaf"
+	if e.Level > 0 {
+		what = fmt.Sprintf("level-%d node", e.Level)
+	}
+	return fmt.Sprintf("bmt: integrity violation at %s %d", what, e.Index)
+}
+
+// Tree is a Bonsai Merkle tree over a fixed number of leaf lines.
+type Tree struct {
+	key    []byte
+	leaves uint64
+	// levels[0] is the leaf array; levels[1..] are MAC nodes. All of it
+	// is untrusted storage an adversary may modify.
+	levels [][]byte
+	// counts[l] is the number of lines at level l.
+	counts []uint64
+	// root is the trusted on-chip MAC of the top node.
+	root [8]byte
+}
+
+// New builds a zeroed tree over `leaves` 64-byte lines.
+func New(key []byte, leaves uint64) (*Tree, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("bmt: empty key")
+	}
+	if leaves == 0 {
+		return nil, fmt.Errorf("bmt: zero leaves")
+	}
+	t := &Tree{key: bytes.Clone(key), leaves: leaves}
+	count := leaves
+	for {
+		t.counts = append(t.counts, count)
+		t.levels = append(t.levels, make([]byte, count*LineBytes))
+		if count == 1 {
+			break
+		}
+		count = (count + Arity - 1) / Arity
+	}
+	// Seal the zeroed tree bottom-up so fresh state verifies.
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		for idx := uint64(0); idx < t.counts[lvl]; idx++ {
+			t.refreshNode(lvl, idx)
+		}
+	}
+	t.root = t.mac(len(t.levels)-1, 0, t.line(len(t.levels)-1, 0))
+	return t, nil
+}
+
+// Leaves returns the leaf count.
+func (t *Tree) Leaves() uint64 { return t.leaves }
+
+// Height returns the number of MAC levels above the leaves.
+func (t *Tree) Height() int { return len(t.levels) - 1 }
+
+// NodeBytes returns the total MAC-node storage (the integrity tree's
+// footprint — compare Geometry of a counter tree).
+func (t *Tree) NodeBytes() uint64 {
+	var total uint64
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		total += t.counts[lvl] * LineBytes
+	}
+	return total
+}
+
+// line returns the storage slice of a line.
+func (t *Tree) line(level int, idx uint64) []byte {
+	return t.levels[level][idx*LineBytes : (idx+1)*LineBytes]
+}
+
+// mac computes the 64-bit truncated MAC of a line, bound to its position.
+func (t *Tree) mac(level int, idx uint64, content []byte) [8]byte {
+	h := hmac.New(sha256.New, t.key)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(level))
+	binary.LittleEndian.PutUint64(hdr[8:], idx)
+	h.Write(hdr[:])
+	h.Write(content)
+	var out [8]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// refreshNode recomputes every MAC slot of node (level, idx) from its
+// children at level-1; used to seal the initial zeroed tree.
+func (t *Tree) refreshNode(level int, idx uint64) {
+	node := t.line(level, idx)
+	for slot := 0; slot < Arity; slot++ {
+		child := idx*Arity + uint64(slot)
+		if child >= t.counts[level-1] {
+			for i := 0; i < 8; i++ {
+				node[slot*8+i] = 0
+			}
+			continue
+		}
+		m := t.mac(level-1, child, t.line(level-1, child))
+		copy(node[slot*8:], m[:])
+	}
+}
+
+// Update writes a leaf line and propagates MAC updates to the root.
+func (t *Tree) Update(idx uint64, line []byte) error {
+	if idx >= t.leaves {
+		return fmt.Errorf("bmt: leaf %d out of range", idx)
+	}
+	if len(line) != LineBytes {
+		return fmt.Errorf("bmt: leaf must be %d bytes, got %d", LineBytes, len(line))
+	}
+	copy(t.line(0, idx), line)
+	child := idx
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		parent := child / Arity
+		slot := int(child % Arity)
+		m := t.mac(lvl-1, child, t.line(lvl-1, child))
+		copy(t.line(lvl, parent)[slot*8:], m[:])
+		child = parent
+	}
+	t.root = t.mac(len(t.levels)-1, 0, t.line(len(t.levels)-1, 0))
+	return nil
+}
+
+// Verify checks a leaf against the MAC chain up to the on-chip root and
+// returns its contents.
+func (t *Tree) Verify(idx uint64) ([]byte, error) {
+	if idx >= t.leaves {
+		return nil, fmt.Errorf("bmt: leaf %d out of range", idx)
+	}
+	top := len(t.levels) - 1
+	if t.mac(top, 0, t.line(top, 0)) != t.root {
+		return nil, &TamperError{Level: top, Index: 0}
+	}
+	// Walk down: each node's stored MAC of its child must match the
+	// child's actual content.
+	path := t.pathDown(idx)
+	for i := len(path) - 1; i >= 1; i-- {
+		lvl, node := path[i][0], path[i][1]
+		childLvl, child := path[i-1][0], path[i-1][1]
+		slot := int(child % Arity)
+		want := t.mac(int(childLvl), child, t.line(int(childLvl), child))
+		got := t.line(int(lvl), node)[slot*8 : slot*8+8]
+		if !bytes.Equal(want[:], got) {
+			return nil, &TamperError{Level: int(childLvl), Index: child}
+		}
+	}
+	return bytes.Clone(t.line(0, idx)), nil
+}
+
+// pathDown lists (level, index) from the leaf to the root.
+func (t *Tree) pathDown(idx uint64) [][2]uint64 {
+	var path [][2]uint64
+	cur := idx
+	for lvl := 0; lvl < len(t.levels); lvl++ {
+		path = append(path, [2]uint64{uint64(lvl), cur})
+		cur /= Arity
+	}
+	return path
+}
+
+// Tamper flips a bit in untrusted storage (adversary interface).
+func (t *Tree) Tamper(level int, idx uint64, byteOff int, bit uint) error {
+	if level < 0 || level >= len(t.levels) || idx >= t.counts[level] {
+		return fmt.Errorf("bmt: no line at level %d index %d", level, idx)
+	}
+	t.line(level, idx)[byteOff%LineBytes] ^= 1 << (bit % 8)
+	return nil
+}
+
+// Snapshot captures a leaf's verification path (for replay attacks).
+func (t *Tree) Snapshot(idx uint64) [][]byte {
+	var out [][]byte
+	for _, p := range t.pathDown(idx) {
+		out = append(out, bytes.Clone(t.line(int(p[0]), p[1])))
+	}
+	return out
+}
+
+// Replay restores a previously captured path into untrusted storage.
+func (t *Tree) Replay(idx uint64, snapshot [][]byte) error {
+	path := t.pathDown(idx)
+	if len(snapshot) != len(path) {
+		return fmt.Errorf("bmt: snapshot has %d lines, path needs %d", len(snapshot), len(path))
+	}
+	for i, p := range path {
+		copy(t.line(int(p[0]), p[1]), snapshot[i])
+	}
+	return nil
+}

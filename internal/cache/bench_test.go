@@ -1,0 +1,50 @@
+package cache
+
+import "testing"
+
+// The metadata cache sits on every memory access of the simulator, so its
+// lookup cost dominates simulation throughput.
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := MustNew(128<<10, 8, 64)
+	for i := uint64(0); i < 2048; i++ {
+		c.Fill(i*64, false)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)%2048*64, false)
+	}
+}
+
+func BenchmarkAccessMiss(b *testing.B) {
+	c := MustNew(128<<10, 8, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*64+1<<30, false)
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	c := MustNew(128<<10, 8, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, i%4 == 0)
+	}
+}
+
+func BenchmarkMixedWorkingSet(b *testing.B) {
+	// 2x-capacity working set: ~50% hit rate, constant evictions.
+	c := MustNew(128<<10, 8, 64)
+	span := uint64(4096)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 2654435761 % span) * 64
+		if !c.Access(addr, false) {
+			c.Fill(addr, false)
+		}
+	}
+}

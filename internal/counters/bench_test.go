@@ -1,0 +1,148 @@
+package counters
+
+import "testing"
+
+// Micro-benchmarks: the memory controller performs these operations on
+// every write (increment) and every metadata transfer (encode/decode), so
+// their cost bounds how fast a software model of the controller can run.
+
+func BenchmarkSplitIncrement(b *testing.B) {
+	blk := NewSplit(64, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Increment(i % 64)
+	}
+}
+
+func BenchmarkMorphIncrementSparse(b *testing.B) {
+	blk := NewMorph(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Increment(i % 8) // stays in ZCC
+	}
+}
+
+func BenchmarkMorphIncrementDense(b *testing.B) {
+	blk := NewMorph(true)
+	for i := 0; i < MorphArity; i++ {
+		blk.Increment(i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Increment(i % MorphArity) // MCR regime with rebases
+	}
+}
+
+func BenchmarkSplitEncode(b *testing.B) {
+	blk := NewSplit(64, 6)
+	for i := 0; i < 1000; i++ {
+		blk.Increment(i % 64)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Encode()
+	}
+}
+
+func BenchmarkMorphEncodeZCC(b *testing.B) {
+	blk := NewMorph(true)
+	for i := 0; i < 200; i++ {
+		blk.Increment(i % 30)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Encode()
+	}
+}
+
+func BenchmarkMorphDecodeZCC(b *testing.B) {
+	blk := NewMorph(true)
+	for i := 0; i < 200; i++ {
+		blk.Increment(i % 30)
+	}
+	enc := blk.Encode()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMorph(enc, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMorphDecodeMCR(b *testing.B) {
+	blk := NewMorph(true)
+	for i := 0; i < 4096; i++ {
+		blk.Increment(i % MorphArity)
+	}
+	enc := blk.Encode()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeMorph(enc, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzDecodeMorph: arbitrary 64-byte lines must either decode cleanly or
+// fail with an error — never panic. (A memory controller faces adversarial
+// line contents by definition.)
+func FuzzDecodeMorph(f *testing.F) {
+	blk := NewMorph(true)
+	for i := 0; i < 100; i++ {
+		blk.Increment(i % 40)
+	}
+	f.Add(blk.Encode(), true)
+	f.Add(make([]byte, 64), false)
+	f.Fuzz(func(t *testing.T, data []byte, rebasing bool) {
+		if len(data) != LineBytes {
+			return
+		}
+		m, err := DecodeMorph(data, rebasing)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the same bytes.
+		re := m.Encode()
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode mismatch at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeSplit: same robustness contract for split-counter lines.
+func FuzzDecodeSplit(f *testing.F) {
+	blk := NewSplit(64, 6)
+	for i := 0; i < 100; i++ {
+		blk.Increment(i % 64)
+	}
+	f.Add(blk.Encode(), 64)
+	f.Fuzz(func(t *testing.T, data []byte, arity int) {
+		if len(data) != LineBytes {
+			return
+		}
+		valid := arity == 8 || arity == 16 || arity == 32 || arity == 64 || arity == 128
+		s, err := DecodeSplit(data, arity)
+		if !valid {
+			if err == nil {
+				t.Fatal("invalid arity decoded")
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		re := s.Encode()
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode mismatch at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package counters
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/bitops"
+)
+
+// Cacheline layouts (Figures 8 and 13). Field widths follow the paper
+// exactly; field order places the 1-bit format tag first so a line is
+// self-describing to the decoder, which is how the memory controller must
+// interpret it anyway ("decoding ... only requires indexing into the
+// bit-vector", Section III-B2).
+//
+//	ZCC:     F(1)=0 | Ctr-Sz(6) | Major(57) | Bit-Vector(128) | Non-Zero Ctrs(256) | MAC(64)
+//	Uniform: F(1)=1 | Ctr-Sz(6) | Major(57) | 128 x 3-bit Minors(384)             | MAC(64)
+//	MCR:     F(1)=1 | Major(49) | Base-1(7) | Base-2(7) | 2 x 64 x 3-bit(384)     | MAC(64)
+//	Split:   Major(64) | n x (384/n)-bit Minors(384)                              | MAC(64)
+//
+// A system is configured either with rebasing (dense format = MCR) or
+// without (dense format = Uniform); the decoder is told which, exactly as
+// the hardware would be.
+
+// newLineWriter and newLineReader wrap bitops for 64-byte lines.
+func newLineWriter() *bitops.Writer         { return bitops.NewWriter(LineBytes) }
+func newLineReader(b []byte) *bitops.Reader { return bitops.NewReader(b) }
+
+// padZeros writes n zero bits, chunked to respect the 64-bit write limit.
+func padZeros(w *bitops.Writer, n int) {
+	for n > 64 {
+		w.WriteBits(0, 64)
+		n -= 64
+	}
+	w.WriteBits(0, n)
+}
+
+// Encode implements Block for Split.
+func (s *Split) Encode() []byte {
+	w := bitops.NewWriter(LineBytes)
+	w.WriteBits(s.major, 64)
+	for _, v := range s.minors {
+		w.WriteBits(v, s.minorBits)
+	}
+	w.WriteBits(s.mac, 64)
+	if w.Pos() != LineBits {
+		panic(fmt.Sprintf("counters: split layout packed %d bits", w.Pos()))
+	}
+	return w.Bytes()
+}
+
+// DecodeSplit unpacks a split-counter line with the given geometry.
+func DecodeSplit(buf []byte, arity int) (*Split, error) {
+	if len(buf) != LineBytes {
+		return nil, fmt.Errorf("counters: split line is %d bytes, want %d", len(buf), LineBytes)
+	}
+	bits, ok := splitMinorBits[arity]
+	if !ok {
+		return nil, fmt.Errorf("counters: unsupported split arity %d", arity)
+	}
+	r := bitops.NewReader(buf)
+	s := NewSplit(arity, bits)
+	s.major = r.ReadBits(64)
+	for i := range s.minors {
+		s.minors[i] = r.ReadBits(bits)
+		if s.minors[i] != 0 {
+			s.nonzero++
+		}
+	}
+	s.mac = r.ReadBits(64)
+	return s, nil
+}
+
+// Encode implements Block for Morph.
+func (m *Morph) Encode() []byte {
+	w := bitops.NewWriter(LineBytes)
+	switch m.format {
+	case FormatZCC:
+		size := ZCCSize(m.nonzero)
+		w.WriteBits(0, 1)
+		w.WriteBits(uint64(size), 6)
+		w.WriteBits(m.major, zccMajorBits)
+		for _, v := range m.minors {
+			if v != 0 {
+				w.WriteBits(1, 1)
+			} else {
+				w.WriteBits(0, 1)
+			}
+		}
+		packed := 0
+		for _, v := range m.minors {
+			if v != 0 {
+				w.WriteBits(uint64(v), size)
+				packed += size
+			}
+		}
+		padZeros(w, 256-packed) // unused tail of the non-zero field
+	case FormatUniform:
+		w.WriteBits(1, 1)
+		w.WriteBits(3, 6) // Ctr-Sz = 3
+		w.WriteBits(m.major, zccMajorBits)
+		for _, v := range m.minors {
+			w.WriteBits(uint64(v), 3)
+		}
+	case FormatMCR:
+		w.WriteBits(1, 1)
+		w.WriteBits(m.major, mcrMajorBits)
+		w.WriteBits(uint64(m.base[0]), 7)
+		w.WriteBits(uint64(m.base[1]), 7)
+		for _, v := range m.minors {
+			w.WriteBits(uint64(v), 3)
+		}
+	}
+	w.WriteBits(m.mac, 64)
+	if w.Pos() != LineBits {
+		panic(fmt.Sprintf("counters: morph %s layout packed %d bits", m.format, w.Pos()))
+	}
+	return w.Bytes()
+}
+
+// DecodeMorph unpacks a Morphable Counter line. rebasing tells the decoder
+// whether the dense format (tag bit 1) is MCR or plain uniform, matching the
+// system configuration the line was written under.
+func DecodeMorph(buf []byte, rebasing bool) (*Morph, error) {
+	if len(buf) != LineBytes {
+		return nil, fmt.Errorf("counters: morph line is %d bytes, want %d", len(buf), LineBytes)
+	}
+	r := bitops.NewReader(buf)
+	m := NewMorph(rebasing)
+	dense := r.ReadBits(1) == 1
+	switch {
+	case !dense:
+		m.format = FormatZCC
+		size := int(r.ReadBits(6))
+		m.major = r.ReadBits(zccMajorBits)
+		var present [MorphArity]bool
+		count := 0
+		for i := range present {
+			present[i] = r.ReadBits(1) == 1
+			if present[i] {
+				count++
+			}
+		}
+		// Validate Ctr-Sz against the bit-vector population before
+		// trusting it as a field width.
+		if count > morphSetSize {
+			return nil, fmt.Errorf("counters: ZCC bit-vector has %d non-zero counters (max %d)", count, morphSetSize)
+		}
+		if want := ZCCSize(count); size != want {
+			return nil, fmt.Errorf("counters: ZCC Ctr-Sz %d inconsistent with %d non-zero counters (want %d)", size, count, want)
+		}
+		for i, p := range present {
+			if !p {
+				continue
+			}
+			m.minors[i] = uint32(r.ReadBits(size))
+			if m.minors[i] == 0 {
+				return nil, fmt.Errorf("counters: ZCC bit-vector marks slot %d non-zero but value is 0", i)
+			}
+			m.nonzero++
+		}
+	case rebasing:
+		m.format = FormatMCR
+		m.major = r.ReadBits(mcrMajorBits)
+		m.base[0] = uint32(r.ReadBits(7))
+		m.base[1] = uint32(r.ReadBits(7))
+		for i := range m.minors {
+			m.minors[i] = uint32(r.ReadBits(3))
+			if m.minors[i] != 0 {
+				m.nonzero++
+			}
+		}
+	default:
+		m.format = FormatUniform
+		if sz := r.ReadBits(6); sz != 3 {
+			return nil, fmt.Errorf("counters: uniform Ctr-Sz %d, want 3", sz)
+		}
+		m.major = r.ReadBits(zccMajorBits)
+		for i := range m.minors {
+			m.minors[i] = uint32(r.ReadBits(3))
+			if m.minors[i] != 0 {
+				m.nonzero++
+			}
+		}
+	}
+	// The unused tail must be zero — the encoder is canonical, and a
+	// non-canonical line is corruption (tolerating it would let padding
+	// bits escape MAC coverage). The MAC sits in the final 64 bits.
+	for pad := LineBits - 64 - r.Pos(); pad > 0; {
+		chunk := pad
+		if chunk > 64 {
+			chunk = 64
+		}
+		if r.ReadBits(chunk) != 0 {
+			return nil, fmt.Errorf("counters: non-canonical morph line (non-zero padding)")
+		}
+		pad -= chunk
+	}
+	m.mac = r.ReadBits(64)
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package counters
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func splitEqual(a, b *Split) bool {
+	if a.arity != b.arity || a.minorBits != b.minorBits || a.major != b.major ||
+		a.mac != b.mac || a.nonzero != b.nonzero {
+		return false
+	}
+	for i := range a.minors {
+		if a.minors[i] != b.minors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func morphEqual(a, b *Morph) bool {
+	if a.format != b.format || a.major != b.major || a.mac != b.mac ||
+		a.nonzero != b.nonzero || a.base != b.base {
+		return false
+	}
+	return a.minors == b.minors
+}
+
+func TestSplitCodecRoundTrip(t *testing.T) {
+	for _, arity := range []int{8, 16, 32, 64, 128} {
+		rng := rand.New(rand.NewSource(int64(arity)))
+		b := SplitSpec(arity).New().(*Split)
+		for w := 0; w < 5000; w++ {
+			b.Increment(rng.Intn(arity))
+		}
+		b.SetMAC(rng.Uint64())
+		enc := b.Encode()
+		if len(enc) != LineBytes {
+			t.Fatalf("SC-%d encoded to %d bytes", arity, len(enc))
+		}
+		dec, err := DecodeSplit(enc, arity)
+		if err != nil {
+			t.Fatalf("SC-%d decode: %v", arity, err)
+		}
+		if !splitEqual(b, dec) {
+			t.Fatalf("SC-%d round trip mismatch", arity)
+		}
+	}
+}
+
+func TestSplitDecodeErrors(t *testing.T) {
+	if _, err := DecodeSplit(make([]byte, 63), 64); err == nil {
+		t.Error("short buffer must fail")
+	}
+	if _, err := DecodeSplit(make([]byte, 64), 7); err == nil {
+		t.Error("bad arity must fail")
+	}
+}
+
+func TestMorphCodecRoundTripAllFormats(t *testing.T) {
+	drive := func(rebasing bool, writes int, slots int) *Morph {
+		m := NewMorph(rebasing)
+		rng := rand.New(rand.NewSource(int64(writes)))
+		for w := 0; w < writes; w++ {
+			m.Increment(rng.Intn(slots))
+		}
+		m.SetMAC(rng.Uint64())
+		return m
+	}
+	cases := []struct {
+		name     string
+		m        *Morph
+		rebasing bool
+		want     Format
+	}{
+		{"zcc-sparse", drive(true, 200, 10), true, FormatZCC},
+		{"zcc-mid", drive(true, 300, 60), true, FormatZCC},
+		{"mcr", drive(true, 4000, 128), true, FormatMCR},
+		{"uniform", drive(false, 4000, 128), false, FormatUniform},
+		{"fresh", NewMorph(true), true, FormatZCC},
+	}
+	for _, c := range cases {
+		if c.m.Format() != c.want {
+			t.Fatalf("%s: drive produced %v, want %v", c.name, c.m.Format(), c.want)
+		}
+		enc := c.m.Encode()
+		dec, err := DecodeMorph(enc, c.rebasing)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.name, err)
+		}
+		if !morphEqual(c.m, dec) {
+			t.Fatalf("%s: round trip mismatch:\n  in  %+v\n  out %+v", c.name, c.m, dec)
+		}
+		// Effective values must survive the trip.
+		for i := 0; i < MorphArity; i++ {
+			if c.m.Value(i) != dec.Value(i) {
+				t.Fatalf("%s: value(%d) %d != %d", c.name, i, c.m.Value(i), dec.Value(i))
+			}
+		}
+	}
+}
+
+func TestMorphDecodeRejectsCorruption(t *testing.T) {
+	m := NewMorph(true)
+	for i := 0; i < 20; i++ {
+		m.Increment(i)
+	}
+	enc := m.Encode()
+
+	// Wrong length.
+	if _, err := DecodeMorph(enc[:32], true); err == nil {
+		t.Error("short buffer must fail")
+	}
+
+	// Corrupt the Ctr-Sz field so it disagrees with the bit-vector count.
+	bad := bytes.Clone(enc)
+	bad[0] ^= 0x40 // flips a Ctr-Sz bit (bits 1..6 of byte 0)
+	if _, err := DecodeMorph(bad, true); err == nil {
+		t.Error("inconsistent Ctr-Sz must fail")
+	}
+}
+
+func TestMorphEncodeDeterministic(t *testing.T) {
+	m := NewMorph(true)
+	for i := 0; i < 40; i++ {
+		m.Increment(i % 7)
+	}
+	if !bytes.Equal(m.Encode(), m.Encode()) {
+		t.Fatal("Encode is not deterministic")
+	}
+}
+
+// Property: arbitrary write sequences produce lines that round-trip through
+// the wire format with all effective values intact.
+func TestQuickMorphCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, rebasing bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMorph(rebasing)
+		n := rng.Intn(6000)
+		slots := 1 + rng.Intn(MorphArity)
+		for w := 0; w < n; w++ {
+			m.Increment(rng.Intn(slots))
+		}
+		m.SetMAC(rng.Uint64())
+		dec, err := DecodeMorph(m.Encode(), rebasing)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < MorphArity; i++ {
+			if m.Value(i) != dec.Value(i) {
+				return false
+			}
+		}
+		return morphEqual(m, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: split lines round-trip for arbitrary write sequences.
+func TestQuickSplitCodecRoundTrip(t *testing.T) {
+	arities := []int{8, 16, 32, 64, 128}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := arities[rng.Intn(len(arities))]
+		b := SplitSpec(arity).New().(*Split)
+		for w := rng.Intn(3000); w > 0; w-- {
+			b.Increment(rng.Intn(arity))
+		}
+		b.SetMAC(rng.Uint64())
+		dec, err := DecodeSplit(b.Encode(), arity)
+		if err != nil {
+			return false
+		}
+		return splitEqual(b, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutBitBudgets(t *testing.T) {
+	// Figure 8/13 field widths must exactly fill the 512-bit line.
+	// ZCC: 1 (tag) + 6 (Ctr-Sz) + 57 (major) + 128 (bit-vector) +
+	// 256 (non-zero counters) + 64 (MAC).
+	if total := 1 + 6 + 57 + 128 + 256 + 64; total != LineBits {
+		t.Fatalf("ZCC layout = %d bits", total)
+	}
+	// MCR: 1 + 49 (major) + 7 + 7 (bases) + 2x64x3 (minors) + 64 (MAC).
+	if total := 1 + 49 + 7 + 7 + 384 + 64; total != LineBits {
+		t.Fatalf("MCR layout = %d bits", total)
+	}
+	// Uniform: 1 + 6 + 57 + 128x3 + 64.
+	if total := 1 + 6 + 57 + 384 + 64; total != LineBits {
+		t.Fatalf("uniform layout = %d bits", total)
+	}
+	// Split: 64 (major) + n x (384/n) + 64 (MAC) for every arity.
+	for arity, bits := range map[int]int{8: 48, 16: 24, 32: 12, 64: 6, 128: 3} {
+		if total := 64 + arity*bits + 64; total != LineBits {
+			t.Fatalf("SC-%d layout = %d bits", arity, total)
+		}
+		if MinorBits(arity) != bits {
+			t.Fatalf("MinorBits(%d) = %d, want %d", arity, MinorBits(arity), bits)
+		}
+	}
+}
+
+func TestEncodedLinesAre64Bytes(t *testing.T) {
+	blocks := []Block{
+		NewMorph(true), NewMorph(false), NewSplit(64, 6), NewSplit(128, 3), NewDelta(),
+	}
+	for _, b := range blocks {
+		for i := 0; i < 300; i++ {
+			b.Increment(i % b.Arity())
+		}
+		if got := len(b.Encode()); got != LineBytes {
+			t.Fatalf("%T encoded to %d bytes", b, got)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package counters
+
+import "fmt"
+
+// Delta is the delta-encoded counter organization of the paper's concurrent
+// work (Yitbarek & Austin, DAC 2018 — reference [19]): counters in a line
+// are stored as a shared full-width base plus small per-line deltas,
+// exploiting the low dynamic range of nearby lines' write counts. When a
+// delta saturates, the line is re-based (base moves forward by the minimum
+// delta) if every delta is non-zero, else reset with re-encryption — the
+// single-base analogue of MorphCtr's MCR, but without ZCC's sparse-usage
+// compression, and limited to 64 counters per line.
+//
+// Layout: Base(64) | 64 x 5-bit Deltas(320) | unused(64) | MAC(64) = 512.
+type Delta struct {
+	base    uint64
+	deltas  [64]uint32
+	nonzero int
+	mac     uint64
+}
+
+// deltaBits is the per-counter delta width.
+const deltaBits = 5
+
+// deltaMax is the largest delta value.
+const deltaMax = 1<<deltaBits - 1
+
+// NewDelta returns a zeroed delta-encoded counter line.
+func NewDelta() *Delta { return &Delta{} }
+
+// DeltaSpec returns the delta-encoding organization (64 counters/line).
+func DeltaSpec() Spec {
+	return Spec{
+		Name:   "Delta-64",
+		Arity:  64,
+		New:    func() Block { return NewDelta() },
+		Decode: func(buf []byte) (Block, error) { return DecodeDelta(buf) },
+	}
+}
+
+// Arity implements Block.
+func (d *Delta) Arity() int { return 64 }
+
+// NonZero implements Block.
+func (d *Delta) NonZero() int { return d.nonzero }
+
+// MAC implements Block.
+func (d *Delta) MAC() uint64 { return d.mac }
+
+// SetMAC implements Block.
+func (d *Delta) SetMAC(m uint64) { d.mac = m }
+
+// FormatName implements Block.
+func (d *Delta) FormatName() string { return "delta" }
+
+// Value implements Block: base + delta.
+func (d *Delta) Value(i int) uint64 { return d.base + uint64(d.deltas[i]) }
+
+// Increment implements Block.
+func (d *Delta) Increment(i int) Event {
+	if d.deltas[i] != deltaMax {
+		if d.deltas[i] == 0 {
+			d.nonzero++
+		}
+		d.deltas[i]++
+		return Event{}
+	}
+	minD, maxD := d.deltas[0], d.deltas[0]
+	for _, v := range d.deltas[1:] {
+		if v < minD {
+			minD = v
+		}
+		if v > maxD {
+			maxD = v
+		}
+	}
+	if minD > 0 {
+		// Rebase: slide the base forward; no effective value changes.
+		d.base += uint64(minD)
+		for j := range d.deltas {
+			if d.deltas[j] == minD {
+				d.nonzero--
+			}
+			d.deltas[j] -= minD
+		}
+		if d.deltas[i] == 0 {
+			d.nonzero++
+		}
+		d.deltas[i]++
+		return Event{Rebased: true}
+	}
+	// A zero delta blocks rebasing: reset past the largest so no
+	// effective value repeats, and re-encrypt all children.
+	d.base += uint64(maxD) + 1
+	for j := range d.deltas {
+		d.deltas[j] = 0
+	}
+	d.deltas[i] = 1
+	d.nonzero = 1
+	return Event{Overflow: true, Reencrypt: 64}
+}
+
+// Encode implements Block.
+func (d *Delta) Encode() []byte {
+	w := newLineWriter()
+	w.WriteBits(d.base, 64)
+	for _, v := range d.deltas {
+		w.WriteBits(uint64(v), deltaBits)
+	}
+	padZeros(w, 64) // unused field
+	w.WriteBits(d.mac, 64)
+	if w.Pos() != LineBits {
+		panic(fmt.Sprintf("counters: delta layout packed %d bits", w.Pos()))
+	}
+	return w.Bytes()
+}
+
+// DecodeDelta unpacks a delta-encoded line.
+func DecodeDelta(buf []byte) (*Delta, error) {
+	if len(buf) != LineBytes {
+		return nil, fmt.Errorf("counters: delta line is %d bytes, want %d", len(buf), LineBytes)
+	}
+	r := newLineReader(buf)
+	d := NewDelta()
+	d.base = r.ReadBits(64)
+	for i := range d.deltas {
+		d.deltas[i] = uint32(r.ReadBits(deltaBits))
+		if d.deltas[i] != 0 {
+			d.nonzero++
+		}
+	}
+	if r.ReadBits(64) != 0 {
+		return nil, fmt.Errorf("counters: non-canonical delta line (non-zero padding)")
+	}
+	d.mac = r.ReadBits(64)
+	return d, nil
+}

@@ -1,0 +1,151 @@
+package counters
+
+import "testing"
+
+func TestDeltaSpec(t *testing.T) {
+	spec := DeltaSpec()
+	if spec.Arity != 64 || spec.Name != "Delta-64" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	b := spec.New()
+	if b.Arity() != 64 || b.NonZero() != 0 {
+		t.Fatal("fresh delta block malformed")
+	}
+}
+
+func TestDeltaBasicIncrement(t *testing.T) {
+	d := NewDelta()
+	for k := 1; k <= 10; k++ {
+		if ev := d.Increment(7); ev.Overflow || ev.Rebased {
+			t.Fatalf("unexpected event on write %d", k)
+		}
+		if d.Value(7) != uint64(k) {
+			t.Fatalf("value = %d, want %d", d.Value(7), k)
+		}
+	}
+	if d.NonZero() != 1 {
+		t.Fatalf("nonzero = %d", d.NonZero())
+	}
+}
+
+func TestDeltaRebaseUnderUniformWrites(t *testing.T) {
+	// When every counter is in use, a saturation rebases instead of
+	// resetting — no re-encryption, values preserved.
+	d := NewDelta()
+	for i := 0; i < 64; i++ {
+		d.Increment(i)
+	}
+	for k := 0; k < deltaMax-1; k++ {
+		d.Increment(0)
+	}
+	if d.Value(0) != deltaMax {
+		t.Fatalf("value(0) = %d", d.Value(0))
+	}
+	before := make([]uint64, 64)
+	for i := range before {
+		before[i] = d.Value(i)
+	}
+	ev := d.Increment(0)
+	if !ev.Rebased || ev.Overflow {
+		t.Fatalf("expected rebase, got %+v", ev)
+	}
+	for i := 1; i < 64; i++ {
+		if d.Value(i) != before[i] {
+			t.Fatalf("rebase changed value(%d)", i)
+		}
+	}
+	if d.Value(0) != before[0]+1 {
+		t.Fatalf("value(0) = %d, want %d", d.Value(0), before[0]+1)
+	}
+}
+
+func TestDeltaResetWhenZeroPresent(t *testing.T) {
+	// Counter 1 stays zero: saturating counter 0 must reset the line.
+	d := NewDelta()
+	for k := 0; k < deltaMax; k++ {
+		d.Increment(0)
+	}
+	ev := d.Increment(0)
+	if !ev.Overflow || ev.Reencrypt != 64 {
+		t.Fatalf("expected reset, got %+v", ev)
+	}
+	// Forward motion: new values exceed all old ones.
+	if d.Value(1) != deltaMax+1 {
+		t.Fatalf("value(1) = %d, want %d", d.Value(1), deltaMax+1)
+	}
+	if d.Value(0) != deltaMax+2 {
+		t.Fatalf("value(0) = %d", d.Value(0))
+	}
+}
+
+func TestDeltaMonotonicity(t *testing.T) {
+	d := NewDelta()
+	rng := uint64(7)
+	prev := make([]uint64, 64)
+	for w := 0; w < 100000; w++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		i := int(rng>>33) % 64
+		d.Increment(i)
+		if d.Value(i) <= prev[i] {
+			t.Fatalf("write %d: value(%d) did not increase", w, i)
+		}
+		for j := 0; j < 64; j++ {
+			if d.Value(j) < prev[j] {
+				t.Fatalf("write %d: value(%d) decreased", w, j)
+			}
+			prev[j] = d.Value(j)
+		}
+	}
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	d := NewDelta()
+	rng := uint64(3)
+	for w := 0; w < 5000; w++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		d.Increment(int(rng>>33) % 64)
+	}
+	d.SetMAC(0xDEADBEEF12345678)
+	enc := d.Encode()
+	got, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.base != d.base || got.deltas != d.deltas || got.mac != d.mac || got.nonzero != d.nonzero {
+		t.Fatal("round trip mismatch")
+	}
+	// Corruption rejected.
+	if _, err := DecodeDelta(enc[:32]); err == nil {
+		t.Error("short line must fail")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[51] ^= 1 // inside the unused field
+	if _, err := DecodeDelta(bad); err == nil {
+		t.Error("non-canonical padding must fail")
+	}
+}
+
+func TestDeltaVersusSplitTolerance(t *testing.T) {
+	// Under uniform writes, delta encoding tolerates far more writes than
+	// split counters of the same arity ([19]'s claim), because rebasing
+	// defers overflow indefinitely until a zero appears.
+	deltaBlock := NewDelta()
+	var deltaWrites uint64
+	for deltaWrites < 1<<20 {
+		overflowed := false
+		for i := 0; i < 64; i++ {
+			deltaWrites++
+			if ev := deltaBlock.Increment(i); ev.Overflow {
+				overflowed = true
+				break
+			}
+		}
+		if overflowed {
+			break
+		}
+	}
+	splitTolerance := SplitWritesToOverflow(64, 64)
+	if deltaWrites <= 4*splitTolerance {
+		t.Fatalf("delta tolerated %d uniform writes, want >> split's %d", deltaWrites, splitTolerance)
+	}
+}

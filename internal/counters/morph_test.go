@@ -1,0 +1,318 @@
+package counters
+
+import "testing"
+
+func TestZCCSizeTable(t *testing.T) {
+	// Section III-B1: "up to 16 non-zero counters each counter gets
+	// 16-bits, up to 32 ... 8-bits ... (7-bits up to 36, 6-bits up to 42,
+	// 5-bits up to 51 and 4-bits up to 64)".
+	cases := []struct{ nz, size int }{
+		{0, 16}, {1, 16}, {16, 16},
+		{17, 8}, {32, 8},
+		{33, 7}, {36, 7},
+		{37, 6}, {42, 6},
+		{43, 5}, {51, 5},
+		{52, 4}, {64, 4},
+		{65, 3}, {128, 3},
+	}
+	for _, c := range cases {
+		if got := ZCCSize(c.nz); got != c.size {
+			t.Errorf("ZCCSize(%d) = %d, want %d", c.nz, got, c.size)
+		}
+	}
+}
+
+func TestZCCSizeFitsBudget(t *testing.T) {
+	// The non-zero counter field is 256 bits; every sizing must fit.
+	for nz := 1; nz <= 64; nz++ {
+		if nz*ZCCSize(nz) > 256 {
+			t.Errorf("%d counters x %d bits exceeds the 256-bit field", nz, ZCCSize(nz))
+		}
+	}
+}
+
+func TestMorphSparseGetsLargeCounters(t *testing.T) {
+	// With 16 or fewer counters used, each gets 16 bits: one counter can
+	// absorb 2^16-1 increments without overflow.
+	m := NewMorph(true)
+	for k := 0; k < (1<<16)-1; k++ {
+		if ev := m.Increment(0); ev.Overflow {
+			t.Fatalf("overflow after %d writes with a single counter used", k+1)
+		}
+	}
+	if got := m.Value(0); got != (1<<16)-1 {
+		t.Fatalf("value = %d", got)
+	}
+	if ev := m.Increment(0); !ev.Overflow || ev.Reencrypt != MorphArity {
+		t.Fatalf("expected full overflow at 16-bit max, got %+v", ev)
+	}
+}
+
+func TestMorphShrinkTriggersReorg(t *testing.T) {
+	m := NewMorph(true)
+	// Fill 16 counters with small values: size 16 bits.
+	for i := 0; i < 16; i++ {
+		m.Increment(i)
+	}
+	if m.Format() != FormatZCC || ZCCSize(m.NonZero()) != 16 {
+		t.Fatalf("format %v, nonzero %d", m.Format(), m.NonZero())
+	}
+	// 17th counter: size shrinks to 8 bits; small values still fit.
+	ev := m.Increment(16)
+	if ev.Overflow {
+		t.Fatal("shrink with small values must not overflow")
+	}
+	if !ev.FormatSwitch {
+		t.Fatal("expected re-encode event on size change")
+	}
+	if m.NonZero() != 17 {
+		t.Fatalf("nonzero = %d", m.NonZero())
+	}
+}
+
+func TestMorphShrinkOverflowsWhenValueTooLarge(t *testing.T) {
+	m := NewMorph(true)
+	// Grow counter 0 past the 8-bit maximum while 16-bit sized.
+	for k := 0; k < 300; k++ {
+		m.Increment(0)
+	}
+	for i := 1; i < 16; i++ {
+		m.Increment(i)
+	}
+	// The 17th non-zero counter forces 8-bit sizing; 300 does not fit.
+	ev := m.Increment(16)
+	if !ev.Overflow || ev.Reencrypt != MorphArity {
+		t.Fatalf("expected overflow on unfittable shrink, got %+v", ev)
+	}
+	// Major advanced past the largest minor: new values exceed old ones.
+	if got := m.Value(16); got != 302 {
+		t.Fatalf("value(16) = %d, want 302", got)
+	}
+	if got := m.Value(0); got != 301 {
+		t.Fatalf("value(0) = %d, want 301", got)
+	}
+}
+
+func TestMorphTransitionToMCRPreservesValues(t *testing.T) {
+	m := NewMorph(true)
+	// Advance the major so the base-seeding path (low 7 bits) is exercised.
+	for k := 0; k < (1<<16)-1; k++ {
+		m.Increment(0)
+	}
+	m.Increment(0) // overflow: major = 2^16
+	// Touch 64 counters (still ZCC), then the 65th forces the dense form.
+	for i := 0; i < 64; i++ {
+		m.Increment(i)
+	}
+	before := make([]uint64, MorphArity)
+	for i := range before {
+		before[i] = m.Value(i)
+	}
+	ev := m.Increment(64)
+	if !ev.FormatSwitch || ev.Overflow {
+		t.Fatalf("expected clean format switch, got %+v", ev)
+	}
+	if m.Format() != FormatMCR {
+		t.Fatalf("format = %v, want MCR", m.Format())
+	}
+	for i := range before {
+		want := before[i]
+		if i == 64 {
+			want++
+		}
+		if got := m.Value(i); got != want {
+			t.Fatalf("value(%d) = %d, want %d after format switch", i, got, want)
+		}
+	}
+}
+
+func TestMorphTransitionWithLargeValueOverflows(t *testing.T) {
+	m := NewMorph(true)
+	// Counter 0 holds 8 (> 3-bit max) when the 65th counter arrives.
+	for k := 0; k < 8; k++ {
+		m.Increment(0)
+	}
+	for i := 1; i < 64; i++ {
+		m.Increment(i)
+	}
+	ev := m.Increment(64)
+	if !ev.Overflow || ev.Reencrypt != MorphArity {
+		t.Fatalf("expected overflow, got %+v", ev)
+	}
+	if m.Format() != FormatZCC {
+		t.Fatalf("format after reset = %v", m.Format())
+	}
+}
+
+// fillDense drives a fresh Morph into its dense format with every counter
+// at value 1 (except slot 64, at 1 from the transition write).
+func fillDense(t *testing.T, rebasing bool) *Morph {
+	t.Helper()
+	m := NewMorph(rebasing)
+	for i := 0; i < MorphArity; i++ {
+		if ev := m.Increment(i); ev.Overflow {
+			t.Fatalf("unexpected overflow filling counter %d", i)
+		}
+	}
+	return m
+}
+
+func TestMorphMCRRebaseAvoidsOverflow(t *testing.T) {
+	m := fillDense(t, true)
+	// Saturate counter 0 (set 0). All counters in set 0 are >= 1, so the
+	// overflow must be absorbed by a rebase.
+	for k := 0; k < 6; k++ {
+		m.Increment(0)
+	}
+	if m.Value(0) != 7 {
+		t.Fatalf("value(0) = %d", m.Value(0))
+	}
+	before := make([]uint64, MorphArity)
+	for i := range before {
+		before[i] = m.Value(i)
+	}
+	ev := m.Increment(0)
+	if !ev.Rebased {
+		t.Fatalf("expected rebase, got %+v", ev)
+	}
+	if ev.Overflow || ev.Reencrypt != 0 {
+		t.Fatalf("rebase must not re-encrypt: %+v", ev)
+	}
+	for i := 1; i < MorphArity; i++ {
+		if m.Value(i) != before[i] {
+			t.Fatalf("rebase changed value(%d): %d -> %d", i, before[i], m.Value(i))
+		}
+	}
+	if m.Value(0) != before[0]+1 {
+		t.Fatalf("value(0) = %d, want %d", m.Value(0), before[0]+1)
+	}
+}
+
+func TestMorphMCRSetResetWhenZeroPresent(t *testing.T) {
+	m := fillDense(t, true)
+	// Force a zero into set 0 via a set reset cycle: first get one.
+	// Saturate counter 0 repeatedly; after one rebase the set's other
+	// counters keep their values. To create a zero, use the reset path:
+	// drive counter 0 to max, rebase until counter 1 reaches 0.
+	for {
+		// All of set 0 at least 1. Saturate counter 0 only; each
+		// rebase subtracts the set minimum.
+		for m.minors[0] != uniformMax {
+			m.Increment(0)
+		}
+		ev := m.Increment(0)
+		if ev.Overflow {
+			// Reset happened once a zero appeared.
+			if ev.Reencrypt != morphSetSize {
+				t.Fatalf("set reset reencrypt = %d, want %d", ev.Reencrypt, morphSetSize)
+			}
+			// Set 1 untouched by a set-0 reset.
+			if m.Value(70) == 0 {
+				t.Fatal("set 1 was clobbered by a set 0 reset")
+			}
+			return
+		}
+		if !ev.Rebased {
+			t.Fatalf("expected rebase or reset, got %+v", ev)
+		}
+	}
+}
+
+func TestMorphMCRBaseOverflowResetsToZCC(t *testing.T) {
+	m := fillDense(t, true)
+	var sawFullReset bool
+	before := make([]uint64, MorphArity)
+	// Hammer the whole line uniformly until the base exhausts its 7 bits.
+	for round := 0; round < 100000 && !sawFullReset; round++ {
+		for i := 0; i < MorphArity; i++ {
+			for j := range before {
+				before[j] = m.Value(j)
+			}
+			ev := m.Increment(i)
+			if ev.Overflow && ev.Reencrypt == MorphArity {
+				sawFullReset = true
+				if m.Format() != FormatZCC {
+					t.Fatalf("format after base overflow = %v", m.Format())
+				}
+				// Forward motion: every value must exceed its
+				// pre-reset value.
+				for j := range before {
+					if m.Value(j) <= before[j] && j != i {
+						t.Fatalf("value(%d) moved backwards: %d -> %d", j, before[j], m.Value(j))
+					}
+				}
+				break
+			}
+		}
+	}
+	if !sawFullReset {
+		t.Fatal("base overflow never occurred under sustained uniform writes")
+	}
+}
+
+func TestMorphUniformNoRebasingResets(t *testing.T) {
+	m := fillDense(t, false)
+	if m.Format() != FormatUniform {
+		t.Fatalf("format = %v, want uniform", m.Format())
+	}
+	for k := 0; k < 6; k++ {
+		m.Increment(0)
+	}
+	ev := m.Increment(0)
+	if !ev.Overflow || ev.Reencrypt != MorphArity {
+		t.Fatalf("ZCC-only dense overflow must reset the full line: %+v", ev)
+	}
+	if m.Format() != FormatZCC {
+		t.Fatalf("format after reset = %v", m.Format())
+	}
+}
+
+func TestMorphValueMonotonicity(t *testing.T) {
+	// Deterministic stress: pseudo-random increments must never move any
+	// effective value backwards, and must strictly advance the target.
+	for _, rebasing := range []bool{true, false} {
+		m := NewMorph(rebasing)
+		rng := uint64(12345)
+		prev := make([]uint64, MorphArity)
+		for w := 0; w < 200000; w++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			i := int(rng>>33) % MorphArity
+			ev := m.Increment(i)
+			if m.Value(i) <= prev[i] {
+				t.Fatalf("rebasing=%v write %d: value(%d) %d -> %d not increasing",
+					rebasing, w, i, prev[i], m.Value(i))
+			}
+			for j := 0; j < MorphArity; j++ {
+				if m.Value(j) < prev[j] {
+					t.Fatalf("rebasing=%v write %d: value(%d) %d -> %d decreased (ev=%+v)",
+						rebasing, w, j, prev[j], m.Value(j), ev)
+				}
+				prev[j] = m.Value(j)
+			}
+		}
+	}
+}
+
+func TestMorphSiblingChangeImpliesReencryption(t *testing.T) {
+	// Security invariant: if an increment changes a sibling's effective
+	// value, the event must have declared re-encryption covering it.
+	m := NewMorph(true)
+	rng := uint64(99)
+	prev := make([]uint64, MorphArity)
+	for w := 0; w < 100000; w++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		i := int(rng>>33) % MorphArity
+		ev := m.Increment(i)
+		for j := 0; j < MorphArity; j++ {
+			if j != i && m.Value(j) != prev[j] {
+				if !ev.Overflow {
+					t.Fatalf("write %d: sibling %d changed without overflow event", w, j)
+				}
+				if ev.Reencrypt == morphSetSize && j/morphSetSize != i/morphSetSize {
+					t.Fatalf("write %d: set reset of %d's set changed other-set sibling %d", w, i, j)
+				}
+			}
+			prev[j] = m.Value(j)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package counters
+
+import "fmt"
+
+// Split is a conventional split-counter cacheline (Yan et al., ISCA 2006):
+// one 64-bit major counter shared by Arity minor counters of minorBits each.
+// The effective counter value is the concatenation major||minor, so a minor
+// overflow is handled by incrementing the major and resetting every minor —
+// which changes all effective values and forces re-encryption of all
+// children.
+type Split struct {
+	arity     int
+	minorBits int
+	major     uint64
+	minors    []uint64
+	nonzero   int
+	mac       uint64
+}
+
+// NewSplit returns a zeroed split-counter block.
+func NewSplit(arity, minorBits int) *Split {
+	if arity*minorBits > 384 {
+		panic(fmt.Sprintf("counters: split layout %d x %d-bit exceeds 384-bit minor field", arity, minorBits))
+	}
+	return &Split{
+		arity:     arity,
+		minorBits: minorBits,
+		minors:    make([]uint64, arity),
+	}
+}
+
+// Arity implements Block.
+func (s *Split) Arity() int { return s.arity }
+
+// NonZero implements Block.
+func (s *Split) NonZero() int { return s.nonzero }
+
+// MAC implements Block.
+func (s *Split) MAC() uint64 { return s.mac }
+
+// SetMAC implements Block.
+func (s *Split) SetMAC(m uint64) { s.mac = m }
+
+// FormatName implements Block.
+func (s *Split) FormatName() string { return "split" }
+
+// maxMinor is the largest value a minor counter can hold.
+func (s *Split) maxMinor() uint64 { return 1<<uint(s.minorBits) - 1 }
+
+// Value implements Block: the effective value is major||minor.
+func (s *Split) Value(i int) uint64 {
+	return s.major<<uint(s.minorBits) | s.minors[i]
+}
+
+// Increment implements Block. When minor i saturates, the major counter is
+// incremented and all minors reset (a full overflow): every child's
+// effective value jumps to the new major||0 (or major||1 for the written
+// child), so all Arity children need re-encryption.
+func (s *Split) Increment(i int) Event {
+	if s.minors[i] < s.maxMinor() {
+		if s.minors[i] == 0 {
+			s.nonzero++
+		}
+		s.minors[i]++
+		return Event{}
+	}
+	// Overflow: advance the major so that no concatenated value repeats,
+	// then reset minors and apply the pending increment.
+	s.major++
+	for j := range s.minors {
+		s.minors[j] = 0
+	}
+	s.minors[i] = 1
+	s.nonzero = 1
+	return Event{Overflow: true, Reencrypt: s.arity}
+}

@@ -1,0 +1,133 @@
+package counters
+
+import "testing"
+
+func TestSplitSpecArities(t *testing.T) {
+	for _, arity := range []int{8, 16, 32, 64, 128} {
+		spec := SplitSpec(arity)
+		b := spec.New()
+		if b.Arity() != arity {
+			t.Errorf("SC-%d arity = %d", arity, b.Arity())
+		}
+		if b.NonZero() != 0 {
+			t.Errorf("SC-%d fresh block nonzero = %d", arity, b.NonZero())
+		}
+	}
+}
+
+func TestSplitSpecUnsupportedArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for arity 7")
+		}
+	}()
+	SplitSpec(7)
+}
+
+func TestSplitBasicIncrement(t *testing.T) {
+	b := NewSplit(64, 6)
+	for k := 1; k <= 10; k++ {
+		ev := b.Increment(3)
+		if ev.Overflow || ev.Rebased {
+			t.Fatalf("unexpected event on write %d: %+v", k, ev)
+		}
+		if got := b.Value(3); got != uint64(k) {
+			t.Fatalf("value after %d writes = %d", k, got)
+		}
+	}
+	if b.NonZero() != 1 {
+		t.Fatalf("nonzero = %d", b.NonZero())
+	}
+	if got := b.Value(0); got != 0 {
+		t.Fatalf("untouched counter value = %d", got)
+	}
+}
+
+func TestSplitValueIsConcatenation(t *testing.T) {
+	b := NewSplit(64, 6)
+	b.major = 5
+	b.minors[7] = 9
+	if got, want := b.Value(7), uint64(5<<6|9); got != want {
+		t.Fatalf("value = %d, want %d", got, want)
+	}
+}
+
+func TestSplitOverflowAtMinorMax(t *testing.T) {
+	b := NewSplit(64, 6)
+	b.Increment(1) // make another counter non-zero to observe the reset
+	for k := 0; k < 63; k++ {
+		if ev := b.Increment(0); ev.Overflow {
+			t.Fatalf("premature overflow on write %d", k)
+		}
+	}
+	// Counter 0 is at 63 (max). The 64th write to it overflows.
+	ev := b.Increment(0)
+	if !ev.Overflow {
+		t.Fatal("expected overflow")
+	}
+	if ev.Reencrypt != 64 {
+		t.Fatalf("reencrypt = %d, want 64", ev.Reencrypt)
+	}
+	// Major advanced; all minors reset except the written one.
+	if got, want := b.Value(0), uint64(1<<6|1); got != want {
+		t.Fatalf("value(0) = %d, want %d", got, want)
+	}
+	if got, want := b.Value(1), uint64(1<<6); got != want {
+		t.Fatalf("value(1) = %d, want %d", got, want)
+	}
+	if b.NonZero() != 1 {
+		t.Fatalf("nonzero after overflow = %d", b.NonZero())
+	}
+}
+
+func TestSplitSC128OverflowsInEightWrites(t *testing.T) {
+	// Section II-B: "packing 128 counters per cacheline results in 3-bit
+	// minor counters that can overflow in just 8 writes".
+	b := NewSplit(128, 3)
+	writes := 0
+	for {
+		writes++
+		if ev := b.Increment(0); ev.Overflow {
+			break
+		}
+	}
+	if writes != 8 {
+		t.Fatalf("SC-128 overflowed after %d writes, want 8", writes)
+	}
+}
+
+func TestSplitSC64OverflowsIn64Writes(t *testing.T) {
+	b := NewSplit(64, 6)
+	writes := 0
+	for {
+		writes++
+		if ev := b.Increment(0); ev.Overflow {
+			break
+		}
+	}
+	if writes != 64 {
+		t.Fatalf("SC-64 overflowed after %d writes, want 64", writes)
+	}
+}
+
+func TestSplitNoValueReuseAcrossOverflow(t *testing.T) {
+	b := NewSplit(128, 3)
+	seen := map[uint64]bool{}
+	for w := 0; w < 100; w++ {
+		b.Increment(5)
+		v := b.Value(5)
+		if seen[v] {
+			t.Fatalf("counter value %d reused after write %d", v, w)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitOversizedLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 128 x 6-bit layout")
+		}
+	}()
+	NewSplit(128, 6)
+}

@@ -1,0 +1,31 @@
+package dram
+
+import "testing"
+
+func BenchmarkAccessRowHit(b *testing.B) {
+	d := MustNew(DDR3())
+	b.ReportAllocs()
+	at := uint64(0)
+	for i := 0; i < b.N; i++ {
+		at = d.Access(at, 0, false)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	d := MustNew(DDR3())
+	b.ReportAllocs()
+	at := uint64(0)
+	for i := 0; i < b.N; i++ {
+		at = d.Access(at, uint64(i)*LineBytes, false)
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	d := MustNew(DDR3())
+	b.ReportAllocs()
+	at := uint64(0)
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 0x9E3779B97F4A7C15 % (1 << 26)) * LineBytes
+		at = d.Access(at, addr, i%4 == 0)
+	}
+}

@@ -1,0 +1,223 @@
+// Package dram models a DDR3 main memory in the style of USIMM: channels,
+// ranks and banks with open-row buffers, JEDEC-derived timing, a shared data
+// bus per channel, and energy accounting from activate/read/write counts
+// plus background power.
+//
+// Instead of a cycle-by-cycle scheduler, the model reserves resources
+// (bank ready-times and channel bus slots) per request — an event-driven
+// approximation that preserves what the paper's results depend on: row-hit
+// vs row-miss latency, bank-level parallelism, bus bandwidth saturation,
+// and read/write turnaround (DESIGN.md, substitutions).
+package dram
+
+import "fmt"
+
+// LineBytes is the transfer granularity (one cacheline per burst).
+const LineBytes = 64
+
+// Config describes the memory organization and timing. Cycle counts are in
+// memory-bus cycles (800 MHz for DDR3-1600, Table I).
+type Config struct {
+	Channels int
+	Ranks    int
+	Banks    int // banks per rank
+	// ColumnsPerRow is the number of cachelines per row (Table I: 128).
+	ColumnsPerRow int
+	// RowsPerBank bounds the row index space (Table I: 64K).
+	RowsPerBank int
+
+	// Timing parameters, in memory cycles.
+	TRCD   int // row-to-column delay (activate -> access)
+	TRP    int // precharge
+	TCL    int // CAS latency
+	TWR    int // write recovery
+	TBurst int // data burst occupancy on the bus (BL8 = 4 cycles)
+	// TurnAround is the bus penalty when switching between reads and
+	// writes on a channel.
+	TurnAround int
+}
+
+// DDR3 returns the DDR3-1600 configuration of Table I: 2 channels x 2 ranks
+// x 8 banks, 64K rows, 128 cachelines per row.
+func DDR3() Config {
+	return Config{
+		Channels:      2,
+		Ranks:         2,
+		Banks:         8,
+		ColumnsPerRow: 128,
+		RowsPerBank:   64 << 10,
+		TRCD:          11,
+		TRP:           11,
+		TCL:           11,
+		TWR:           12,
+		TBurst:        4,
+		TurnAround:    8,
+	}
+}
+
+// Stats accumulates activity used for performance and energy analysis.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	Activations uint64
+	RowHits     uint64
+	RowMisses   uint64
+	// BusBusyCycles accumulates data-bus occupancy across channels.
+	BusBusyCycles uint64
+}
+
+type bank struct {
+	openRow int64 // -1 when closed
+	readyAt uint64
+}
+
+type channel struct {
+	busFreeAt uint64
+	lastWrite bool
+}
+
+// DRAM is the memory timing model. It is not safe for concurrent use; the
+// simulator serializes requests in (approximate) time order.
+type DRAM struct {
+	cfg      Config
+	banks    []bank // channels * ranks * banks
+	channels []channel
+	stats    Stats
+	now      uint64 // high-water mark of completion times
+}
+
+// New constructs a DRAM model. The zero-value Config is invalid; start from
+// DDR3().
+func New(cfg Config) (*DRAM, error) {
+	if cfg.Channels <= 0 || cfg.Ranks <= 0 || cfg.Banks <= 0 ||
+		cfg.ColumnsPerRow <= 0 || cfg.RowsPerBank <= 0 {
+		return nil, fmt.Errorf("dram: invalid organization %+v", cfg)
+	}
+	if cfg.TRCD <= 0 || cfg.TRP <= 0 || cfg.TCL <= 0 || cfg.TBurst <= 0 {
+		return nil, fmt.Errorf("dram: invalid timing %+v", cfg)
+	}
+	d := &DRAM{
+		cfg:      cfg,
+		banks:    make([]bank, cfg.Channels*cfg.Ranks*cfg.Banks),
+		channels: make([]channel, cfg.Channels),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// location decomposes a line address into channel/bank/row. Consecutive
+// lines interleave across channels, then stride through a row's columns, so
+// streaming accesses enjoy row hits while spreading across channels.
+func (d *DRAM) location(lineAddr uint64) (ch int, bankIdx int, row int64) {
+	line := lineAddr / LineBytes
+	ch = int(line % uint64(d.cfg.Channels))
+	rest := line / uint64(d.cfg.Channels)
+	rest /= uint64(d.cfg.ColumnsPerRow) // column bits (within-row position)
+	banksPerChannel := d.cfg.Ranks * d.cfg.Banks
+	bankIdx = ch*banksPerChannel + int(rest%uint64(banksPerChannel))
+	row = int64((rest / uint64(banksPerChannel)) % uint64(d.cfg.RowsPerBank))
+	return ch, bankIdx, row
+}
+
+// Access issues a read or write of the line at addr at memory-cycle `at`,
+// returning the cycle at which the data transfer completes. Writes are
+// posted from the requester's perspective, but the returned completion still
+// reflects resource occupancy for bandwidth accounting.
+func (d *DRAM) Access(at uint64, addr uint64, write bool) (complete uint64) {
+	return d.access(at, addr, write, false)
+}
+
+// AccessBackground issues a low-priority access: it occupies its bank and
+// counts toward activity/energy, but is assumed to drain through idle bus
+// slots, so it does not push the shared data bus reservation that demand
+// traffic waits on. This models fairness-driven scheduling of bulk
+// maintenance traffic (e.g. throttled overflow handling, Section V).
+func (d *DRAM) AccessBackground(at uint64, addr uint64, write bool) (complete uint64) {
+	return d.access(at, addr, write, true)
+}
+
+func (d *DRAM) access(at uint64, addr uint64, write, background bool) (complete uint64) {
+	ch, bi, row := d.location(addr)
+	b := &d.banks[bi]
+	c := &d.channels[ch]
+
+	start := at
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var colReady uint64
+	if b.openRow == row {
+		d.stats.RowHits++
+		colReady = start
+	} else {
+		d.stats.RowMisses++
+		d.stats.Activations++
+		pre := 0
+		if b.openRow >= 0 {
+			pre = d.cfg.TRP
+		}
+		colReady = start + uint64(pre+d.cfg.TRCD)
+		b.openRow = row
+	}
+
+	// Claim the channel data bus: the burst begins after CAS latency and
+	// after the bus frees, with a turnaround penalty on direction switch.
+	burstStart := colReady + uint64(d.cfg.TCL)
+	busAt := c.busFreeAt
+	if c.lastWrite != write && busAt > 0 {
+		busAt += uint64(d.cfg.TurnAround)
+	}
+	if busAt > burstStart {
+		burstStart = busAt
+	}
+	burstEnd := burstStart + uint64(d.cfg.TBurst)
+	if !background {
+		c.busFreeAt = burstEnd
+		c.lastWrite = write
+	}
+	d.stats.BusBusyCycles += uint64(d.cfg.TBurst)
+
+	// Bank becomes ready for the next access after the column access; a
+	// write additionally holds the bank for write recovery. Background
+	// traffic is assumed scheduled into bank-idle slots: it perturbs the
+	// row buffer and consumes energy, but does not stall demand traffic.
+	if !background {
+		b.readyAt = burstEnd
+		if write {
+			b.readyAt += uint64(d.cfg.TWR)
+		}
+	}
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	if burstEnd > d.now {
+		d.now = burstEnd
+	}
+	return burstEnd
+}
+
+// Stats returns a copy of the activity counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Now returns the latest completion time observed (memory cycles).
+func (d *DRAM) Now() uint64 { return d.now }
+
+// UnloadedReadLatency returns the row-miss read latency in memory cycles,
+// the baseline a request sees with no contention.
+func (cfg Config) UnloadedReadLatency() uint64 {
+	return uint64(cfg.TRP + cfg.TRCD + cfg.TCL + cfg.TBurst)
+}

@@ -1,0 +1,236 @@
+package dram
+
+import "testing"
+
+// small returns a tiny configuration whose mapping is easy to reason about:
+// 1 channel, 1 rank, 2 banks, 4 columns per row.
+func small() Config {
+	return Config{
+		Channels: 1, Ranks: 1, Banks: 2, ColumnsPerRow: 4, RowsPerBank: 16,
+		TRCD: 10, TRP: 10, TCL: 10, TWR: 12, TBurst: 4, TurnAround: 8,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config must fail")
+	}
+	bad := DDR3()
+	bad.TCL = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero timing must fail")
+	}
+	if _, err := New(DDR3()); err != nil {
+		t.Errorf("DDR3 config rejected: %v", err)
+	}
+}
+
+func TestFirstAccessLatency(t *testing.T) {
+	d := MustNew(small())
+	// Cold bank, no precharge needed: tRCD + tCL + tBurst.
+	done := d.Access(0, 0, false)
+	if want := uint64(10 + 10 + 4); done != want {
+		t.Fatalf("cold access done at %d, want %d", done, want)
+	}
+	st := d.Stats()
+	if st.Activations != 1 || st.RowMisses != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	d := MustNew(small())
+	d.Access(0, 0, false)
+	// Same row (next column): row hit.
+	t0 := d.Now()
+	doneHit := d.Access(t0, LineBytes, false)
+	hitLat := doneHit - t0
+	// Different row, same bank: precharge + activate.
+	t1 := d.Now()
+	rowStride := uint64(4 * 2 * LineBytes) // columns * banks (1 channel)
+	doneMiss := d.Access(t1, rowStride, false)
+	missLat := doneMiss - t1
+	if hitLat >= missLat {
+		t.Fatalf("row hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	d := MustNew(small())
+	// Two different rows in the same bank, issued at the same cycle.
+	rowStride := uint64(4 * 2 * LineBytes)
+	d1 := d.Access(0, 0, false)
+	d2 := d.Access(0, rowStride, false)
+	if d2 <= d1 {
+		t.Fatalf("bank conflict did not serialize: %d then %d", d1, d2)
+	}
+	// The second access pays precharge of the open row.
+	if d2-d1 < uint64(10) {
+		t.Fatalf("second access too fast: gap %d", d2-d1)
+	}
+}
+
+func TestBankParallelismBeatsSameBank(t *testing.T) {
+	cfg := small()
+	// Same-bank different-row pair.
+	d1 := MustNew(cfg)
+	rowStride := uint64(4 * 2 * LineBytes)
+	d1.Access(0, 0, false)
+	sameBank := d1.Access(0, rowStride, false)
+	// Different-bank pair: banks interleave after the column bits.
+	d2 := MustNew(cfg)
+	bankStride := uint64(4 * LineBytes) // columns per row * line (1 channel)
+	d2.Access(0, 0, false)
+	diffBank := d2.Access(0, bankStride, false)
+	if diffBank >= sameBank {
+		t.Fatalf("bank parallelism not modeled: diff-bank %d >= same-bank %d", diffBank, sameBank)
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	d := MustNew(DDR3())
+	// Consecutive lines alternate channels.
+	ch0, _, _ := d.location(0)
+	ch1, _, _ := d.location(LineBytes)
+	if ch0 == ch1 {
+		t.Fatal("consecutive lines mapped to the same channel")
+	}
+}
+
+func TestStreamingEnjoysRowHits(t *testing.T) {
+	d := MustNew(DDR3())
+	at := uint64(0)
+	for i := uint64(0); i < 256; i++ {
+		at = d.Access(at, i*LineBytes, false)
+	}
+	st := d.Stats()
+	if st.RowHits < st.RowMisses {
+		t.Fatalf("streaming row hits %d < misses %d", st.RowHits, st.RowMisses)
+	}
+}
+
+func TestWriteRecoveryDelaysBank(t *testing.T) {
+	cfg := small()
+	dw := MustNew(cfg)
+	done := dw.Access(0, 0, true)
+	next := dw.Access(done, LineBytes*4*2, false) // same bank, other row
+	gapAfterWrite := next - done
+
+	dr := MustNew(cfg)
+	done = dr.Access(0, 0, false)
+	next = dr.Access(done, LineBytes*4*2, false)
+	gapAfterRead := next - done
+	if gapAfterWrite <= gapAfterRead {
+		t.Fatalf("tWR not applied: write gap %d <= read gap %d", gapAfterWrite, gapAfterRead)
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	cfg := small()
+	cfg.Banks = 8
+	// read, read on different banks vs read, write on different banks.
+	rr := MustNew(cfg)
+	bankStride := uint64(4 * LineBytes)
+	rr.Access(0, 0, false)
+	rrDone := rr.Access(0, bankStride, false)
+
+	rw := MustNew(cfg)
+	rw.Access(0, 0, false)
+	rwDone := rw.Access(0, bankStride, true)
+	if rwDone <= rrDone {
+		t.Fatalf("turnaround not applied: r->w %d <= r->r %d", rwDone, rrDone)
+	}
+}
+
+func TestBusSaturation(t *testing.T) {
+	// Hammering one channel with row hits must be limited by burst
+	// occupancy: N back-to-back hits take >= N*TBurst cycles.
+	d := MustNew(DDR3())
+	var last uint64
+	n := uint64(1000)
+	for i := uint64(0); i < n; i++ {
+		// Same row, same channel: alternate columns within row on channel 0.
+		last = d.Access(0, i*uint64(DDR3().Channels)*LineBytes%(128*2*LineBytes), false)
+		_ = last
+	}
+	if d.Now() < n/2*uint64(DDR3().TBurst)/2 {
+		t.Fatalf("bus not saturating: %d cycles for %d bursts", d.Now(), n)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := MustNew(DDR3())
+	for i := uint64(0); i < 100; i++ {
+		d.Access(0, i*LineBytes, i%3 == 0)
+	}
+	st := d.Stats()
+	if st.Reads+st.Writes != 100 {
+		t.Fatalf("reads+writes = %d", st.Reads+st.Writes)
+	}
+	if st.RowHits+st.RowMisses != 100 {
+		t.Fatalf("hits+misses = %d", st.RowHits+st.RowMisses)
+	}
+	if st.BusBusyCycles != 100*uint64(DDR3().TBurst) {
+		t.Fatalf("bus busy = %d", st.BusBusyCycles)
+	}
+}
+
+func TestMonotonicCompletion(t *testing.T) {
+	d := MustNew(DDR3())
+	at := uint64(0)
+	for i := 0; i < 1000; i++ {
+		done := d.Access(at, uint64(i*7919)*LineBytes, i%4 == 0)
+		if done < at {
+			t.Fatalf("completion %d before issue %d", done, at)
+		}
+		if i%3 == 0 {
+			at = done
+		}
+	}
+}
+
+func TestUnloadedReadLatency(t *testing.T) {
+	cfg := DDR3()
+	if got, want := cfg.UnloadedReadLatency(), uint64(11+11+11+4); got != want {
+		t.Fatalf("unloaded latency = %d, want %d", got, want)
+	}
+}
+
+func TestBackgroundAccessDoesNotBlockDemand(t *testing.T) {
+	cfg := small()
+	// Background burst storm, then a demand access at time 0.
+	d := MustNew(cfg)
+	for i := uint64(0); i < 100; i++ {
+		d.AccessBackground(i*10, 0, true)
+	}
+	demandAfterStorm := d.Access(0, LineBytes, false)
+
+	fresh := MustNew(cfg)
+	fresh.AccessBackground(0, 0, true) // warm the same row state
+	demandClean := fresh.Access(0, LineBytes, false)
+	if demandAfterStorm != demandClean {
+		t.Fatalf("background storm delayed demand: %d vs %d", demandAfterStorm, demandClean)
+	}
+	// Background traffic still counts for energy accounting.
+	if st := d.Stats(); st.Writes != 100 || st.BusBusyCycles == 0 {
+		t.Fatalf("background stats = %+v", st)
+	}
+}
+
+func TestBackgroundAccessPerturbsRowBuffer(t *testing.T) {
+	cfg := small()
+	d := MustNew(cfg)
+	d.Access(0, 0, false) // open row 0
+	// Background access to another row in the same bank closes row 0.
+	rowStride := uint64(4 * 2 * LineBytes)
+	d.AccessBackground(d.Now(), rowStride, false)
+	t0 := d.Now()
+	done := d.Access(t0, 0, false)
+	if lat := done - t0; lat < uint64(cfg.TRP+cfg.TRCD) {
+		t.Fatalf("row perturbation not modeled: latency %d", lat)
+	}
+}

@@ -1,0 +1,71 @@
+// Package energy models system power and energy in the style of USIMM's
+// DRAM power model (Micron 4Gb x8 DDR3 current profiles) plus a constant
+// per-core processor power, producing the energy and energy-delay-product
+// metrics of Figure 18.
+package energy
+
+import "github.com/securemem/morphtree/internal/dram"
+
+// Params holds the energy model coefficients.
+type Params struct {
+	// ActivateNJ is the energy of one activate+precharge pair.
+	ActivateNJ float64
+	// ReadNJ and WriteNJ are per-64B-burst access energies.
+	ReadNJ  float64
+	WriteNJ float64
+	// DRAMBackgroundWatts is standby power for the whole memory system.
+	DRAMBackgroundWatts float64
+	// CoreWatts is per-core processor power while executing.
+	CoreWatts float64
+	// UncoreWatts covers shared caches and the memory controller.
+	UncoreWatts float64
+}
+
+// Default returns coefficients derived from Micron DDR3 datasheets as used
+// in USIMM's power model (order-of-magnitude faithful; the paper's results
+// depend on relative, not absolute, energy).
+func Default() Params {
+	return Params{
+		ActivateNJ:          2.5,
+		ReadNJ:              1.6,
+		WriteNJ:             1.7,
+		DRAMBackgroundWatts: 1.2,
+		CoreWatts:           4.0,
+		UncoreWatts:         2.0,
+	}
+}
+
+// Breakdown reports the energy accounting of a run.
+type Breakdown struct {
+	// Seconds is the simulated execution time.
+	Seconds float64
+	// DRAMDynamicJ is activate+read+write energy.
+	DRAMDynamicJ float64
+	// DRAMBackgroundJ is standby energy over the run.
+	DRAMBackgroundJ float64
+	// ProcessorJ is core+uncore energy over the run.
+	ProcessorJ float64
+	// TotalJ is the system energy.
+	TotalJ float64
+	// AvgPowerW is TotalJ / Seconds.
+	AvgPowerW float64
+	// EDP is the energy-delay product (J*s).
+	EDP float64
+}
+
+// Compute derives the energy breakdown of a run from DRAM activity, the
+// execution time, and the core count.
+func (p Params) Compute(st dram.Stats, seconds float64, cores int) Breakdown {
+	b := Breakdown{Seconds: seconds}
+	b.DRAMDynamicJ = (float64(st.Activations)*p.ActivateNJ +
+		float64(st.Reads)*p.ReadNJ +
+		float64(st.Writes)*p.WriteNJ) * 1e-9
+	b.DRAMBackgroundJ = p.DRAMBackgroundWatts * seconds
+	b.ProcessorJ = (p.CoreWatts*float64(cores) + p.UncoreWatts) * seconds
+	b.TotalJ = b.DRAMDynamicJ + b.DRAMBackgroundJ + b.ProcessorJ
+	if seconds > 0 {
+		b.AvgPowerW = b.TotalJ / seconds
+	}
+	b.EDP = b.TotalJ * seconds
+	return b
+}

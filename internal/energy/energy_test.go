@@ -1,0 +1,62 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/dram"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	p := Params{
+		ActivateNJ: 2, ReadNJ: 1, WriteNJ: 3,
+		DRAMBackgroundWatts: 1, CoreWatts: 4, UncoreWatts: 2,
+	}
+	st := dram.Stats{Activations: 1e9, Reads: 2e9, Writes: 1e9}
+	b := p.Compute(st, 2.0, 4)
+	// Dynamic: 1e9*2 + 2e9*1 + 1e9*3 = 7e9 nJ = 7 J.
+	if math.Abs(b.DRAMDynamicJ-7) > 1e-9 {
+		t.Errorf("dynamic = %v", b.DRAMDynamicJ)
+	}
+	if math.Abs(b.DRAMBackgroundJ-2) > 1e-9 {
+		t.Errorf("background = %v", b.DRAMBackgroundJ)
+	}
+	// Processor: (4*4 + 2) * 2 = 36 J.
+	if math.Abs(b.ProcessorJ-36) > 1e-9 {
+		t.Errorf("processor = %v", b.ProcessorJ)
+	}
+	if math.Abs(b.TotalJ-45) > 1e-9 {
+		t.Errorf("total = %v", b.TotalJ)
+	}
+	if math.Abs(b.AvgPowerW-22.5) > 1e-9 {
+		t.Errorf("power = %v", b.AvgPowerW)
+	}
+	if math.Abs(b.EDP-90) > 1e-9 {
+		t.Errorf("EDP = %v", b.EDP)
+	}
+}
+
+func TestShorterRunWithSameTrafficWinsEDP(t *testing.T) {
+	// The Figure 18 mechanism: doing the same work in less time costs
+	// more power but less energy, and much less EDP.
+	p := Default()
+	st := dram.Stats{Activations: 5e8, Reads: 1e9, Writes: 5e8}
+	fast := p.Compute(st, 1.0, 4)
+	slow := p.Compute(st, 1.1, 4)
+	if fast.AvgPowerW <= slow.AvgPowerW {
+		t.Error("faster run should draw more average power")
+	}
+	if fast.TotalJ >= slow.TotalJ {
+		t.Error("faster run should use less energy")
+	}
+	if fast.EDP >= slow.EDP {
+		t.Error("faster run should have lower EDP")
+	}
+}
+
+func TestZeroTimeSafe(t *testing.T) {
+	b := Default().Compute(dram.Stats{}, 0, 4)
+	if b.AvgPowerW != 0 || b.EDP != 0 {
+		t.Errorf("zero-time breakdown = %+v", b)
+	}
+}

@@ -1,0 +1,86 @@
+// Package mac computes the truncated keyed message authentication codes
+// used by the secure-memory engine. The paper's designs use Carter-Wegman
+// (SGX) or AES-GCM (Yan et al.) hardware MACs truncated to 54-64 bits; we
+// substitute a keyed SHA-256 construction with the same interface and
+// truncation, which preserves the forgery-resistance property the system
+// depends on (DESIGN.md, substitutions).
+package mac
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Width is a MAC truncation width in bits.
+type Width int
+
+// Truncation widths referenced in the paper.
+const (
+	// Width54 is Synergy's in-line organization: a 54-bit MAC shares the
+	// ECC chip with a 10-bit SEC code (Section II-A3).
+	Width54 Width = 54
+	// Width56 is SGX's MAC width.
+	Width56 Width = 56
+	// Width64 fills the full MAC field of a counter cacheline.
+	Width64 Width = 64
+)
+
+// Keyer computes truncated MACs under a fixed secret key.
+type Keyer struct {
+	key   []byte
+	width Width
+}
+
+// New returns a Keyer for the given secret key and truncation width.
+func New(key []byte, width Width) (*Keyer, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("mac: empty key")
+	}
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("mac: width %d out of range [1,64]", width)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Keyer{key: k, width: width}, nil
+}
+
+// Width returns the truncation width in bits.
+func (k *Keyer) Width() Width { return k.width }
+
+// mask returns the truncation mask.
+func (k *Keyer) mask() uint64 {
+	if k.width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k.width) - 1
+}
+
+// Line MACs bind {content, counter, address, domain}: the counter defeats
+// replay of stale tuples once the counter itself is protected by the tree,
+// the address defeats splicing lines across locations, and the domain
+// separates data MACs from each tree level's MACs.
+
+// Data computes the MAC protecting a data cacheline.
+func (k *Keyer) Data(ciphertext []byte, counter uint64, addr uint64) uint64 {
+	return k.compute(0xFFFF, addr, counter, ciphertext)
+}
+
+// Counter computes the MAC protecting a counter cacheline at a tree level
+// (0 = encryption counters), authenticated by its parent counter's value.
+func (k *Keyer) Counter(encoded []byte, parentCounter uint64, level int, index uint64) uint64 {
+	return k.compute(uint64(level), index, parentCounter, encoded)
+}
+
+func (k *Keyer) compute(domain, addr, counter uint64, content []byte) uint64 {
+	h := hmac.New(sha256.New, k.key)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], domain)
+	binary.LittleEndian.PutUint64(hdr[8:], addr)
+	binary.LittleEndian.PutUint64(hdr[16:], counter)
+	h.Write(hdr[:])
+	h.Write(content)
+	sum := h.Sum(nil)
+	return binary.LittleEndian.Uint64(sum[:8]) & k.mask()
+}

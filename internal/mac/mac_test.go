@@ -1,0 +1,99 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func keyer(t *testing.T, w Width) *Keyer {
+	t.Helper()
+	k, err := New([]byte("test-key-0123456"), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Width64); err == nil {
+		t.Error("empty key must fail")
+	}
+	if _, err := New([]byte("k"), 0); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := New([]byte("k"), 65); err == nil {
+		t.Error("width 65 must fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	k := keyer(t, Width64)
+	data := make([]byte, 64)
+	if k.Data(data, 1, 2) != k.Data(data, 1, 2) {
+		t.Fatal("MAC not deterministic")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	k54 := keyer(t, Width54)
+	data := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		m := k54.Data(data, uint64(i), 0)
+		if m >= 1<<54 {
+			t.Fatalf("54-bit MAC %#x exceeds range", m)
+		}
+	}
+	if k54.Width() != Width54 {
+		t.Fatal("width accessor wrong")
+	}
+}
+
+func TestBindings(t *testing.T) {
+	k := keyer(t, Width64)
+	data := make([]byte, 64)
+	base := k.Data(data, 7, 0x1000)
+
+	// Different counter (replay of stale tuple).
+	if k.Data(data, 8, 0x1000) == base {
+		t.Error("MAC did not bind the counter")
+	}
+	// Different address (splice).
+	if k.Data(data, 7, 0x2000) == base {
+		t.Error("MAC did not bind the address")
+	}
+	// Different content (tamper).
+	mod := make([]byte, 64)
+	mod[13] = 1
+	if k.Data(mod, 7, 0x1000) == base {
+		t.Error("MAC did not bind the content")
+	}
+	// Different key.
+	k2, _ := New([]byte("other-key-012345"), Width64)
+	if k2.Data(data, 7, 0x1000) == base {
+		t.Error("MAC did not bind the key")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	k := keyer(t, Width64)
+	content := make([]byte, 64)
+	d := k.Data(content, 5, 3)
+	c0 := k.Counter(content, 5, 0, 3)
+	c1 := k.Counter(content, 5, 1, 3)
+	if d == c0 || d == c1 || c0 == c1 {
+		t.Fatalf("domains collide: data=%#x l0=%#x l1=%#x", d, c0, c1)
+	}
+}
+
+// Property: flipping any single content byte changes the MAC.
+func TestQuickContentSensitivity(t *testing.T) {
+	k := keyer(t, Width64)
+	f := func(content [64]byte, pos uint8, bit uint8) bool {
+		orig := k.Data(content[:], 1, 1)
+		content[pos%64] ^= 1 << (bit % 8)
+		return k.Data(content[:], 1, 1) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,535 @@
+// Package secmem is the functional secure-memory engine: a working
+// implementation of the full SGX-style protection stack the paper builds on
+// — counter-mode encryption, per-line MACs, and a Bonsai-style counter
+// integrity tree — parameterized by any counter organization from
+// internal/counters (SC-n baselines, VAULT's variable arity, MorphCtr-128).
+//
+// The engine maintains real cryptographic state: reads verify the MAC chain
+// from the data line up to the on-chip root and fail with *IntegrityError
+// on any tampering, splicing, or replay; writes increment counters, handle
+// overflows by re-encrypting the affected children, and propagate updates
+// to the root. The performance simulator (internal/sim) models the same
+// machinery's timing; this package proves its security behavior.
+package secmem
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/securemem/morphtree/internal/aesctr"
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/mac"
+	"github.com/securemem/morphtree/internal/tree"
+)
+
+// LineBytes is the cacheline granularity of the engine.
+const LineBytes = 64
+
+// Config describes a secure-memory instance.
+type Config struct {
+	// MemoryBytes is the protected capacity (a multiple of 64).
+	MemoryBytes uint64
+	// Enc is the encryption-counter organization (e.g. SC-64,
+	// MorphCtr-128).
+	Enc counters.Spec
+	// Tree is the per-level integrity-tree counter schedule; element 0 is
+	// level 1, with the last element repeating (VAULT: [SC-32, SC-16]).
+	Tree []counters.Spec
+	// Key is the AES key (16, 24, or 32 bytes) for pads and MACs.
+	Key []byte
+	// MACWidth is the MAC truncation (defaults to mac.Width56).
+	MACWidth mac.Width
+}
+
+// IntegrityError reports a failed verification: the memory contents do not
+// match what the processor wrote, i.e. an attack or corruption.
+type IntegrityError struct {
+	// Level is the failing verification level: -1 for a data line,
+	// 0 for encryption counters, 1.. for tree levels.
+	Level int
+	// Index is the failing line's index within its level.
+	Index uint64
+	// Reason describes the mismatch.
+	Reason string
+}
+
+// Error implements error.
+func (e *IntegrityError) Error() string {
+	what := "data line"
+	if e.Level == 0 {
+		what = "encryption-counter line"
+	} else if e.Level > 0 {
+		what = fmt.Sprintf("tree level-%d line", e.Level)
+	}
+	return fmt.Sprintf("secmem: integrity violation at %s %d: %s", what, e.Index, e.Reason)
+}
+
+// Stats counts engine activity, mirroring the event categories the paper's
+// evaluation reports.
+type Stats struct {
+	// Reads and Writes count data-line operations.
+	Reads, Writes uint64
+	// Increments, Overflows and Rebases are per counter level
+	// (index 0 = encryption counters).
+	Increments []uint64
+	Overflows  []uint64
+	Rebases    []uint64
+	// Reencryptions counts child lines rewritten due to overflows.
+	Reencryptions uint64
+	// VerifiedFetches counts counter lines fetched from untrusted
+	// storage and MAC-verified (the tree-traversal work).
+	VerifiedFetches uint64
+}
+
+// Memory is a functional secure memory. All methods are safe for
+// concurrent use; operations serialize on an internal lock, matching the
+// single memory controller the engine models.
+type Memory struct {
+	mu      sync.Mutex
+	cfg     Config
+	geom    *tree.Geometry
+	cipher  *aesctr.Cipher
+	keyer   *mac.Keyer
+	store   *Store
+	trusted []map[uint64]counters.Block // per level below root
+	root    counters.Block
+	stats   Stats
+}
+
+// New constructs a secure memory. All counters start at zero and all lines
+// read as zero until written.
+func New(cfg Config) (*Memory, error) {
+	if len(cfg.Tree) == 0 {
+		return nil, fmt.Errorf("secmem: tree spec schedule is empty")
+	}
+	arities := make([]int, len(cfg.Tree))
+	for i, s := range cfg.Tree {
+		arities[i] = s.Arity
+	}
+	geom, err := tree.New(cfg.MemoryBytes, cfg.Enc.Arity, arities)
+	if err != nil {
+		return nil, err
+	}
+	cipher, err := aesctr.New(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	width := cfg.MACWidth
+	if width == 0 {
+		width = mac.Width56
+	}
+	keyer, err := mac.New(cfg.Key, width)
+	if err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		cfg:     cfg,
+		geom:    geom,
+		cipher:  cipher,
+		keyer:   keyer,
+		store:   newStore(geom.RootLevel()),
+		trusted: make([]map[uint64]counters.Block, geom.RootLevel()),
+		root:    cfg.specAt(geom.RootLevel()).New(),
+	}
+	for i := range m.trusted {
+		m.trusted[i] = make(map[uint64]counters.Block)
+	}
+	levels := geom.RootLevel() + 1
+	m.stats.Increments = make([]uint64, levels)
+	m.stats.Overflows = make([]uint64, levels)
+	m.stats.Rebases = make([]uint64, levels)
+	return m, nil
+}
+
+// specAt returns the counter organization at a level (0 = encryption).
+func (c Config) specAt(level int) counters.Spec {
+	if level == 0 {
+		return c.Enc
+	}
+	i := level - 1
+	if i >= len(c.Tree) {
+		i = len(c.Tree) - 1
+	}
+	return c.Tree[i]
+}
+
+// Geometry exposes the metadata layout.
+func (m *Memory) Geometry() *tree.Geometry { return m.geom }
+
+// Store exposes the untrusted backing store (the adversary's view).
+func (m *Memory) Store() *Store { return m.store }
+
+// Stats returns a copy of the activity counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Increments = append([]uint64(nil), m.stats.Increments...)
+	s.Overflows = append([]uint64(nil), m.stats.Overflows...)
+	s.Rebases = append([]uint64(nil), m.stats.Rebases...)
+	return s
+}
+
+// FlushMetadataCache drops every verified counter line below the root, so
+// subsequent accesses re-fetch and re-verify from untrusted storage. Attack
+// simulations use this to model a cold metadata cache.
+func (m *Memory) FlushMetadataCache() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushMetadataCache()
+}
+
+func (m *Memory) flushMetadataCache() {
+	for i := range m.trusted {
+		m.trusted[i] = make(map[uint64]counters.Block)
+	}
+}
+
+// Path returns the (level, index) verification chain for a data line, from
+// the encryption-counter line up to (excluding) the on-chip root.
+func (m *Memory) Path(addr uint64) [][2]uint64 {
+	idx := addr / LineBytes / uint64(m.geom.EncArity)
+	chain := [][2]uint64{{0, idx}}
+	for level := 0; level < m.geom.RootLevel()-1; level++ {
+		parent, _ := m.geom.ParentSlot(level, idx)
+		chain = append(chain, [2]uint64{uint64(level + 1), parent})
+		idx = parent
+	}
+	return chain
+}
+
+// checkAddr validates a line-aligned address.
+func (m *Memory) checkAddr(addr uint64) error {
+	if addr%LineBytes != 0 {
+		return fmt.Errorf("secmem: address %#x is not line-aligned", addr)
+	}
+	if addr >= m.cfg.MemoryBytes {
+		return fmt.Errorf("secmem: address %#x beyond capacity %#x", addr, m.cfg.MemoryBytes)
+	}
+	return nil
+}
+
+// Write encrypts and stores a 64-byte line at a line-aligned address,
+// incrementing its counter and updating the integrity tree to the root.
+func (m *Memory) Write(addr uint64, line []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.write(addr, line)
+}
+
+func (m *Memory) write(addr uint64, line []byte) error {
+	if err := m.checkAddr(addr); err != nil {
+		return err
+	}
+	if len(line) != LineBytes {
+		return fmt.Errorf("secmem: line must be %d bytes, got %d", LineBytes, len(line))
+	}
+	d := addr / LineBytes
+	eb, slot := m.geom.EncSlot(d)
+	if err := m.bump(0, eb, slot); err != nil {
+		return err
+	}
+	blk, err := m.trustedBlock(0, eb)
+	if err != nil {
+		return err
+	}
+	ctr := blk.Value(slot)
+	ct := make([]byte, LineBytes)
+	if err := m.cipher.XOR(ct, line, addr, ctr); err != nil {
+		return err
+	}
+	m.store.data[d] = ct
+	m.store.dataMAC[d] = m.keyer.Data(ct, ctr, addr)
+	m.stats.Writes++
+	return nil
+}
+
+// Read fetches, verifies and decrypts the 64-byte line at a line-aligned
+// address. Never-written lines read as zeros. Any inconsistency between the
+// stored {data, MAC, counters} and the protected state returns an
+// *IntegrityError.
+func (m *Memory) Read(addr uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.read(addr)
+}
+
+func (m *Memory) read(addr uint64) ([]byte, error) {
+	if err := m.checkAddr(addr); err != nil {
+		return nil, err
+	}
+	d := addr / LineBytes
+	eb, slot := m.geom.EncSlot(d)
+	blk, err := m.trustedBlock(0, eb)
+	if err != nil {
+		return nil, err
+	}
+	ctr := blk.Value(slot)
+	ct, ok := m.store.data[d]
+	if !ok {
+		if ctr == 0 {
+			m.stats.Reads++
+			return make([]byte, LineBytes), nil
+		}
+		return nil, &IntegrityError{Level: -1, Index: d, Reason: "written line missing from memory"}
+	}
+	storedMAC, ok := m.store.dataMAC[d]
+	if !ok || m.keyer.Data(ct, ctr, addr) != storedMAC {
+		return nil, &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch"}
+	}
+	pt := make([]byte, LineBytes)
+	if err := m.cipher.XOR(pt, ct, addr, ctr); err != nil {
+		return nil, err
+	}
+	m.stats.Reads++
+	return pt, nil
+}
+
+// bump increments the counter protecting child `slot` of line `idx` at
+// `level`, propagating the update to the root and handling overflows by
+// refreshing (re-encrypting or re-MACing) the affected children.
+func (m *Memory) bump(level int, idx uint64, slot int) error {
+	blk, err := m.trustedBlock(level, idx)
+	if err != nil {
+		return err
+	}
+	snapshot := make([]uint64, blk.Arity())
+	for i := range snapshot {
+		snapshot[i] = blk.Value(i)
+	}
+	ev := blk.Increment(slot)
+	m.stats.Increments[level]++
+	if ev.Overflow {
+		m.stats.Overflows[level]++
+	}
+	if ev.Rebased {
+		m.stats.Rebases[level]++
+	}
+	if level < m.geom.RootLevel() {
+		parent, pslot := m.geom.ParentSlot(level, idx)
+		if err := m.bump(level+1, parent, pslot); err != nil {
+			return err
+		}
+	}
+	if ev.Overflow {
+		if err := m.refreshChildren(level, idx, blk, snapshot, slot); err != nil {
+			return err
+		}
+	}
+	return m.storeBlock(level, idx, blk)
+}
+
+// refreshChildren re-encrypts (level 0) or re-MACs (level >= 1) every child
+// whose effective counter value changed in an overflow, excluding the child
+// being written (the caller rewrites it anyway). This is the paper's
+// overflow cost: arity reads plus arity writes of extra traffic.
+func (m *Memory) refreshChildren(level int, idx uint64, blk counters.Block, snapshot []uint64, skip int) error {
+	arity := uint64(blk.Arity())
+	var childEntries uint64
+	if level == 0 {
+		childEntries = m.geom.DataLines
+	} else {
+		childEntries = m.geom.LevelEntries(level - 1)
+	}
+	for i := 0; i < int(arity); i++ {
+		child := idx*arity + uint64(i)
+		if i == skip || child >= childEntries || blk.Value(i) == snapshot[i] {
+			continue
+		}
+		if level == 0 {
+			if err := m.reencryptData(child, snapshot[i], blk.Value(i)); err != nil {
+				return err
+			}
+		} else {
+			if err := m.remacChild(level-1, child, snapshot[i], blk.Value(i)); err != nil {
+				return err
+			}
+		}
+		m.stats.Reencryptions++
+	}
+	return nil
+}
+
+// reencryptData re-encrypts one data line from its old counter value to the
+// new one, verifying its MAC on the way. Never-written lines materialize as
+// encrypted zeros so their non-zero counters stay consistent.
+func (m *Memory) reencryptData(d uint64, oldCtr, newCtr uint64) error {
+	addr := d * LineBytes
+	pt := make([]byte, LineBytes)
+	if ct, ok := m.store.data[d]; ok {
+		storedMAC, ok := m.store.dataMAC[d]
+		if !ok || m.keyer.Data(ct, oldCtr, addr) != storedMAC {
+			return &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch during re-encryption"}
+		}
+		if err := m.cipher.XOR(pt, ct, addr, oldCtr); err != nil {
+			return err
+		}
+	} else if oldCtr != 0 {
+		return &IntegrityError{Level: -1, Index: d, Reason: "written line missing during re-encryption"}
+	}
+	ct := make([]byte, LineBytes)
+	if err := m.cipher.XOR(ct, pt, addr, newCtr); err != nil {
+		return err
+	}
+	m.store.data[d] = ct
+	m.store.dataMAC[d] = m.keyer.Data(ct, newCtr, addr)
+	return nil
+}
+
+// remacChild recomputes a counter line's MAC after its parent counter
+// changed in an overflow (the line's content is unchanged).
+func (m *Memory) remacChild(level int, idx uint64, oldParent, newParent uint64) error {
+	blk, ok := m.trusted[level][idx]
+	if !ok {
+		raw, present := m.store.CounterLine(level, idx)
+		if !present {
+			// Never-written child: materialize a fresh block so its
+			// now non-zero parent counter stays consistent.
+			blk = m.cfg.specAt(level).New()
+		} else {
+			var err error
+			blk, err = m.decodeAndVerify(level, idx, raw, oldParent)
+			if err != nil {
+				return err
+			}
+		}
+		m.trusted[level][idx] = blk
+	}
+	return m.sealBlock(level, idx, blk, newParent)
+}
+
+// trustedBlock returns a verified counter block, fetching and MAC-checking
+// it from untrusted storage if it is not already in the trusted cache.
+func (m *Memory) trustedBlock(level int, idx uint64) (counters.Block, error) {
+	if level == m.geom.RootLevel() {
+		return m.root, nil
+	}
+	if blk, ok := m.trusted[level][idx]; ok {
+		return blk, nil
+	}
+	parent, pslot := m.geom.ParentSlot(level, idx)
+	pblk, err := m.trustedBlock(level+1, parent)
+	if err != nil {
+		return nil, err
+	}
+	pv := pblk.Value(pslot)
+	raw, ok := m.store.CounterLine(level, idx)
+	if !ok {
+		if pv != 0 {
+			return nil, &IntegrityError{Level: level, Index: idx, Reason: "counter line missing from memory"}
+		}
+		blk := m.cfg.specAt(level).New()
+		m.trusted[level][idx] = blk
+		return blk, nil
+	}
+	blk, err := m.decodeAndVerify(level, idx, raw, pv)
+	if err != nil {
+		return nil, err
+	}
+	m.trusted[level][idx] = blk
+	m.stats.VerifiedFetches++
+	return blk, nil
+}
+
+// decodeAndVerify unpacks a stored counter line and checks its MAC against
+// the expected parent counter value.
+func (m *Memory) decodeAndVerify(level int, idx uint64, raw []byte, parentValue uint64) (counters.Block, error) {
+	blk, err := m.cfg.specAt(level).Decode(raw)
+	if err != nil {
+		return nil, &IntegrityError{Level: level, Index: idx, Reason: fmt.Sprintf("undecodable line: %v", err)}
+	}
+	stored := blk.MAC()
+	blk.SetMAC(0)
+	want := m.keyer.Counter(blk.Encode(), parentValue, level, idx)
+	blk.SetMAC(stored)
+	if stored != want {
+		return nil, &IntegrityError{Level: level, Index: idx, Reason: "MAC mismatch"}
+	}
+	return blk, nil
+}
+
+// storeBlock seals a block with its parent's current counter value and
+// writes it to untrusted storage. The root never leaves the chip.
+func (m *Memory) storeBlock(level int, idx uint64, blk counters.Block) error {
+	if level == m.geom.RootLevel() {
+		return nil
+	}
+	parent, pslot := m.geom.ParentSlot(level, idx)
+	pblk, err := m.trustedBlock(level+1, parent)
+	if err != nil {
+		return err
+	}
+	return m.sealBlock(level, idx, blk, pblk.Value(pslot))
+}
+
+// sealBlock computes a block's MAC under parentValue and persists it.
+func (m *Memory) sealBlock(level int, idx uint64, blk counters.Block, parentValue uint64) error {
+	blk.SetMAC(0)
+	sealed := m.keyer.Counter(blk.Encode(), parentValue, level, idx)
+	blk.SetMAC(sealed)
+	m.store.levels[level][idx] = blk.Encode()
+	return nil
+}
+
+// ReadAt reads len(p) bytes starting at an arbitrary offset, crossing line
+// boundaries as needed.
+func (m *Memory) ReadAt(p []byte, off uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(p) > 0 {
+		base := off &^ (LineBytes - 1)
+		line, err := m.read(base)
+		if err != nil {
+			return err
+		}
+		n := copy(p, line[off-base:])
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt writes p starting at an arbitrary offset using read-modify-write
+// on partial lines.
+func (m *Memory) WriteAt(p []byte, off uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(p) > 0 {
+		base := off &^ (LineBytes - 1)
+		var line []byte
+		if off == base && len(p) >= LineBytes {
+			line = p[:LineBytes]
+		} else {
+			cur, err := m.read(base)
+			if err != nil {
+				return err
+			}
+			copy(cur[off-base:], p)
+			line = cur
+		}
+		n := int(base + LineBytes - off)
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := m.write(base, line); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// VerifyAll re-verifies every written data line from a cold metadata cache,
+// returning the first integrity error found (nil if the memory is intact).
+func (m *Memory) VerifyAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushMetadataCache()
+	for d := range m.store.data {
+		if _, err := m.read(d * LineBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

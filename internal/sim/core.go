@@ -1,0 +1,86 @@
+package sim
+
+import "github.com/securemem/morphtree/internal/trace"
+
+// core is the trace-driven processor model: a FetchWidth-wide in-order
+// front end with an out-of-order window of ROBSize instructions. Loads
+// issue as soon as they are fetched and overlap freely within the window
+// (memory-level parallelism); retirement — and therefore forward progress —
+// blocks when the oldest outstanding load is more than ROBSize instructions
+// behind the fetch point. Writebacks are posted.
+type core struct {
+	id  int
+	gen trace.Generator
+	// mapper translates the workload's virtual line index to a physical
+	// byte address (random page placement, Table I).
+	mapper func(line uint64) uint64
+
+	time    uint64 // CPU cycles
+	instret uint64
+
+	// outstanding is a FIFO of in-flight loads (bounded by ROB size /
+	// minimum instruction spacing).
+	outstanding []load
+	// writes is a FIFO of in-flight writeback drain times; a full write
+	// buffer stalls the core until the oldest drains.
+	writes []uint64
+	// accesses counts trace records consumed.
+	accesses uint64
+}
+
+type load struct {
+	completeAt uint64
+	fetchedAt  uint64 // instruction count at issue
+}
+
+// step consumes one trace record, advancing the core's local clock and
+// issuing its memory access through the system.
+func (c *core) step(sys *system) {
+	a := c.gen.Next()
+	cfg := sys.cfg
+
+	// Front end: retire the non-memory gap at FetchWidth per cycle.
+	c.time += (uint64(a.Gap) + cfg.FetchWidth - 1) / cfg.FetchWidth
+	c.instret += uint64(a.Gap)
+
+	// Drain completed loads, then enforce the ROB window: if the oldest
+	// outstanding load is ROBSize instructions behind, stall until it
+	// returns.
+	for len(c.outstanding) > 0 {
+		head := c.outstanding[0]
+		if head.completeAt <= c.time {
+			c.outstanding = c.outstanding[1:]
+			continue
+		}
+		if c.instret-head.fetchedAt >= cfg.ROBSize {
+			c.time = head.completeAt
+			c.outstanding = c.outstanding[1:]
+			continue
+		}
+		break
+	}
+
+	// Drain completed writes; a full write buffer applies backpressure.
+	for len(c.writes) > 0 && c.writes[0] <= c.time {
+		c.writes = c.writes[1:]
+	}
+	for len(c.writes) >= cfg.WriteBufferEntries {
+		c.time = c.writes[0]
+		c.writes = c.writes[1:]
+	}
+
+	addr := c.mapper(a.Line)
+	if a.Write {
+		lat := sys.dataWrite(c.time, addr)
+		c.writes = append(c.writes, c.time+lat)
+	} else {
+		lat := sys.dataRead(c.time, addr)
+		c.outstanding = append(c.outstanding, load{
+			completeAt: c.time + lat,
+			fetchedAt:  c.instret,
+		})
+	}
+	c.instret++
+	c.time++ // the access instruction itself occupies a fetch slot
+	c.accesses++
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/cache"
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/dram"
+	"github.com/securemem/morphtree/internal/tree"
+)
+
+// engine is the secure memory controller's metadata machinery: per-level
+// counter state, the shared metadata cache, tree traversal on misses, write
+// propagation on dirty evictions, and overflow handling.
+type engine struct {
+	cfg    Config
+	geom   *tree.Geometry
+	mcache *cache.Cache
+	dram   *dram.DRAM
+	stats  *Stats
+
+	// blocks holds lazily allocated counter state per level
+	// (index 0 = encryption counters, last = root).
+	blocks []map[uint64]counters.Block
+	// levelBase maps each metadata level to its physical address region,
+	// laid out after the data region.
+	levelBase []uint64
+	macBase   uint64
+	rootLevel int
+}
+
+// newEngine builds the metadata engine; returns nil for non-secure configs.
+func newEngine(cfg Config, d *dram.DRAM, st *Stats) (*engine, error) {
+	if cfg.NonSecure {
+		st.Overflows = make([]uint64, 1)
+		st.Rebases = make([]uint64, 1)
+		st.Increments = make([]uint64, 1)
+		return nil, nil
+	}
+	var arities []int
+	if cfg.MACTree {
+		arities = []int{macTreeArity}
+	} else {
+		arities = make([]int, len(cfg.Tree))
+		for i, s := range cfg.Tree {
+			arities[i] = s.Arity
+		}
+	}
+	geom, err := tree.New(cfg.MemoryBytes, cfg.Enc.Arity, arities)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := cache.New(cfg.MetaCacheBytes, cfg.MetaCacheWays, 64)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:       cfg,
+		geom:      geom,
+		mcache:    mc,
+		dram:      d,
+		stats:     st,
+		rootLevel: geom.RootLevel(),
+	}
+	levels := e.rootLevel + 1
+	e.blocks = make([]map[uint64]counters.Block, levels)
+	for i := range e.blocks {
+		e.blocks[i] = make(map[uint64]counters.Block)
+	}
+	// Physical layout: data, MAC region, then metadata levels.
+	e.macBase = cfg.MemoryBytes
+	base := cfg.MemoryBytes + cfg.MemoryBytes/8
+	e.levelBase = make([]uint64, levels)
+	e.levelBase[0] = base
+	base += geom.EncCounterBytes()
+	for lvl := 1; lvl <= e.rootLevel; lvl++ {
+		e.levelBase[lvl] = base
+		base += geom.LevelEntries(lvl) * 64
+	}
+	st.Overflows = make([]uint64, levels)
+	st.Rebases = make([]uint64, levels)
+	st.Increments = make([]uint64, levels)
+	return e, nil
+}
+
+// macTreeArity is the fixed fan-in of a MAC tree: 8 x 64-bit MACs per
+// 64-byte node (Section VIII-B1).
+const macTreeArity = 8
+
+// specAt returns the counter organization of a level.
+func (e *engine) specAt(level int) counters.Spec {
+	if level == 0 {
+		return e.cfg.Enc
+	}
+	if e.cfg.MACTree {
+		panic("sim: MAC-tree levels hold no counters")
+	}
+	i := level - 1
+	if i >= len(e.cfg.Tree) {
+		i = len(e.cfg.Tree) - 1
+	}
+	return e.cfg.Tree[i]
+}
+
+// block returns the (lazily allocated) counter state of a line.
+func (e *engine) block(level int, idx uint64) counters.Block {
+	if b, ok := e.blocks[level][idx]; ok {
+		return b
+	}
+	b := e.specAt(level).New()
+	e.blocks[level][idx] = b
+	return b
+}
+
+// metaAddr returns the physical address of a metadata line.
+func (e *engine) metaAddr(level int, idx uint64) uint64 {
+	return e.levelBase[level] + idx*64
+}
+
+// decodeMeta inverts metaAddr for victim writeback handling.
+func (e *engine) decodeMeta(addr uint64) (level int, idx uint64) {
+	for lvl := e.rootLevel; lvl >= 0; lvl-- {
+		if addr >= e.levelBase[lvl] {
+			return lvl, (addr - e.levelBase[lvl]) / 64
+		}
+	}
+	panic(fmt.Sprintf("sim: address %#x is not metadata", addr))
+}
+
+// dramAccess issues one memory access at CPU time `at`, records it under a
+// category, and returns its latency in CPU cycles.
+func (e *engine) dramAccess(at uint64, addr uint64, write bool, cat Category) uint64 {
+	return dramAccess(e.dram, e.cfg, e.stats, at, addr, write, cat)
+}
+
+// dramBackground issues a low-priority access (throttled overflow
+// handling): it counts as traffic and occupies its bank, but does not
+// block demand traffic on the data bus.
+func (e *engine) dramBackground(at uint64, addr uint64, write bool, cat Category) {
+	e.stats.MemAccesses[cat]++
+	e.dram.AccessBackground(at/e.cfg.CPUPerMemCycle, addr, write)
+}
+
+// dramAccess is the shared (engine-less) DRAM issue path, usable by the
+// non-secure system too.
+func dramAccess(d *dram.DRAM, cfg Config, st *Stats, at uint64, addr uint64, write bool, cat Category) uint64 {
+	st.MemAccesses[cat]++
+	memAt := at / cfg.CPUPerMemCycle
+	done := d.Access(memAt, addr, write)
+	lat := (done-memAt)*cfg.CPUPerMemCycle + cfg.MemCtrlLatencyCPU
+	return lat
+}
+
+// touchMeta brings the metadata line (level, idx) into the metadata cache,
+// walking up the tree on a miss until a level hits (or the on-chip root),
+// exactly the traversal of Section II-B. It returns the walk's latency and
+// the latency of this level's own fetch alone (zero on a hit), in CPU
+// cycles. write marks the line dirty (a counter update).
+func (e *engine) touchMeta(at uint64, level int, idx uint64, write bool) (walk, own uint64) {
+	if level >= e.rootLevel {
+		return 0, 0 // the root is registered on-chip
+	}
+	addr := e.metaAddr(level, idx)
+	if e.mcache.Access(addr, write) {
+		return 0, 0
+	}
+	// Miss: the parent chain must be verified too. All missing levels'
+	// addresses are computable up front, so their fetches issue in
+	// parallel and verification completes bottom-up as lines arrive; the
+	// walk's latency is the slowest fetch, while every fetch still
+	// consumes bandwidth.
+	parent, _ := e.geom.ParentSlot(level, idx)
+	walk, _ = e.touchMeta(at, level+1, parent, false)
+	own = e.dramAccess(at, addr, false, levelCategory(level))
+	if own > walk {
+		walk = own
+	}
+	var victim cache.Victim
+	var evicted bool
+	if e.cfg.TypeAwareCache && level == 0 {
+		// Type-aware policy: leaf (encryption-counter) lines insert
+		// cold so tree lines, each covering arity times more memory,
+		// survive longer.
+		victim, evicted = e.mcache.FillLowPriority(addr, write)
+	} else {
+		victim, evicted = e.mcache.Fill(addr, write)
+	}
+	if evicted && victim.Dirty {
+		e.writebackMeta(at+walk, victim.Addr)
+	}
+	return walk, own
+}
+
+// writebackMeta handles a dirty metadata line leaving the cache: the line
+// is written to memory and — because a modified counter line needs a fresh
+// MAC under a fresh parent counter — its parent counter is incremented.
+// This is how writes propagate up the tree, and why they stop at the level
+// that stays resident in the cache. Under a MAC tree the parent node's MAC
+// slot is rewritten instead: the parent is dirtied but nothing overflows.
+func (e *engine) writebackMeta(at uint64, addr uint64) {
+	level, idx := e.decodeMeta(addr)
+	e.dramAccess(at, addr, true, levelCategory(level))
+	if level+1 > e.rootLevel {
+		return
+	}
+	parent, slot := e.geom.ParentSlot(level, idx)
+	if e.cfg.MACTree {
+		e.touchMeta(at, level+1, parent, true)
+		e.stats.Increments[level+1]++
+		return
+	}
+	e.bumpCounter(at, level+1, parent, slot)
+}
+
+// bumpCounter increments one minor counter, bringing its line into the
+// cache (dirty) and handling an overflow by issuing the re-encryption /
+// re-hash traffic for the affected children (Section II-B: extra accesses
+// proportional to arity).
+func (e *engine) bumpCounter(at uint64, level int, idx uint64, slot int) {
+	if level < e.rootLevel {
+		e.touchMeta(at, level, idx, true)
+	}
+	blk := e.block(level, idx)
+	used := blk.NonZero()
+	ev := blk.Increment(slot)
+	e.stats.Increments[level]++
+	if ev.Rebased {
+		e.stats.Rebases[level]++
+	}
+	if !ev.Overflow {
+		return
+	}
+	e.stats.Overflows[level]++
+	bucket := used * HistBuckets / blk.Arity()
+	if bucket >= HistBuckets {
+		bucket = HistBuckets - 1
+	}
+	e.stats.OverflowHist[bucket]++
+	if level == 0 {
+		e.stats.OverflowHistEnc[bucket]++
+	}
+	// Overflow handling: read and rewrite every affected child (data
+	// lines under level 0, child counter lines above), re-encrypting or
+	// re-hashing under the new counter values.
+	arity := uint64(blk.Arity())
+	first := idx * arity
+	if ev.Reencrypt < int(arity) {
+		// MCR set reset: only the saturated counter's set is affected.
+		set := uint64(slot) / uint64(ev.Reencrypt)
+		first += set * uint64(ev.Reencrypt)
+	}
+	for i := 0; i < ev.Reencrypt; i++ {
+		var childAddr uint64
+		if level == 0 {
+			childAddr = (first + uint64(i)) * 64 % e.cfg.MemoryBytes
+		} else {
+			childAddr = e.metaAddr(level-1, first+uint64(i))
+		}
+		if e.cfg.FairOverflowThrottle {
+			// Fairness-driven scheduling (Section V): overflow
+			// handling is spread out and drains at low priority
+			// through idle bus slots, so co-running applications
+			// keep their bandwidth.
+			issueAt := at + uint64(i)*overflowThrottleSpacing
+			e.dramBackground(issueAt, childAddr, false, CatOverflow)
+			e.dramBackground(issueAt, childAddr, true, CatOverflow)
+			continue
+		}
+		e.dramAccess(at, childAddr, false, CatOverflow)
+		e.dramAccess(at, childAddr, true, CatOverflow)
+	}
+}
+
+// overflowThrottleSpacing is the per-request stagger (CPU cycles) the
+// fairness throttle applies to overflow-handling traffic.
+const overflowThrottleSpacing = 128
+
+// dataRead services a demand read: the data fetch proceeds in parallel with
+// the counter fetch / tree walk (the OTP is precomputed), so the load
+// latency is the maximum of the two paths, plus the separate-MAC fetch when
+// configured. With speculative verification the walk's latency is hidden
+// entirely; only its bandwidth remains.
+func (e *engine) dataRead(at uint64, addr uint64) uint64 {
+	e.stats.DataReads++
+	lat := e.dramAccess(at, addr, false, CatData)
+	encIdx, _ := e.geom.EncSlot(addr / 64)
+	walkLat, ctrLat := e.touchMeta(at, 0, encIdx, false)
+	if e.cfg.SpeculativeVerify {
+		// The counter is still needed to decrypt; only the
+		// verification above it leaves the critical path.
+		walkLat = ctrLat
+	}
+	if walkLat > lat {
+		lat = walkLat
+	}
+	if e.cfg.SeparateMAC {
+		if macLat := e.dramAccess(at, e.macBase+addr/64*8/64*64, false, CatMAC); macLat > lat {
+			lat = macLat
+		}
+	}
+	return lat
+}
+
+// dataWrite services a writeback: the line is written to memory, its
+// encryption counter increments (possibly overflowing), and with separate
+// MACs the MAC line is written too. Writes are posted, but the returned
+// drain latency feeds the core's write-buffer backpressure.
+func (e *engine) dataWrite(at uint64, addr uint64) uint64 {
+	e.stats.DataWrites++
+	lat := e.dramAccess(at, addr, true, CatData)
+	encIdx, slot := e.geom.EncSlot(addr / 64)
+	e.bumpCounter(at, 0, encIdx, slot)
+	if e.cfg.SeparateMAC {
+		if macLat := e.dramAccess(at, e.macBase+addr/64*8/64*64, true, CatMAC); macLat > lat {
+			lat = macLat
+		}
+	}
+	return lat
+}

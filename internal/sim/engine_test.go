@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/dram"
+)
+
+func testEngine(t *testing.T, cfg Config) *engine {
+	t.Helper()
+	var st Stats
+	d := dram.MustNew(cfg.DRAM)
+	e, err := newEngine(cfg, d, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMetaAddrDecodeRoundTrip(t *testing.T) {
+	e := testEngine(t, SC64())
+	for level := 0; level <= e.rootLevel; level++ {
+		for _, idx := range []uint64{0, 1, 17, e.geom.LevelEntries(level) - 1} {
+			if idx >= e.geom.LevelEntries(level) {
+				continue
+			}
+			addr := e.metaAddr(level, idx)
+			gl, gi := e.decodeMeta(addr)
+			if gl != level || gi != idx {
+				t.Fatalf("level %d idx %d decoded to %d/%d", level, idx, gl, gi)
+			}
+			if addr < e.cfg.MemoryBytes {
+				t.Fatalf("metadata address %#x overlaps the data region", addr)
+			}
+		}
+	}
+}
+
+func TestMetadataRegionsDisjoint(t *testing.T) {
+	for _, name := range []string{"sc64", "vault", "morph", "sc128", "bmt"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := testEngine(t, cfg)
+		// Each level's region must end before the next begins.
+		for level := 0; level < e.rootLevel; level++ {
+			end := e.levelBase[level] + e.geom.LevelEntries(level)*64
+			if end > e.levelBase[level+1] {
+				t.Fatalf("%s: level %d region [%#x, %#x) overlaps level %d at %#x",
+					name, level, e.levelBase[level], end, level+1, e.levelBase[level+1])
+			}
+		}
+		// And the MAC region must not overlap level 0.
+		if e.macBase+cfg.MemoryBytes/8 > e.levelBase[0] {
+			t.Fatalf("%s: MAC region runs into metadata", name)
+		}
+	}
+}
+
+func TestLevelCategoryMapping(t *testing.T) {
+	cases := map[int]Category{0: CatCtrEncr, 1: CatCtr1, 2: CatCtr2, 3: CatCtr3Up, 7: CatCtr3Up}
+	for level, want := range cases {
+		if got := levelCategory(level); got != want {
+			t.Errorf("levelCategory(%d) = %v, want %v", level, got, want)
+		}
+	}
+}
+
+func TestTouchMetaWalkStopsAtCachedLevel(t *testing.T) {
+	e := testEngine(t, SC64())
+	// Cold touch of a leaf walks every level (root excluded).
+	e.touchMeta(0, 0, 5, false)
+	first := e.stats.MemAccesses[CatCtrEncr] + e.stats.MemAccesses[CatCtr1] +
+		e.stats.MemAccesses[CatCtr2] + e.stats.MemAccesses[CatCtr3Up]
+	if first != uint64(e.rootLevel) {
+		t.Fatalf("cold walk fetched %d levels, want %d", first, e.rootLevel)
+	}
+	// A sibling leaf under the same parent only fetches itself.
+	e.touchMeta(0, 0, 6, false)
+	second := e.stats.MemAccesses[CatCtrEncr] + e.stats.MemAccesses[CatCtr1] +
+		e.stats.MemAccesses[CatCtr2] + e.stats.MemAccesses[CatCtr3Up] - first
+	if second != 1 {
+		t.Fatalf("warm sibling walk fetched %d lines, want 1", second)
+	}
+	// A cached leaf fetches nothing.
+	e.touchMeta(0, 0, 5, false)
+	third := e.stats.MemAccesses[CatCtrEncr] + e.stats.MemAccesses[CatCtr1] +
+		e.stats.MemAccesses[CatCtr2] + e.stats.MemAccesses[CatCtr3Up] - first - second
+	if third != 0 {
+		t.Fatalf("cached touch fetched %d lines", third)
+	}
+}
+
+func TestBumpCounterOverflowTraffic(t *testing.T) {
+	e := testEngine(t, SC128())
+	// 3-bit minors: the 8th write to one slot overflows, costing
+	// 2 x 128 accesses of overflow traffic.
+	for i := 0; i < 7; i++ {
+		e.bumpCounter(0, 0, 0, 0)
+	}
+	if e.stats.MemAccesses[CatOverflow] != 0 {
+		t.Fatal("premature overflow traffic")
+	}
+	e.bumpCounter(0, 0, 0, 0)
+	if got := e.stats.MemAccesses[CatOverflow]; got != 256 {
+		t.Fatalf("overflow traffic = %d accesses, want 256", got)
+	}
+	if e.stats.Overflows[0] != 1 {
+		t.Fatalf("overflow count = %d", e.stats.Overflows[0])
+	}
+}
+
+func TestDecodeMetaPanicsOnDataAddress(t *testing.T) {
+	e := testEngine(t, SC64())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a data address")
+		}
+	}()
+	e.decodeMeta(0)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/dram"
+	"github.com/securemem/morphtree/internal/energy"
+)
+
+// Baseline system parameters (Table I). Timing simulations default to a
+// 4 GB memory with unscaled cache sizes; tree-size arithmetic is exact at
+// any capacity, and DESIGN.md records why the scaled capacity preserves the
+// paper's cache-pressure regimes.
+const (
+	// DefaultMemoryBytes is the simulated capacity for timing runs.
+	DefaultMemoryBytes = 4 << 30
+	// PaperMemoryBytes is the capacity for storage/geometry results.
+	PaperMemoryBytes = 16 << 30
+	// DefaultMetaCacheBytes is the shared metadata cache. The paper uses
+	// 128 KB against full-size footprints; timing runs scale footprints
+	// down (RunOptions.FootprintScale), so the cache scales with them to
+	// keep the touched-metadata-to-cache ratios in the same regime.
+	DefaultMetaCacheBytes = 16 << 10
+)
+
+// baseConfig fills in everything except the counter organization.
+func baseConfig(name string) Config {
+	return Config{
+		Name:               name,
+		MemoryBytes:        DefaultMemoryBytes,
+		MetaCacheBytes:     DefaultMetaCacheBytes,
+		MetaCacheWays:      8,
+		Cores:              4,
+		ROBSize:            192,
+		FetchWidth:         4,
+		WriteBufferEntries: 32,
+		CPUPerMemCycle:     4, // 3.2 GHz cores, 800 MHz bus
+		MemCtrlLatencyCPU:  60,
+		CPUHz:              3.2e9,
+		DRAM:               dram.DDR3(),
+		Energy:             energy.Default(),
+	}
+}
+
+// NonSecure returns the unprotected baseline (no metadata at all).
+func NonSecure() Config {
+	c := baseConfig("Non-Secure")
+	c.NonSecure = true
+	return c
+}
+
+// SC64 returns the paper's baseline: 64-ary split counters for both
+// encryption and the integrity tree.
+func SC64() Config {
+	c := baseConfig("SC-64")
+	c.Enc = counters.SplitSpec(64)
+	c.Tree = []counters.Spec{counters.SplitSpec(64)}
+	return c
+}
+
+// SC128 returns the naive 128-ary split-counter design whose overflow
+// storms Figure 5 dissects.
+func SC128() Config {
+	c := baseConfig("SC-128")
+	c.Enc = counters.SplitSpec(128)
+	c.Tree = []counters.Spec{counters.SplitSpec(128)}
+	return c
+}
+
+// VAULT returns the variable-arity design of Taassori et al.: 64-ary
+// encryption counters, 32-ary tree level 1, 16-ary above.
+func VAULT() Config {
+	c := baseConfig("VAULT")
+	c.Enc = counters.SplitSpec(64)
+	c.Tree = []counters.Spec{counters.SplitSpec(32), counters.SplitSpec(16)}
+	return c
+}
+
+// SGX returns the 8-ary commercial-SGX-like organization (Table III row 1).
+func SGX() Config {
+	c := baseConfig("SGX")
+	c.Enc = counters.SplitSpec(8)
+	c.Tree = []counters.Spec{counters.SplitSpec(8)}
+	return c
+}
+
+// MorphCtr128 returns the paper's proposal: MorphCtr-128 (ZCC + Rebasing)
+// for encryption and the integrity tree — the 128-ary MorphTree.
+func MorphCtr128() Config {
+	c := baseConfig("MorphCtr-128")
+	c.Enc = counters.MorphSpec(true)
+	c.Tree = []counters.Spec{counters.MorphSpec(true)}
+	return c
+}
+
+// MorphCtr128ZCC returns the ZCC-only ablation (Figure 11).
+func MorphCtr128ZCC() Config {
+	c := baseConfig("MorphCtr-128-ZCC")
+	c.Enc = counters.MorphSpec(false)
+	c.Tree = []counters.Spec{counters.MorphSpec(false)}
+	return c
+}
+
+// BonsaiMerkle returns a Bonsai Merkle (MAC-tree) design: SC-64 encryption
+// counters under an 8-ary tree of MACs (Section VIII-B1's alternative
+// integrity-tree class).
+func BonsaiMerkle() Config {
+	c := baseConfig("Bonsai-Merkle")
+	c.Enc = counters.SplitSpec(64)
+	c.MACTree = true
+	return c
+}
+
+// MorphSpeculative returns MorphCtr-128 combined with PoisonIvy-style
+// speculative verification (Section VIII-B2: "our design ... can be
+// combined with these proposals").
+func MorphSpeculative() Config {
+	c := MorphCtr128()
+	c.Name = "MorphCtr-128+Spec"
+	c.SpeculativeVerify = true
+	return c
+}
+
+// Delta64 returns the delta-encoding design of the paper's concurrent work
+// (reference [19]): delta-encoded encryption counters under the SC-64
+// integrity tree.
+func Delta64() Config {
+	c := baseConfig("Delta-64")
+	c.Enc = counters.DeltaSpec()
+	c.Tree = []counters.Spec{counters.SplitSpec(64)}
+	return c
+}
+
+// Preset returns a named configuration.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "delta64", "Delta-64":
+		return Delta64(), nil
+	case "bmt", "Bonsai-Merkle":
+		return BonsaiMerkle(), nil
+	case "morph-spec", "MorphCtr-128+Spec":
+		return MorphSpeculative(), nil
+	case "nonsecure", "Non-Secure":
+		return NonSecure(), nil
+	case "sc64", "SC-64":
+		return SC64(), nil
+	case "sc128", "SC-128":
+		return SC128(), nil
+	case "vault", "VAULT":
+		return VAULT(), nil
+	case "sgx", "SGX":
+		return SGX(), nil
+	case "morph", "MorphCtr-128":
+		return MorphCtr128(), nil
+	case "morph-zcc", "MorphCtr-128-ZCC":
+		return MorphCtr128ZCC(), nil
+	}
+	return Config{}, fmt.Errorf("sim: unknown preset %q", name)
+}
+
+// Presets lists the preset names accepted by Preset.
+func Presets() []string {
+	return []string{"nonsecure", "sc64", "sc128", "vault", "sgx", "morph", "morph-zcc", "bmt", "morph-spec", "delta64"}
+}

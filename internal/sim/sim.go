@@ -1,0 +1,341 @@
+// Package sim is the performance simulator: a USIMM-style trace-driven
+// model of the 4-core secure-memory system of Table I. Cores issue
+// memory-level accesses from synthetic workload traces; a secure metadata
+// engine interposes the encryption-counter fetch, the integrity-tree walk
+// through a shared metadata cache, write propagation via dirty evictions,
+// and counter-overflow handling; a DDR3 timing model arbitrates everything
+// and feeds the energy model.
+//
+// Outputs mirror the paper's evaluation: IPC (Figures 5a, 15, 19, 20),
+// memory accesses per data access split by stream (Figures 5b, 16),
+// overflow rates (Figures 11, 14), fraction-used-at-overflow histograms
+// (Figure 7), and power/energy/EDP (Figure 18).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/cache"
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/dram"
+	"github.com/securemem/morphtree/internal/energy"
+)
+
+// Config describes one simulated system (Table I plus the secure-memory
+// organization under test).
+type Config struct {
+	// Name labels the configuration in reports ("SC-64", "VAULT", ...).
+	Name string
+	// MemoryBytes is the installed (protected) memory capacity.
+	MemoryBytes uint64
+	// MetaCacheBytes and MetaCacheWays shape the shared metadata cache.
+	MetaCacheBytes uint64
+	MetaCacheWays  int
+	// DataCacheBytes/DataCacheWays optionally model the shared LLC
+	// (Table I: 8 MB, 8-way). The bundled Table II workloads are
+	// memory-level (post-LLC) traces, so the presets leave this off;
+	// enable it when feeding CPU-level traces (TraceBenchmark) so reads
+	// and writebacks filter through the LLC first.
+	DataCacheBytes uint64
+	DataCacheWays  int
+	// LLCHitLatencyCPU is the load-to-use latency of an LLC hit.
+	LLCHitLatencyCPU uint64
+	// NonSecure disables all metadata work (the non-secure baseline).
+	NonSecure bool
+	// Enc is the encryption-counter organization.
+	Enc counters.Spec
+	// Tree is the per-level tree schedule (last element repeats).
+	Tree []counters.Spec
+	// SeparateMAC charges one extra memory access per data access for
+	// MACs instead of the Synergy in-line organization (Figure 20).
+	SeparateMAC bool
+	// MACTree replaces the counter tree with a Bonsai-style MAC tree
+	// (Section VIII-B1): 8-ary nodes of MACs over the encryption
+	// counters. Tree nodes hold no counters, so tree levels never
+	// overflow — but the arity is pinned at 8 and the tree is tall.
+	// Tree specs are ignored; encryption counters still come from Enc.
+	MACTree bool
+	// SpeculativeVerify models PoisonIvy-style safe speculation
+	// (Section VIII-B2): loads consume data before verification
+	// completes, taking tree-walk latency off the critical path while
+	// its bandwidth cost remains.
+	SpeculativeVerify bool
+	// TypeAwareCache enables metadata-type-aware insertion in the
+	// metadata cache (the caching-policy line of work the paper cites as
+	// orthogonal, [12][46]): encryption-counter lines insert at low
+	// priority so the higher-coverage tree lines stay resident.
+	TypeAwareCache bool
+	// FairOverflowThrottle spreads overflow-handling traffic out in time
+	// instead of bursting it, modeling the fairness-driven scheduling
+	// that Section V proposes to shield co-runners from a pathological
+	// application's overflow storms.
+	FairOverflowThrottle bool
+	// Cores, ROBSize and FetchWidth shape the core model.
+	Cores      int
+	ROBSize    uint64
+	FetchWidth uint64
+	// WriteBufferEntries bounds a core's in-flight writebacks; a full
+	// buffer stalls the core until the oldest write drains (memory-side
+	// backpressure on write-heavy phases).
+	WriteBufferEntries int
+	// CPUPerMemCycle is the CPU:memory clock ratio (3.2 GHz / 800 MHz).
+	CPUPerMemCycle uint64
+	// MemCtrlLatencyCPU is the fixed on-chip latency added to every
+	// memory access, in CPU cycles.
+	MemCtrlLatencyCPU uint64
+	// CPUHz converts cycles to seconds for energy accounting.
+	CPUHz float64
+	// DRAM is the memory timing model configuration.
+	DRAM dram.Config
+	// Energy holds the power-model coefficients.
+	Energy energy.Params
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.MemoryBytes == 0 || c.MemoryBytes&(c.MemoryBytes-1) != 0 {
+		return fmt.Errorf("sim: memory size %d must be a power of two", c.MemoryBytes)
+	}
+	if c.Cores <= 0 || c.ROBSize == 0 || c.FetchWidth == 0 || c.CPUPerMemCycle == 0 ||
+		c.WriteBufferEntries <= 0 {
+		return fmt.Errorf("sim: invalid core model in %q", c.Name)
+	}
+	if !c.NonSecure {
+		if c.Enc.New == nil || (len(c.Tree) == 0 && !c.MACTree) {
+			return fmt.Errorf("sim: secure config %q needs counter specs", c.Name)
+		}
+		if c.MetaCacheBytes == 0 || c.MetaCacheWays == 0 {
+			return fmt.Errorf("sim: secure config %q needs a metadata cache", c.Name)
+		}
+	}
+	return nil
+}
+
+// Category classifies a memory access by what it fetches, matching the
+// stacked-bar split of Figures 5b and 16.
+type Category int
+
+// Access categories.
+const (
+	CatData Category = iota
+	CatCtrEncr
+	CatCtr1
+	CatCtr2
+	CatCtr3Up
+	CatOverflow
+	CatMAC
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatData:
+		return "Data"
+	case CatCtrEncr:
+		return "Ctr_Encr"
+	case CatCtr1:
+		return "Ctr_1"
+	case CatCtr2:
+		return "Ctr_2"
+	case CatCtr3Up:
+		return "Ctr_3&Up"
+	case CatOverflow:
+		return "Overflow"
+	case CatMAC:
+		return "MAC"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// levelCategory maps a metadata level to its traffic category.
+func levelCategory(level int) Category {
+	switch level {
+	case 0:
+		return CatCtrEncr
+	case 1:
+		return CatCtr1
+	case 2:
+		return CatCtr2
+	default:
+		return CatCtr3Up
+	}
+}
+
+// HistBuckets is the number of fraction-used buckets in the overflow
+// histogram (Figure 7 plots 0..1 in steps).
+const HistBuckets = 10
+
+// Stats accumulates simulator activity.
+type Stats struct {
+	// MemAccesses counts DRAM accesses by category.
+	MemAccesses [numCategories]uint64
+	// DataReads/DataWrites split CatData for traffic normalization.
+	DataReads, DataWrites uint64
+	// Instructions and Cycles are summed over cores (cycles taken from
+	// the slowest core for time).
+	Instructions uint64
+	Cycles       uint64
+	// Overflows, Rebases and Increments are per metadata level.
+	Overflows  []uint64
+	Rebases    []uint64
+	Increments []uint64
+	// OverflowHist buckets the fraction of a counter cacheline in use
+	// when it overflowed (all levels combined).
+	OverflowHist [HistBuckets]uint64
+	// OverflowHistEnc restricts the histogram to encryption counters.
+	OverflowHistEnc [HistBuckets]uint64
+	// ReadLatency buckets demand-read latencies by log2(CPU cycles):
+	// bucket i holds reads with latency in [2^i, 2^(i+1)).
+	ReadLatency [32]uint64
+	// MetaCache snapshots the metadata cache counters.
+	MetaCache cache.Stats
+	// DRAM snapshots the memory model counters.
+	DRAM dram.Stats
+}
+
+// recordReadLatency files one demand-read latency into the histogram.
+func (s *Stats) recordReadLatency(cycles uint64) {
+	b := 0
+	for v := cycles; v > 1 && b < len(s.ReadLatency)-1; v >>= 1 {
+		b++
+	}
+	s.ReadLatency[b]++
+}
+
+// LatencyPercentile returns the upper bound (CPU cycles) of the bucket
+// containing the p-th percentile read, for p in (0, 100].
+func (s *Stats) LatencyPercentile(p float64) uint64 {
+	var total uint64
+	for _, v := range s.ReadLatency {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * p / 100)
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, v := range s.ReadLatency {
+		cum += v
+		if cum >= target {
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << uint(len(s.ReadLatency))
+}
+
+// TotalMemAccesses sums all DRAM traffic.
+func (s *Stats) TotalMemAccesses() uint64 {
+	var t uint64
+	for _, v := range s.MemAccesses {
+		t += v
+	}
+	return t
+}
+
+// TotalOverflows sums overflow events across levels.
+func (s *Stats) TotalOverflows() uint64 {
+	var t uint64
+	for _, v := range s.Overflows {
+		t += v
+	}
+	return t
+}
+
+// sub returns s - b, for extracting measurement-window deltas after warmup.
+func (s *Stats) sub(b *Stats) Stats {
+	d := Stats{
+		DataReads:    s.DataReads - b.DataReads,
+		DataWrites:   s.DataWrites - b.DataWrites,
+		Instructions: s.Instructions - b.Instructions,
+		Cycles:       s.Cycles - b.Cycles,
+	}
+	for i := range s.MemAccesses {
+		d.MemAccesses[i] = s.MemAccesses[i] - b.MemAccesses[i]
+	}
+	d.Overflows = subSlice(s.Overflows, b.Overflows)
+	d.Rebases = subSlice(s.Rebases, b.Rebases)
+	d.Increments = subSlice(s.Increments, b.Increments)
+	for i := range s.OverflowHist {
+		d.OverflowHist[i] = s.OverflowHist[i] - b.OverflowHist[i]
+		d.OverflowHistEnc[i] = s.OverflowHistEnc[i] - b.OverflowHistEnc[i]
+	}
+	for i := range s.ReadLatency {
+		d.ReadLatency[i] = s.ReadLatency[i] - b.ReadLatency[i]
+	}
+	d.MetaCache = cache.Stats{
+		Hits:           s.MetaCache.Hits - b.MetaCache.Hits,
+		Misses:         s.MetaCache.Misses - b.MetaCache.Misses,
+		Evictions:      s.MetaCache.Evictions - b.MetaCache.Evictions,
+		DirtyEvictions: s.MetaCache.DirtyEvictions - b.MetaCache.DirtyEvictions,
+	}
+	d.DRAM = dram.Stats{
+		Reads:         s.DRAM.Reads - b.DRAM.Reads,
+		Writes:        s.DRAM.Writes - b.DRAM.Writes,
+		Activations:   s.DRAM.Activations - b.DRAM.Activations,
+		RowHits:       s.DRAM.RowHits - b.DRAM.RowHits,
+		RowMisses:     s.DRAM.RowMisses - b.DRAM.RowMisses,
+		BusBusyCycles: s.DRAM.BusBusyCycles - b.DRAM.BusBusyCycles,
+	}
+	return d
+}
+
+func subSlice(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i]
+		if i < len(b) {
+			out[i] -= b[i]
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Config   string
+	Workload string
+	// IPC is the system throughput: total instructions over the longest
+	// core's cycles, divided by core count (per-core average IPC).
+	IPC float64
+	// PerCoreIPC lists each core's IPC.
+	PerCoreIPC []float64
+	// Seconds is the measured-window execution time.
+	Seconds float64
+	// Stats holds the measurement-window activity.
+	Stats Stats
+	// Energy is the power/energy/EDP breakdown.
+	Energy energy.Breakdown
+}
+
+// MemAccessPerDataAccess returns total memory accesses normalized to data
+// accesses — the y-axis of Figures 5b and 16.
+func (r *Result) MemAccessPerDataAccess() float64 {
+	data := r.Stats.DataReads + r.Stats.DataWrites
+	if data == 0 {
+		return 0
+	}
+	return float64(r.Stats.TotalMemAccesses()) / float64(data)
+}
+
+// CategoryPerDataAccess returns one category's accesses per data access.
+func (r *Result) CategoryPerDataAccess(c Category) float64 {
+	data := r.Stats.DataReads + r.Stats.DataWrites
+	if data == 0 {
+		return 0
+	}
+	return float64(r.Stats.MemAccesses[c]) / float64(data)
+}
+
+// OverflowsPerMillion returns counter overflows per million memory
+// accesses — the y-axis of Figures 11 and 14.
+func (r *Result) OverflowsPerMillion() float64 {
+	total := r.Stats.TotalMemAccesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.TotalOverflows()) / float64(total) * 1e6
+}

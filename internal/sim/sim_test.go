@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/workloads"
+)
+
+// quickOpts keeps unit-test runs fast; shape experiments use larger runs in
+// bench_test.go and cmd/experiments.
+func quickOpts() RunOptions {
+	return RunOptions{
+		WarmupAccesses:  30_000,
+		MeasureAccesses: 30_000,
+		FootprintScale:  1.0 / 64,
+		Seed:            1,
+	}
+}
+
+func bench(t *testing.T, name string) workloads.Benchmark {
+	t.Helper()
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config must fail")
+	}
+	bad := SC64()
+	bad.MemoryBytes = 3 << 30 // not a power of two
+	if err := bad.Validate(); err == nil {
+		t.Error("non-pow2 memory must fail")
+	}
+	bad = SC64()
+	bad.Tree = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("secure config without tree must fail")
+	}
+	for _, name := range Presets() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Error("unknown preset must fail")
+	}
+}
+
+func TestRunSmokeAllPresets(t *testing.T) {
+	w := workloads.Rate(bench(t, "libquantum"), 4)
+	for _, name := range Presets() {
+		cfg, _ := Preset(name)
+		res, err := Run(cfg, w, quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.IPC <= 0 || res.IPC > float64(cfg.FetchWidth) {
+			t.Errorf("%s: IPC = %v out of range", name, res.IPC)
+		}
+		if res.Stats.DataReads == 0 || res.Stats.DataWrites == 0 {
+			t.Errorf("%s: no data traffic", name)
+		}
+		if res.Seconds <= 0 {
+			t.Errorf("%s: time = %v", name, res.Seconds)
+		}
+		if len(res.PerCoreIPC) != 4 {
+			t.Errorf("%s: %d cores", name, len(res.PerCoreIPC))
+		}
+	}
+}
+
+func TestNonSecureHasNoMetadataTraffic(t *testing.T) {
+	w := workloads.Rate(bench(t, "mcf"), 4)
+	res, err := Run(NonSecure(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cat := CatCtrEncr; cat < numCategories; cat++ {
+		if res.Stats.MemAccesses[cat] != 0 {
+			t.Errorf("non-secure has %s traffic", cat)
+		}
+	}
+	if got := res.MemAccessPerDataAccess(); got < 0.999 || got > 1.001 {
+		t.Errorf("non-secure traffic ratio = %v, want 1", got)
+	}
+}
+
+func TestSecureHasMetadataTraffic(t *testing.T) {
+	w := workloads.Rate(bench(t, "mcf"), 4)
+	res, err := Run(SC64(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MemAccesses[CatCtrEncr] == 0 {
+		t.Error("no encryption-counter traffic")
+	}
+	if res.MemAccessPerDataAccess() <= 1.1 {
+		t.Errorf("secure traffic ratio = %v, want > 1.1", res.MemAccessPerDataAccess())
+	}
+	// mcf's random accesses over a big footprint miss the metadata cache
+	// for encryption counters and walk into level 1.
+	if res.Stats.MemAccesses[CatCtr1] == 0 {
+		t.Error("no level-1 traffic for a footprint-heavy random workload")
+	}
+}
+
+func TestSecureSlowerThanNonSecure(t *testing.T) {
+	w := workloads.Rate(bench(t, "mcf"), 4)
+	ns, err := Run(NonSecure(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := Run(SC64(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.IPC >= ns.IPC {
+		t.Errorf("secure IPC %v >= non-secure %v", sec.IPC, ns.IPC)
+	}
+}
+
+func TestWritePropagationDecaysUpTheTree(t *testing.T) {
+	w := workloads.Rate(bench(t, "lbm"), 4)
+	res, err := Run(SC64(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := res.Stats.Increments
+	if inc[0] == 0 {
+		t.Fatal("no encryption-counter increments")
+	}
+	// Increments must not grow with level (a small tolerance absorbs
+	// warmup-window boundary effects: a line dirtied during warmup can be
+	// evicted during measurement).
+	for lvl := 1; lvl < len(inc); lvl++ {
+		if float64(inc[lvl]) > float64(inc[lvl-1])*1.05+16 {
+			t.Errorf("level %d increments %d > level %d's %d", lvl, inc[lvl], lvl-1, inc[lvl-1])
+		}
+	}
+	top := inc[len(inc)-1]
+	if top*2 > inc[0] {
+		t.Errorf("writes reach the root too often: %d vs %d leaf increments", top, inc[0])
+	}
+}
+
+func TestSC128OverflowsDwarfSC64(t *testing.T) {
+	// Figure 11's left side: SC-128 suffers far more overflows than SC-64
+	// on a streaming write-heavy workload.
+	w := workloads.Rate(bench(t, "libquantum"), 4)
+	opts := quickOpts()
+	opts.WarmupAccesses = 50_000
+	opts.MeasureAccesses = 250_000
+	r64, err := Run(SC64(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r128, err := Run(SC128(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r128.OverflowsPerMillion() < 2*r64.OverflowsPerMillion() {
+		t.Errorf("SC-128 overflow rate %v not >> SC-64's %v",
+			r128.OverflowsPerMillion(), r64.OverflowsPerMillion())
+	}
+	if r128.Stats.MemAccesses[CatOverflow] == 0 {
+		t.Error("SC-128 generated no overflow traffic")
+	}
+}
+
+func TestRebasingTamesStreamingOverflows(t *testing.T) {
+	// Figure 14's mechanism: on streaming workloads the MCR format
+	// absorbs dense-counter overflows that the ZCC-only variant suffers.
+	w := workloads.Rate(bench(t, "libquantum"), 4)
+	// Streaming needs enough writes per line (~10) to saturate the 3-bit
+	// dense minors and exercise the rebase path.
+	opts := quickOpts()
+	opts.WarmupAccesses = 50_000
+	opts.MeasureAccesses = 250_000
+	full, err := Run(MorphCtr128(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zccOnly, err := Run(MorphCtr128ZCC(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Rebases[0] == 0 {
+		t.Error("no rebases on a streaming workload")
+	}
+	if full.Stats.TotalOverflows() >= zccOnly.Stats.TotalOverflows() {
+		t.Errorf("rebasing did not reduce overflows: %d vs %d",
+			full.Stats.TotalOverflows(), zccOnly.Stats.TotalOverflows())
+	}
+}
+
+func TestVaultWalksMoreLevels(t *testing.T) {
+	// VAULT's 16/32-ary tree is taller: for a random workload its
+	// upper-level traffic must exceed the 64-ary baseline's.
+	w := workloads.Rate(bench(t, "mcf"), 4)
+	opts := quickOpts()
+	opts.FootprintScale = 1.0 / 16 // keep level-1 well above the cache
+	rv, err := Run(VAULT(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(SC64(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vUpper := rv.Stats.MemAccesses[CatCtr1] + rv.Stats.MemAccesses[CatCtr2] + rv.Stats.MemAccesses[CatCtr3Up]
+	bUpper := rb.Stats.MemAccesses[CatCtr1] + rb.Stats.MemAccesses[CatCtr2] + rb.Stats.MemAccesses[CatCtr3Up]
+	if vUpper <= bUpper {
+		t.Errorf("VAULT upper-tree traffic %d <= SC-64's %d", vUpper, bUpper)
+	}
+	if rv.MemAccessPerDataAccess() <= rb.MemAccessPerDataAccess() {
+		t.Errorf("VAULT traffic ratio %v <= SC-64's %v",
+			rv.MemAccessPerDataAccess(), rb.MemAccessPerDataAccess())
+	}
+}
+
+func TestMorphBeatsBaselineOnRandomWorkload(t *testing.T) {
+	// The headline effect (Figure 15): on footprint-heavy random-access
+	// workloads the compact MorphTree cuts counter traffic versus SC-64.
+	w := workloads.Rate(bench(t, "mcf"), 4)
+	opts := quickOpts()
+	opts.FootprintScale = 1.0 / 16
+	rm, err := Run(MorphCtr128(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(SC64(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.MemAccessPerDataAccess() >= rb.MemAccessPerDataAccess() {
+		t.Errorf("MorphCtr traffic ratio %v >= SC-64's %v",
+			rm.MemAccessPerDataAccess(), rb.MemAccessPerDataAccess())
+	}
+	if rm.IPC <= rb.IPC {
+		t.Errorf("MorphCtr IPC %v <= SC-64's %v", rm.IPC, rb.IPC)
+	}
+}
+
+func TestSeparateMACAddsTraffic(t *testing.T) {
+	w := workloads.Rate(bench(t, "omnetpp"), 4)
+	inline, err := Run(SC64(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SC64()
+	cfg.Name = "SC-64-sepmac"
+	cfg.SeparateMAC = true
+	sep, err := Run(cfg, w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Stats.MemAccesses[CatMAC] == 0 {
+		t.Fatal("separate-MAC config generated no MAC traffic")
+	}
+	if inline.Stats.MemAccesses[CatMAC] != 0 {
+		t.Fatal("in-line MAC config generated MAC traffic")
+	}
+	if sep.IPC >= inline.IPC {
+		t.Errorf("separate MACs IPC %v >= inline %v", sep.IPC, inline.IPC)
+	}
+}
+
+func TestSmallerMetadataCacheHurts(t *testing.T) {
+	w := workloads.Rate(bench(t, "omnetpp"), 4)
+	big := SC64()
+	big.MetaCacheBytes = 256 << 10
+	small := SC64()
+	small.MetaCacheBytes = 32 << 10
+	rb, err := Run(big, w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(small, w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.IPC >= rb.IPC {
+		t.Errorf("32KB cache IPC %v >= 256KB cache %v", rs.IPC, rb.IPC)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := workloads.Rate(bench(t, "GemsFDTD"), 4)
+	r1, err := Run(MorphCtr128(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(MorphCtr128(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.IPC != r2.IPC || r1.Stats.TotalMemAccesses() != r2.Stats.TotalMemAccesses() {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestPageMapperBijective(t *testing.T) {
+	cfg := SC64()
+	fps := []uint64{1 << 14, 1 << 14, 1 << 13, 1 << 14}
+	mappers := newMappers(cfg, fps)
+	seen := map[uint64]bool{}
+	for coreID, m := range mappers {
+		for line := uint64(0); line < fps[coreID]; line++ {
+			addr := m(line)
+			if addr >= cfg.MemoryBytes {
+				t.Fatalf("core %d line %d mapped out of range: %#x", coreID, line, addr)
+			}
+			if addr%64 != 0 {
+				t.Fatalf("unaligned mapping %#x", addr)
+			}
+			if seen[addr] {
+				t.Fatalf("collision at %#x (core %d line %d)", addr, coreID, line)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+func TestPageMapperDenseResidentSet(t *testing.T) {
+	// Frames come from a resident set sized to the combined footprint:
+	// every physical page below the footprint total is used.
+	cfg := SC64()
+	fps := []uint64{1 << 12, 1 << 12, 1 << 12, 1 << 12}
+	mappers := newMappers(cfg, fps)
+	pages := map[uint64]bool{}
+	for coreID, m := range mappers {
+		for line := uint64(0); line < fps[coreID]; line += 64 {
+			pages[m(line)/4096] = true
+		}
+	}
+	want := (1 << 12) / 64 * 4
+	if len(pages) != want {
+		t.Fatalf("resident pages = %d, want %d", len(pages), want)
+	}
+	var maxPage uint64
+	for p := range pages {
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	if maxPage != uint64(want-1) {
+		t.Fatalf("resident set not dense: max page %d, want %d", maxPage, want-1)
+	}
+}
+
+func TestPageMapperPreservesWithinPageLocality(t *testing.T) {
+	m := newMappers(SC64(), []uint64{1 << 20, 1 << 20, 1 << 20, 1 << 20})[0]
+	base := m(0)
+	for i := uint64(1); i < 64; i++ {
+		if m(i) != base+i*64 {
+			t.Fatalf("line %d not contiguous within page", i)
+		}
+	}
+	// Consecutive virtual pages scatter in physical memory.
+	if m(64) == base+64*64 {
+		t.Fatal("pages not scattered")
+	}
+}
+
+func TestMixWorkload(t *testing.T) {
+	mixes := workloads.Mixes()
+	res, err := Run(MorphCtr128(), mixes[0], quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("mix run produced no progress")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	w := workloads.Rate(bench(t, "mcf"), 2) // wrong core count
+	if _, err := Run(SC64(), w, quickOpts()); err == nil {
+		t.Error("core-count mismatch must fail")
+	}
+	w4 := workloads.Rate(bench(t, "mcf"), 4)
+	opt := quickOpts()
+	opt.MeasureAccesses = 0
+	if _, err := Run(SC64(), w4, opt); err == nil {
+		t.Error("zero measurement window must fail")
+	}
+}
+
+func TestOverflowHistogramPopulated(t *testing.T) {
+	w := workloads.Rate(bench(t, "gcc"), 4)
+	res, err := Run(SC64(), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, v := range res.Stats.OverflowHist {
+		total += v
+	}
+	if total != res.Stats.TotalOverflows() {
+		t.Fatalf("histogram total %d != overflow count %d", total, res.Stats.TotalOverflows())
+	}
+}

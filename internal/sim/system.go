@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/cache"
+	"github.com/securemem/morphtree/internal/dram"
+	"github.com/securemem/morphtree/internal/workloads"
+)
+
+// RunOptions controls a simulation run's length and scaling.
+type RunOptions struct {
+	// WarmupAccesses per core are simulated before measurement starts,
+	// letting counters, caches and row buffers reach steady state
+	// (standing in for the paper's 25B-instruction warmup).
+	WarmupAccesses uint64
+	// MeasureAccesses per core form the measurement window.
+	MeasureAccesses uint64
+	// FootprintScale shrinks Table II footprints (DESIGN.md: timing runs
+	// scale footprint and memory together to preserve cache-pressure
+	// ratios).
+	FootprintScale float64
+	// Seed perturbs the per-core generators.
+	Seed uint64
+}
+
+// DefaultRunOptions returns the settings used by cmd/experiments: the
+// footprint scale and the (proportionally scaled) metadata cache of the
+// presets are chosen together so that per-counter write intensity and
+// tree-level-to-cache size ratios both stay in the paper's regimes
+// (DESIGN.md, substitutions).
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		WarmupAccesses:  500_000,
+		MeasureAccesses: 500_000,
+		FootprintScale:  1.0 / 128,
+		Seed:            1,
+	}
+}
+
+// system wires cores, the (optional) shared LLC, the metadata engine, and
+// DRAM together.
+type system struct {
+	cfg   Config
+	dram  *dram.DRAM
+	eng   *engine      // nil when non-secure
+	llc   *cache.Cache // nil unless DataCacheBytes is set
+	stats Stats
+	cores []*core
+}
+
+// dataRead routes a demand read through the LLC (if modeled) and the
+// security layer (if any).
+func (s *system) dataRead(at uint64, addr uint64) uint64 {
+	if s.llc != nil {
+		if s.llc.Access(addr, false) {
+			s.stats.recordReadLatency(s.cfg.LLCHitLatencyCPU)
+			return s.cfg.LLCHitLatencyCPU
+		}
+		lat := s.memRead(at, addr)
+		if victim, evicted := s.llc.Fill(addr, false); evicted && victim.Dirty {
+			s.memWrite(at+lat, victim.Addr)
+		}
+		s.stats.recordReadLatency(lat)
+		return lat
+	}
+	lat := s.memRead(at, addr)
+	s.stats.recordReadLatency(lat)
+	return lat
+}
+
+// dataWrite routes a store/writeback. With an LLC it is a write-allocate
+// cache write whose memory cost is deferred to the dirty eviction; without
+// one it is a memory-level writeback (the bundled traces' semantics).
+func (s *system) dataWrite(at uint64, addr uint64) uint64 {
+	if s.llc != nil {
+		if s.llc.Access(addr, true) {
+			return s.cfg.LLCHitLatencyCPU
+		}
+		lat := s.memRead(at, addr) // write-allocate fill
+		if victim, evicted := s.llc.Fill(addr, true); evicted && victim.Dirty {
+			s.memWrite(at+lat, victim.Addr)
+		}
+		return lat
+	}
+	return s.memWrite(at, addr)
+}
+
+// memRead issues a memory-level demand read through the security layer.
+func (s *system) memRead(at uint64, addr uint64) uint64 {
+	if s.eng != nil {
+		return s.eng.dataRead(at, addr)
+	}
+	s.stats.DataReads++
+	return dramAccess(s.dram, s.cfg, &s.stats, at, addr, false, CatData)
+}
+
+// memWrite issues a memory-level writeback through the security layer.
+func (s *system) memWrite(at uint64, addr uint64) uint64 {
+	if s.eng != nil {
+		return s.eng.dataWrite(at, addr)
+	}
+	s.stats.DataWrites++
+	return dramAccess(s.dram, s.cfg, &s.stats, at, addr, true, CatData)
+}
+
+// newMappers builds per-core virtual-to-physical translations implementing
+// the random page-allocation policy of Table I. Physical frames are drawn
+// from a dense resident set sized to the combined footprint (as an OS
+// hands out frames from its free list), and scattered by an affine
+// permutation — so hot and cold pages from all cores intersperse in
+// physical memory, the behavior that makes tree-counter usage sparse
+// (Section III-A), while neighboring frames still mostly belong to live
+// pages.
+func newMappers(cfg Config, footprints []uint64) []func(uint64) uint64 {
+	maxLines := cfg.MemoryBytes / 64 / uint64(cfg.Cores)
+	offsets := make([]uint64, len(footprints))
+	var totalPages uint64
+	clamped := make([]uint64, len(footprints))
+	for i, fp := range footprints {
+		if fp > maxLines {
+			fp = maxLines
+		}
+		clamped[i] = fp
+		offsets[i] = totalPages
+		totalPages += (fp + 63) / 64
+	}
+	if totalPages == 0 {
+		totalPages = 1
+	}
+	// Affine permutation p = (a*g) mod N is bijective when gcd(a, N) = 1.
+	a := uint64(2654435761)
+	for gcd(a, totalPages) != 1 {
+		a += 2
+	}
+	mappers := make([]func(uint64) uint64, len(footprints))
+	for i := range footprints {
+		offset := offsets[i]
+		lines := clamped[i]
+		mappers[i] = func(line uint64) uint64 {
+			line %= lines
+			gpage := offset + line/64
+			p := (gpage % totalPages) * a % totalPages
+			return (p*64 + line%64) * 64
+		}
+	}
+	return mappers
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Run simulates one workload under one configuration.
+func Run(cfg Config, w workloads.Workload, opt RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Cores) != cfg.Cores {
+		return nil, fmt.Errorf("sim: workload %s has %d cores, config %s expects %d",
+			w.Name, len(w.Cores), cfg.Name, cfg.Cores)
+	}
+	if opt.MeasureAccesses == 0 || opt.FootprintScale <= 0 {
+		return nil, fmt.Errorf("sim: invalid run options %+v", opt)
+	}
+
+	d, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	sys := &system{cfg: cfg, dram: d}
+	sys.eng, err = newEngine(cfg, d, &sys.stats)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DataCacheBytes > 0 {
+		ways := cfg.DataCacheWays
+		if ways == 0 {
+			ways = 8
+		}
+		sys.llc, err = cache.New(cfg.DataCacheBytes, ways, 64)
+		if err != nil {
+			return nil, err
+		}
+	}
+	footprints := make([]uint64, len(w.Cores))
+	for i, bench := range w.Cores {
+		footprints[i] = bench.FootprintLines(opt.FootprintScale, cfg.Cores)
+	}
+	mappers := newMappers(cfg, footprints)
+	for i, bench := range w.Cores {
+		sys.cores = append(sys.cores, &core{
+			id:     i,
+			gen:    bench.Generator(opt.FootprintScale, cfg.Cores, opt.Seed+uint64(i)*7919),
+			mapper: mappers[i],
+		})
+	}
+
+	total := opt.WarmupAccesses + opt.MeasureAccesses
+	var warmBase Stats
+	warmCycles := make([]uint64, len(sys.cores))
+	warmInstr := make([]uint64, len(sys.cores))
+	doneCycles := make([]uint64, len(sys.cores))
+	doneInstr := make([]uint64, len(sys.cores))
+	warmed := opt.WarmupAccesses == 0
+	remaining := len(sys.cores)
+
+	// Event-driven interleaving: always advance the core with the
+	// earliest local clock, so DRAM sees requests in near time order.
+	// As in USIMM's rate mode, cores that finish their quota keep
+	// running (the generators are infinite) so the slowest cores always
+	// see full contention; each core's IPC is measured at its own quota
+	// boundary.
+	// overrunCap bounds how far past its quota a fast core keeps
+	// generating contention while slower cores finish.
+	overrunCap := 3 * total
+	for remaining > 0 {
+		var next *core
+		for _, c := range sys.cores {
+			if c.accesses >= overrunCap && c.accesses >= total {
+				continue
+			}
+			if next == nil || c.time < next.time {
+				next = c
+			}
+		}
+		if next == nil {
+			// Every unfinished core is already past the overrun
+			// cap (cannot happen: unfinished => accesses < total).
+			break
+		}
+		next.step(sys)
+		if next.accesses == total {
+			doneCycles[next.id] = next.time
+			doneInstr[next.id] = next.instret
+			remaining--
+		}
+
+		if !warmed {
+			done := true
+			for _, c := range sys.cores {
+				if c.accesses < opt.WarmupAccesses {
+					done = false
+					break
+				}
+			}
+			if done {
+				warmed = true
+				sys.snapshotInto(&warmBase)
+				for i, c := range sys.cores {
+					warmCycles[i] = c.time
+					warmInstr[i] = c.instret
+				}
+			}
+		}
+	}
+
+	var final Stats
+	sys.snapshotInto(&final)
+	st := final.sub(&warmBase)
+
+	res := &Result{Config: cfg.Name, Workload: w.Name}
+	var maxCycles uint64
+	for i := range sys.cores {
+		cyc := doneCycles[i] - warmCycles[i]
+		ins := doneInstr[i] - warmInstr[i]
+		st.Instructions += ins
+		if cyc > maxCycles {
+			maxCycles = cyc
+		}
+		ipc := 0.0
+		if cyc > 0 {
+			ipc = float64(ins) / float64(cyc)
+		}
+		res.PerCoreIPC = append(res.PerCoreIPC, ipc)
+	}
+	st.Cycles = maxCycles
+	var ipcSum float64
+	for _, v := range res.PerCoreIPC {
+		ipcSum += v
+	}
+	res.IPC = ipcSum / float64(len(res.PerCoreIPC))
+	res.Stats = st
+	res.Seconds = float64(maxCycles) / cfg.CPUHz
+	res.Energy = cfg.Energy.Compute(st.DRAM, res.Seconds, cfg.Cores)
+	return res, nil
+}
+
+// snapshotInto copies current cumulative stats (including cache and DRAM
+// counters) into dst.
+func (s *system) snapshotInto(dst *Stats) {
+	*dst = s.stats
+	dst.Overflows = append([]uint64(nil), s.stats.Overflows...)
+	dst.Rebases = append([]uint64(nil), s.stats.Rebases...)
+	dst.Increments = append([]uint64(nil), s.stats.Increments...)
+	if s.eng != nil {
+		dst.MetaCache = s.eng.mcache.Stats()
+	}
+	dst.DRAM = s.dram.Stats()
+}

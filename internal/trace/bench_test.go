@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"testing"
+)
+
+func benchGen(b *testing.B, g Generator) {
+	b.Helper()
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next().Line
+	}
+	_ = sink
+}
+
+func BenchmarkStream(b *testing.B) { benchGen(b, NewStream(1<<20, NewRates(24, 10), 1)) }
+func BenchmarkRandom(b *testing.B) { benchGen(b, NewRandom(1<<20, NewRates(69, 2), 1)) }
+func BenchmarkHotCold(b *testing.B) {
+	benchGen(b, NewHotCold(1<<20, NewRates(19, 8), 0.05, 0.85, true, 1))
+}
+func BenchmarkBurst(b *testing.B) { benchGen(b, NewBurst(1<<20, NewRates(61, 24), 16, 1)) }
+
+// FuzzParseRecord: arbitrary text must parse or fail cleanly, and valid
+// records must round-trip through the writer format.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("12 R 100")
+	f.Add("0 W 0")
+	f.Add("bogus line here")
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := parseRecord(text)
+		if err != nil {
+			return
+		}
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		back, err := parseRecord(formatRecord(a.Gap, op, a.Line))
+		if err != nil || back != a {
+			t.Fatalf("round trip failed: %+v -> %v %+v", a, err, back)
+		}
+	})
+}
+
+func formatRecord(gap uint32, op string, line uint64) string {
+	return itoa(uint64(gap)) + " " + op + " " + itoa(line)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

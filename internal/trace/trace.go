@@ -1,0 +1,352 @@
+// Package trace generates the synthetic memory-access streams that stand in
+// for the paper's SPEC 2006 / GAP traces (DESIGN.md, substitutions). A trace
+// is the post-LLC view USIMM consumes: each record is a memory read or a
+// writeback, preceded by a count of non-memory instructions.
+//
+// Counter-overflow behavior — the phenomenon the paper's design targets —
+// depends only on how writes distribute over counter cachelines (Figure 7's
+// sparse-vs-uniform split), so each generator reproduces one of the paper's
+// usage classes: streaming (uniform within write-heavy pages), uniform
+// random (sparse), hot/cold paged (interspersed hot pages), and bursty
+// pointer-chasing (graph workloads).
+package trace
+
+// Access is one memory-level event in a core's instruction stream.
+type Access struct {
+	// Gap is the number of non-memory instructions retired before this
+	// access (sets the memory intensity, i.e. the PKI of Table II).
+	Gap uint32
+	// Write marks a writeback to memory (vs a demand read).
+	Write bool
+	// Line is the accessed data line index within the core's footprint
+	// (0 .. FootprintLines-1); the simulator maps it to a physical line.
+	Line uint64
+}
+
+// Generator produces an infinite access stream deterministically from its
+// seed.
+type Generator interface {
+	Next() Access
+}
+
+// rng is xorshift64*: fast, deterministic, good enough for workload
+// synthesis.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Rates turns Table II's read/write PKI into gap and write-ratio parameters.
+type Rates struct {
+	meanGap    float64
+	writeRatio float64
+}
+
+// NewRates builds access rates from memory reads and writes per kilo
+// instruction.
+func NewRates(readPKI, writePKI float64) Rates {
+	total := readPKI + writePKI
+	if total <= 0 {
+		total = 0.1
+	}
+	gap := 1000/total - 1
+	if gap < 0 {
+		gap = 0
+	}
+	return Rates{meanGap: gap, writeRatio: writePKI / total}
+}
+
+// sample draws (gap, write) for the next access: gaps are uniform on
+// [0, 2*mean] (mean-preserving), writes are Bernoulli at the PKI ratio.
+func (ra Rates) sample(r *rng) (uint32, bool) {
+	gap := uint32(r.float() * 2 * ra.meanGap)
+	return gap, r.float() < ra.writeRatio
+}
+
+// LinesPerPage is the number of cachelines in a 4 KB page.
+const LinesPerPage = 64
+
+// Stream generates sequential accesses sweeping the footprint, the
+// streaming pattern of libquantum/gcc/lbm. Reads follow a sequential read
+// pointer; writebacks follow their own sequential write pointer at the
+// write-PKI rate — the LLC of a streaming application evicts dirty lines in
+// address order, so every line of the footprint is written equally often.
+// That near-zero spread between minor counters is what lets Minor Counter
+// Rebasing absorb overflows indefinitely (Section IV).
+type Stream struct {
+	r     rng
+	rates Rates
+	lines uint64
+	rpos  uint64
+	wpos  uint64
+	wacc  float64
+}
+
+// NewStream returns a streaming generator over footprintLines.
+func NewStream(footprintLines uint64, rates Rates, seed uint64) *Stream {
+	return &Stream{r: newRNG(seed), rates: rates, lines: footprintLines,
+		wpos: footprintLines / 2} // writes trail reads, out of phase
+}
+
+// Next implements Generator.
+func (g *Stream) Next() Access {
+	gap, _ := g.rates.sample(&g.r)
+	g.wacc += g.rates.writeRatio
+	if g.wacc >= 1 {
+		g.wacc--
+		line := g.wpos
+		g.wpos = (g.wpos + 1) % g.lines
+		return Access{Gap: gap, Write: true, Line: line}
+	}
+	line := g.rpos
+	g.rpos = (g.rpos + 1) % g.lines
+	return Access{Gap: gap, Write: false, Line: line}
+}
+
+// WriteAlign concentrates an irregular workload's writes onto every
+// WriteAlign-th line: pointer-chasing programs read broadly but write a
+// narrower set (rank arrays, visited flags), which is what keeps their
+// counter-cacheline usage below 25% at overflow time (Figure 7's sparse
+// mode).
+const WriteAlign = 4
+
+// WritePageFrac is the fraction of an irregular workload's pages that
+// receive its writes. Reads roam the whole working set, but the written
+// state (rank arrays, visited flags, allocator metadata) lives in a
+// smaller set of pages interspersed among read-only ones — which is what
+// leaves tree-level-1 counter usage sparse (Section III-A) and produces
+// Figure 7's <25% overflow mode.
+const WritePageFrac = 0.15
+
+// Random generates uniform random reads over the footprint with writes
+// concentrated on scattered hot pages — the pointer-chasing pattern of
+// mcf/omnetpp and the Twitter graph kernels.
+type Random struct {
+	r          rng
+	rates      Rates
+	lines      uint64
+	writePages uint64
+	pages      uint64
+}
+
+// NewRandom returns a uniform-random generator over footprintLines.
+func NewRandom(footprintLines uint64, rates Rates, seed uint64) *Random {
+	pages := footprintLines / LinesPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	wp := uint64(float64(pages) * WritePageFrac)
+	if wp == 0 {
+		wp = 1
+	}
+	return &Random{r: newRNG(seed), rates: rates, lines: footprintLines,
+		pages: pages, writePages: wp}
+}
+
+// Next implements Generator.
+func (g *Random) Next() Access {
+	gap, write := g.rates.sample(&g.r)
+	if write {
+		return Access{Gap: gap, Write: true, Line: hotWriteLine(&g.r, g.lines, g.pages, g.writePages)}
+	}
+	return Access{Gap: gap, Write: false, Line: g.r.intn(g.lines)}
+}
+
+// hotWriteLine picks a write target: a scattered hot page, and within it a
+// WriteAlign-aligned line (writes touch a quarter of a page's lines).
+func hotWriteLine(r *rng, lines, pages, writePages uint64) uint64 {
+	page := (r.intn(writePages)*2654435761 + 0x5BD1) % pages
+	return (page*LinesPerPage + (r.intn(LinesPerPage) &^ (WriteAlign - 1))) % lines
+}
+
+// Adversary generates the pathological denial-of-service write pattern of
+// Section V against MorphCtr-128 lines: within one 4 KB page (64 counters
+// of a 128-counter cacheline — contiguous even under page-granular frame
+// scatter), write once to 52 distinct lines — forcing ZCC down to 4-bit
+// counters — then hammer a single line until it overflows, and move to the
+// next page. Every ~67 writes trigger a 128-line re-encryption storm.
+type Adversary struct {
+	r     rng
+	rates Rates
+	lines uint64
+	page  uint64
+	phase int // 0..51 touch distinct lines, 52.. hammer line 0
+}
+
+// AdversaryWritesPerOverflow is the attack's write cost per forced
+// overflow (Section V: 67).
+const AdversaryWritesPerOverflow = 67
+
+// NewAdversary returns the pathological write generator. Reads (at the
+// read PKI) scan uniformly so the attacker looks like a normal program.
+func NewAdversary(footprintLines uint64, rates Rates, seed uint64) *Adversary {
+	pages := footprintLines / LinesPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	return &Adversary{r: newRNG(seed), rates: rates, lines: pages * LinesPerPage}
+}
+
+// Next implements Generator.
+func (g *Adversary) Next() Access {
+	gap, write := g.rates.sample(&g.r)
+	if !write {
+		return Access{Gap: gap, Write: false, Line: g.r.intn(g.lines)}
+	}
+	base := g.page * LinesPerPage
+	var line uint64
+	if g.phase < 52 {
+		// One write each to 52 distinct counters of the page.
+		line = base + uint64(g.phase)
+	} else {
+		// Hammer one counter; at 4-bit sizing it overflows after 15
+		// more writes.
+		line = base
+	}
+	g.phase++
+	if g.phase >= AdversaryWritesPerOverflow {
+		g.phase = 0
+		g.page = (g.page + 1) % (g.lines / LinesPerPage)
+	}
+	return Access{Gap: gap, Write: true, Line: line % g.lines}
+}
+
+// HotCold divides the footprint into 4 KB pages, a fraction of which are
+// "hot" and absorb most of the traffic — Section III-A's interspersed
+// hot/cold pages that make tree-level-1 counter usage sparse. Within a hot
+// page, lines are chosen with a skew so usage is neither fully sparse nor
+// fully uniform (the GemsFDTD-like middle regime).
+type HotCold struct {
+	r        rng
+	rates    Rates
+	pages    uint64
+	hotPages uint64
+	hotProb  float64
+	skew     bool
+}
+
+// NewHotCold returns a hot/cold generator: hotFrac of pages receive hotProb
+// of the accesses. skew concentrates within-page accesses on a few lines.
+func NewHotCold(footprintLines uint64, rates Rates, hotFrac, hotProb float64, skew bool, seed uint64) *HotCold {
+	pages := footprintLines / LinesPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	hot := uint64(float64(pages) * hotFrac)
+	if hot == 0 {
+		hot = 1
+	}
+	return &HotCold{
+		r: newRNG(seed), rates: rates, pages: pages,
+		hotPages: hot, hotProb: hotProb, skew: skew,
+	}
+}
+
+// pageAt scatters hot pages through the footprint (hot and cold pages are
+// interspersed in memory, not clustered).
+func (g *HotCold) pageAt(hotIdx uint64) uint64 {
+	// Odd-multiplier hashing spreads hot page indices over all pages.
+	return (hotIdx*2654435761 + 0x5BD1) % g.pages
+}
+
+// Next implements Generator.
+func (g *HotCold) Next() Access {
+	gap, write := g.rates.sample(&g.r)
+	var page uint64
+	if g.r.float() < g.hotProb {
+		page = g.pageAt(g.r.intn(g.hotPages))
+	} else {
+		page = g.r.intn(g.pages)
+	}
+	var lineIn uint64
+	if g.skew {
+		// Triangular skew: favor low line indices within the page —
+		// the neither-sparse-nor-uniform middle regime.
+		a, b := g.r.intn(LinesPerPage), g.r.intn(LinesPerPage)
+		if a < b {
+			lineIn = a
+		} else {
+			lineIn = b
+		}
+	} else {
+		lineIn = g.r.intn(LinesPerPage)
+		if write {
+			// As in Random: the written state within a page is a
+			// subset of what is read.
+			lineIn &^= WriteAlign - 1
+		}
+	}
+	return Access{Gap: gap, Write: write, Line: page*LinesPerPage + lineIn}
+}
+
+// Burst generates short sequential read runs from random starting points —
+// the neighbor-list scans of betweenness-centrality and similar kernels —
+// with writes concentrated on scattered hot pages, like Random.
+type Burst struct {
+	r          rng
+	rates      Rates
+	lines      uint64
+	runMean    uint64
+	pos        uint64
+	left       uint64
+	pages      uint64
+	writePages uint64
+}
+
+// NewBurst returns a bursty generator with geometric run lengths of mean
+// runMean lines.
+func NewBurst(footprintLines uint64, rates Rates, runMean uint64, seed uint64) *Burst {
+	if runMean == 0 {
+		runMean = 1
+	}
+	pages := footprintLines / LinesPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	wp := uint64(float64(pages) * WritePageFrac)
+	if wp == 0 {
+		wp = 1
+	}
+	return &Burst{r: newRNG(seed), rates: rates, lines: footprintLines,
+		runMean: runMean, pages: pages, writePages: wp}
+}
+
+// Next implements Generator.
+func (g *Burst) Next() Access {
+	gap, write := g.rates.sample(&g.r)
+	if write {
+		return Access{Gap: gap, Write: true, Line: hotWriteLine(&g.r, g.lines, g.pages, g.writePages)}
+	}
+	if g.left == 0 {
+		g.pos = g.r.intn(g.lines)
+		g.left = 1 + g.r.intn(2*g.runMean)
+	}
+	line := g.pos
+	g.pos = (g.pos + 1) % g.lines
+	g.left--
+	return Access{Gap: gap, Write: false, Line: line}
+}

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func collect(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestRatesFromPKI(t *testing.T) {
+	// 20 reads + 5 writes PKI: one access per 40 instructions on average,
+	// 20% writes.
+	ra := NewRates(20, 5)
+	if math.Abs(ra.meanGap-39) > 0.01 {
+		t.Errorf("mean gap = %v, want 39", ra.meanGap)
+	}
+	if math.Abs(ra.writeRatio-0.2) > 1e-9 {
+		t.Errorf("write ratio = %v", ra.writeRatio)
+	}
+	// Degenerate rates stay sane.
+	ra = NewRates(0, 0)
+	if ra.meanGap <= 0 || math.IsInf(ra.meanGap, 0) {
+		t.Errorf("degenerate mean gap = %v", ra.meanGap)
+	}
+}
+
+func TestEmpiricalPKI(t *testing.T) {
+	// The generated stream's accesses-per-instruction must match the
+	// requested PKI within sampling error.
+	g := NewRandom(1<<20, NewRates(24, 10), 7)
+	n := 200000
+	var instr, writes uint64
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		instr += uint64(a.Gap) + 1
+		if a.Write {
+			writes++
+		}
+	}
+	pki := float64(n) / float64(instr) * 1000
+	if pki < 30 || pki > 38 { // requested 34
+		t.Errorf("empirical PKI = %.1f, want ~34", pki)
+	}
+	wr := float64(writes) / float64(n)
+	if wr < 0.27 || wr > 0.32 { // requested 10/34 = 0.294
+		t.Errorf("write ratio = %.3f, want ~0.294", wr)
+	}
+}
+
+func TestStreamIsSequential(t *testing.T) {
+	g := NewStream(1000, NewRates(10, 5), 1)
+	acc := collect(g, 3000)
+	var lastRead, lastWrite uint64
+	var sawRead, sawWrite bool
+	for i, a := range acc {
+		if a.Write {
+			if sawWrite && a.Line != (lastWrite+1)%1000 {
+				t.Fatalf("write %d at line %d, want %d", i, a.Line, (lastWrite+1)%1000)
+			}
+			lastWrite, sawWrite = a.Line, true
+		} else {
+			if sawRead && a.Line != (lastRead+1)%1000 {
+				t.Fatalf("read %d at line %d, want %d", i, a.Line, (lastRead+1)%1000)
+			}
+			lastRead, sawRead = a.Line, true
+		}
+	}
+	if !sawRead || !sawWrite {
+		t.Fatal("stream missing reads or writes")
+	}
+}
+
+func TestStreamWritesUniform(t *testing.T) {
+	// Every line must receive the same number of writes (+-1): the
+	// uniform usage that makes rebasing effective.
+	lines := uint64(500)
+	g := NewStream(lines, NewRates(20, 10), 2)
+	counts := make([]int, lines)
+	for i := 0; i < 30000; i++ {
+		if a := g.Next(); a.Write {
+			counts[a.Line]++
+		}
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("write spread = %d (min %d, max %d), want <= 1", max-min, min, max)
+	}
+}
+
+func TestStreamCoversFootprintUniformly(t *testing.T) {
+	// Streaming writes must hit every line of the footprint — the uniform
+	// counter usage that defeats ZCC and motivates rebasing.
+	lines := uint64(256)
+	g := NewStream(lines, NewRates(10, 10), 1)
+	seen := map[uint64]int{}
+	for i := 0; i < int(lines)*4; i++ {
+		a := g.Next()
+		if a.Write {
+			seen[a.Line]++
+		}
+	}
+	if len(seen) < int(lines)*3/4 {
+		t.Fatalf("writes covered only %d/%d lines", len(seen), lines)
+	}
+}
+
+func TestRandomIsSparsePerCounterLine(t *testing.T) {
+	// Uniform random over a large footprint must use counter lines
+	// sparsely: with footprint >> accesses, most touched 128-line groups
+	// see few distinct lines.
+	lines := uint64(1 << 22)
+	g := NewRandom(lines, NewRates(50, 10), 3)
+	groups := map[uint64]map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		a := g.Next()
+		grp := a.Line / 128
+		if groups[grp] == nil {
+			groups[grp] = map[uint64]bool{}
+		}
+		groups[grp][a.Line] = true
+	}
+	sparse := 0
+	for _, s := range groups {
+		if len(s) <= 32 { // <= 25% of the 128-counter line
+			sparse++
+		}
+	}
+	if frac := float64(sparse) / float64(len(groups)); frac < 0.95 {
+		t.Fatalf("only %.2f of counter-line groups sparse", frac)
+	}
+}
+
+func TestRandomWritesConcentrateOnHotPages(t *testing.T) {
+	// Writes must land on ~WritePageFrac of the pages, on aligned lines;
+	// reads must roam the whole footprint.
+	pages := uint64(1000)
+	g := NewRandom(pages*LinesPerPage, NewRates(50, 20), 5)
+	writePages := map[uint64]bool{}
+	readPages := map[uint64]bool{}
+	for i := 0; i < 200000; i++ {
+		a := g.Next()
+		if a.Write {
+			writePages[a.Line/LinesPerPage] = true
+			if a.Line%WriteAlign != 0 {
+				t.Fatalf("write line %d not aligned", a.Line)
+			}
+		} else {
+			readPages[a.Line/LinesPerPage] = true
+		}
+	}
+	if len(writePages) > int(float64(pages)*WritePageFrac*1.1) {
+		t.Fatalf("writes touched %d pages, want <= ~%d", len(writePages), int(float64(pages)*WritePageFrac))
+	}
+	if len(readPages) < int(pages)*9/10 {
+		t.Fatalf("reads touched only %d/%d pages", len(readPages), pages)
+	}
+	// Hot write pages must be interspersed, not clustered at the front.
+	var maxPage uint64
+	for p := range writePages {
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	if maxPage < pages/2 {
+		t.Fatalf("write pages clustered in [0, %d]", maxPage)
+	}
+}
+
+func TestRandomInBounds(t *testing.T) {
+	g := NewRandom(777, NewRates(10, 2), 9)
+	for _, a := range collect(g, 10000) {
+		if a.Line >= 777 {
+			t.Fatalf("line %d out of bounds", a.Line)
+		}
+	}
+}
+
+func TestHotColdConcentratesTraffic(t *testing.T) {
+	lines := uint64(64 * 1000) // 1000 pages
+	g := NewHotCold(lines, NewRates(19, 8), 0.05, 0.9, false, 11)
+	pageHits := map[uint64]int{}
+	n := 100000
+	for i := 0; i < n; i++ {
+		pageHits[g.Next().Line/LinesPerPage]++
+	}
+	// The top 5% of pages must hold ~90% of accesses.
+	hot := 0
+	for _, c := range pageHits {
+		if c > n/1000 { // clearly above the uniform share
+			hot += c
+		}
+	}
+	if frac := float64(hot) / float64(n); frac < 0.8 {
+		t.Fatalf("hot pages hold only %.2f of traffic", frac)
+	}
+}
+
+func TestHotColdPagesInterspersed(t *testing.T) {
+	// Hot pages must be scattered through the footprint, not clustered at
+	// the front (Section III-A: hot pages interspersed with cold ones).
+	g := NewHotCold(64*1024, NewRates(10, 5), 0.03, 1.0, false, 5)
+	var minPage, maxPage uint64 = math.MaxUint64, 0
+	for i := 0; i < 10000; i++ {
+		p := g.Next().Line / LinesPerPage
+		if p < minPage {
+			minPage = p
+		}
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	if maxPage-minPage < 512 {
+		t.Fatalf("hot pages clustered in [%d, %d]", minPage, maxPage)
+	}
+}
+
+func TestHotColdSkewLimitsWithinPageCoverage(t *testing.T) {
+	gSkew := NewHotCold(64*100, NewRates(10, 5), 0.1, 1.0, true, 3)
+	gFlat := NewHotCold(64*100, NewRates(10, 5), 0.1, 1.0, false, 3)
+	count := func(g Generator) float64 {
+		var sum float64
+		n := 50000
+		for i := 0; i < n; i++ {
+			sum += float64(g.Next().Line % LinesPerPage)
+		}
+		return sum / float64(n)
+	}
+	if count(gSkew) >= count(gFlat) {
+		t.Fatal("skewed generator does not favor low line indices")
+	}
+}
+
+func TestBurstRuns(t *testing.T) {
+	g := NewBurst(1<<20, NewRates(60, 24), 8, 13)
+	acc := collect(g, 10000)
+	sequential := 0
+	for i := 1; i < len(acc); i++ {
+		if acc[i].Line == acc[i-1].Line+1 {
+			sequential++
+		}
+	}
+	frac := float64(sequential) / float64(len(acc))
+	// Reads run sequentially; writes (~28% here) jump to hot pages.
+	if frac < 0.3 || frac > 0.9 {
+		t.Fatalf("sequential fraction = %.2f, want bursty middle ground", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []Generator {
+		ra := NewRates(20, 10)
+		return []Generator{
+			NewStream(1000, ra, 42),
+			NewRandom(1000, ra, 42),
+			NewHotCold(64*100, ra, 0.1, 0.9, true, 42),
+			NewBurst(1000, ra, 8, 42),
+		}
+	}
+	a, b := mk(), mk()
+	for gi := range a {
+		for i := 0; i < 1000; i++ {
+			if a[gi].Next() != b[gi].Next() {
+				t.Fatalf("generator %d not deterministic at access %d", gi, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	g1 := NewRandom(1<<20, NewRates(20, 5), 1)
+	g2 := NewRandom(1<<20, NewRates(20, 5), 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if g1.Next().Line == g2.Next().Line {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 identical lines", same)
+	}
+}
+
+func TestZeroFootprintSafe(t *testing.T) {
+	// Degenerate footprints must not panic or divide by zero.
+	g := NewBurst(1, NewRates(1, 1), 0, 0)
+	for i := 0; i < 100; i++ {
+		if a := g.Next(); a.Line != 0 {
+			t.Fatalf("line %d in 1-line footprint", a.Line)
+		}
+	}
+	h := NewHotCold(10, NewRates(1, 1), 0.5, 0.5, false, 0)
+	for i := 0; i < 100; i++ {
+		h.Next()
+	}
+}

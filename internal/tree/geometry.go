@@ -1,0 +1,209 @@
+// Package tree models Bonsai-style counter integrity trees: their geometry
+// (per-level sizes and arities, Figures 1 and 17, Table III) and the index
+// arithmetic connecting data lines, encryption-counter lines, and tree
+// levels. The functional engine (internal/secmem) and the performance
+// simulator (internal/sim) both build on this package.
+//
+// Terminology follows the paper: the tree is constructed over the footprint
+// of the encryption counters ("level 0"); tree level 1 protects the
+// encryption-counter lines, level 2 protects level 1, and so on up to a
+// single-line root that is held on-chip. Arity is the number of counters per
+// cacheline-sized entry, which is the ratio by which each level shrinks.
+package tree
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/counters"
+)
+
+// LineBytes is the cacheline size used throughout (64 bytes).
+const LineBytes = counters.LineBytes
+
+// Level describes one level of the integrity tree.
+type Level struct {
+	// Level is 1-based: level 1 protects the encryption counters.
+	Level int
+	// Arity is the fan-in of entries at this level.
+	Arity int
+	// Entries is the number of cacheline-sized entries in the level.
+	Entries uint64
+	// Bytes is the storage footprint of the level.
+	Bytes uint64
+}
+
+// Geometry is the complete shape of a secure-memory metadata layout: the
+// encryption-counter region plus every integrity-tree level down to the
+// on-chip root.
+type Geometry struct {
+	// MemoryBytes is the protected data capacity.
+	MemoryBytes uint64
+	// DataLines is the number of 64-byte data cachelines protected.
+	DataLines uint64
+	// EncArity is the encryption-counter organization's counters/line.
+	EncArity int
+	// EncCounterLines is the number of encryption-counter cachelines
+	// (the base the tree is constructed over).
+	EncCounterLines uint64
+	// Levels lists tree levels from level 1 up to and including the
+	// single-line root.
+	Levels []Level
+}
+
+// New computes the geometry for a memory of memoryBytes protected with
+// encArity encryption counters per line and the given tree arity schedule:
+// treeArities[0] is level 1's arity, treeArities[1] level 2's, with the last
+// element repeating for all deeper levels (VAULT uses [32, 16]; uniform
+// designs pass a single element).
+func New(memoryBytes uint64, encArity int, treeArities []int) (*Geometry, error) {
+	if memoryBytes == 0 || memoryBytes%LineBytes != 0 {
+		return nil, fmt.Errorf("tree: memory size %d is not a positive multiple of %d", memoryBytes, LineBytes)
+	}
+	if encArity <= 0 {
+		return nil, fmt.Errorf("tree: encryption arity %d must be positive", encArity)
+	}
+	if len(treeArities) == 0 {
+		return nil, fmt.Errorf("tree: at least one tree arity is required")
+	}
+	for _, a := range treeArities {
+		if a < 2 {
+			return nil, fmt.Errorf("tree: arity %d must be at least 2", a)
+		}
+	}
+	g := &Geometry{
+		MemoryBytes: memoryBytes,
+		DataLines:   memoryBytes / LineBytes,
+		EncArity:    encArity,
+	}
+	g.EncCounterLines = ceilDiv(g.DataLines, uint64(encArity))
+	entries := g.EncCounterLines
+	for lvl := 1; ; lvl++ {
+		arity := treeArities[min(lvl-1, len(treeArities)-1)]
+		entries = ceilDiv(entries, uint64(arity))
+		g.Levels = append(g.Levels, Level{
+			Level:   lvl,
+			Arity:   arity,
+			Entries: entries,
+			Bytes:   entries * LineBytes,
+		})
+		if entries <= 1 {
+			break
+		}
+		if lvl > 64 {
+			return nil, fmt.Errorf("tree: runaway level count (arity schedule %v)", treeArities)
+		}
+	}
+	return g, nil
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// NumLevels returns the number of tree levels, counting the root line
+// (paper convention: SC-64 at 16 GB has 4 levels, MorphCtr-128 has 3).
+func (g *Geometry) NumLevels() int { return len(g.Levels) }
+
+// EncCounterBytes returns the encryption-counter region's footprint.
+func (g *Geometry) EncCounterBytes() uint64 { return g.EncCounterLines * LineBytes }
+
+// TreeBytes returns the total integrity-tree footprint (all levels,
+// including the root line).
+func (g *Geometry) TreeBytes() uint64 {
+	var total uint64
+	for _, l := range g.Levels {
+		total += l.Bytes
+	}
+	return total
+}
+
+// EncOverheadPercent returns encryption-counter storage as a percentage of
+// protected memory (Table III).
+func (g *Geometry) EncOverheadPercent() float64 {
+	return 100 * float64(g.EncCounterBytes()) / float64(g.MemoryBytes)
+}
+
+// TreeOverheadPercent returns integrity-tree storage as a percentage of
+// protected memory (Table III).
+func (g *Geometry) TreeOverheadPercent() float64 {
+	return 100 * float64(g.TreeBytes()) / float64(g.MemoryBytes)
+}
+
+// LevelEntries returns the number of entries at a level, where level 0 is
+// the encryption-counter region and levels 1..NumLevels() are tree levels.
+func (g *Geometry) LevelEntries(level int) uint64 {
+	if level == 0 {
+		return g.EncCounterLines
+	}
+	return g.Levels[level-1].Entries
+}
+
+// LevelArity returns the counter arity at a level (level 0 = encryption).
+func (g *Geometry) LevelArity(level int) int {
+	if level == 0 {
+		return g.EncArity
+	}
+	return g.Levels[level-1].Arity
+}
+
+// EncSlot maps a data line index to its encryption-counter line and the
+// minor-counter slot within it.
+func (g *Geometry) EncSlot(dataLine uint64) (block uint64, slot int) {
+	return dataLine / uint64(g.EncArity), int(dataLine % uint64(g.EncArity))
+}
+
+// ParentSlot maps an entry at `level` (0 = encryption-counter line,
+// 1..NumLevels()-1 = tree line) to its protecting entry at level+1 and the
+// minor-counter slot within it.
+func (g *Geometry) ParentSlot(level int, index uint64) (parent uint64, slot int) {
+	arity := uint64(g.LevelArity(level + 1))
+	return index / arity, int(index % arity)
+}
+
+// RootLevel returns the level number of the single-line root.
+func (g *Geometry) RootLevel() int { return g.NumLevels() }
+
+// CacheResidentLevel returns the lowest tree level whose entire footprint,
+// together with everything above it, fits within cacheBytes. Writes do not
+// propagate above this level once the cache warms (Section II-C). Returns
+// NumLevels()+1 if not even the root fits (cacheBytes == 0).
+func (g *Geometry) CacheResidentLevel(cacheBytes uint64) int {
+	var cum uint64
+	// Walk from the root downwards, accumulating level footprints.
+	for i := len(g.Levels) - 1; i >= 0; i-- {
+		cum += g.Levels[i].Bytes
+		if cum > cacheBytes {
+			return g.Levels[i].Level + 1
+		}
+	}
+	return 1
+}
+
+// String renders the geometry as a compact per-level table.
+func (g *Geometry) String() string {
+	s := fmt.Sprintf("memory %s: enc ctrs (%d-ary) %s; tree %s, %d levels:",
+		FormatBytes(g.MemoryBytes), g.EncArity, FormatBytes(g.EncCounterBytes()),
+		FormatBytes(g.TreeBytes()), g.NumLevels())
+	for _, l := range g.Levels {
+		s += fmt.Sprintf(" L%d(%d-ary)=%s", l.Level, l.Arity, FormatBytes(l.Bytes))
+	}
+	return s
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20:
+		if b%(1<<20) == 0 {
+			return fmt.Sprintf("%dMB", b>>20)
+		}
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		if b%(1<<10) == 0 {
+			return fmt.Sprintf("%dKB", b>>10)
+		}
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,275 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const gb = 1 << 30
+
+// TestPaperGeometry16GB pins the exact tree shapes of Figure 17 and the
+// storage overheads of Table III for a 16 GB memory.
+func TestPaperGeometry16GB(t *testing.T) {
+	cases := []struct {
+		name       string
+		encArity   int
+		treeArity  []int
+		encBytes   uint64
+		levels     int
+		levelBytes []uint64 // level 1 upward
+	}{
+		{
+			// SGX-like: 8 counters per line for encryption and tree.
+			name: "SGX", encArity: 8, treeArity: []int{8},
+			encBytes: 2 * gb, levels: 9,
+			levelBytes: []uint64{256 << 20, 32 << 20, 4 << 20, 512 << 10, 64 << 10, 8 << 10, 1 << 10, 128, 64},
+		},
+		{
+			// VAULT: 64-ary encryption, 32-ary level 1, 16-ary above.
+			name: "VAULT", encArity: 64, treeArity: []int{32, 16},
+			encBytes: 256 << 20, levels: 6,
+			levelBytes: []uint64{8 << 20, 512 << 10, 32 << 10, 2 << 10, 128, 64},
+		},
+		{
+			// SC-64 baseline: 64-ary throughout.
+			name: "SC-64", encArity: 64, treeArity: []int{64},
+			encBytes: 256 << 20, levels: 4,
+			levelBytes: []uint64{4 << 20, 64 << 10, 1 << 10, 64},
+		},
+		{
+			// MorphCtr-128: 128-ary throughout.
+			name: "MorphCtr-128", encArity: 128, treeArity: []int{128},
+			encBytes: 128 << 20, levels: 3,
+			levelBytes: []uint64{1 << 20, 8 << 10, 64},
+		},
+	}
+	for _, c := range cases {
+		g, err := New(16*gb, c.encArity, c.treeArity)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := g.EncCounterBytes(); got != c.encBytes {
+			t.Errorf("%s: enc counters %s, want %s", c.name, FormatBytes(got), FormatBytes(c.encBytes))
+		}
+		if got := g.NumLevels(); got != c.levels {
+			t.Errorf("%s: %d levels, want %d (%v)", c.name, got, c.levels, g)
+		}
+		for i, want := range c.levelBytes {
+			if i >= len(g.Levels) {
+				break
+			}
+			if g.Levels[i].Bytes != want {
+				t.Errorf("%s: level %d = %s, want %s", c.name, i+1,
+					FormatBytes(g.Levels[i].Bytes), FormatBytes(want))
+			}
+		}
+	}
+}
+
+// TestTableIIITreeSizes pins Table III's headline tree sizes: VAULT 8.5 MB,
+// SC-64 4 MB, MorphCtr-128 1 MB (within the paper's rounding).
+func TestTableIIITreeSizes(t *testing.T) {
+	vault, _ := New(16*gb, 64, []int{32, 16})
+	sc64, _ := New(16*gb, 64, []int{64})
+	morph, _ := New(16*gb, 128, []int{128})
+	sgx, _ := New(16*gb, 8, []int{8})
+
+	approx := func(got uint64, wantMB float64) bool {
+		gotMB := float64(got) / (1 << 20)
+		return gotMB >= wantMB*0.97 && gotMB <= wantMB*1.07
+	}
+	if !approx(vault.TreeBytes(), 8.5) {
+		t.Errorf("VAULT tree = %s, want ~8.5MB", FormatBytes(vault.TreeBytes()))
+	}
+	if !approx(sc64.TreeBytes(), 4.0) {
+		t.Errorf("SC-64 tree = %s, want ~4MB", FormatBytes(sc64.TreeBytes()))
+	}
+	if !approx(morph.TreeBytes(), 1.0) {
+		t.Errorf("MorphCtr tree = %s, want ~1MB", FormatBytes(morph.TreeBytes()))
+	}
+	if !approx(sgx.TreeBytes(), 292.6) {
+		t.Errorf("SGX tree = %s, want ~292MB", FormatBytes(sgx.TreeBytes()))
+	}
+
+	// Relative claims: MorphTree is 4x smaller than baseline, 8.5x
+	// smaller than VAULT.
+	if r := float64(sc64.TreeBytes()) / float64(morph.TreeBytes()); r < 3.9 || r > 4.1 {
+		t.Errorf("SC-64/MorphCtr tree ratio = %.2f, want ~4", r)
+	}
+	if r := float64(vault.TreeBytes()) / float64(morph.TreeBytes()); r < 8.2 || r > 8.8 {
+		t.Errorf("VAULT/MorphCtr tree ratio = %.2f, want ~8.5", r)
+	}
+
+	// Table III overhead percentages.
+	if p := sc64.EncOverheadPercent(); p < 1.5 || p > 1.7 {
+		t.Errorf("SC-64 enc overhead = %.3f%%, want ~1.6%%", p)
+	}
+	if p := morph.EncOverheadPercent(); p < 0.7 || p > 0.9 {
+		t.Errorf("MorphCtr enc overhead = %.3f%%, want ~0.8%%", p)
+	}
+	if p := sgx.EncOverheadPercent(); p < 12.4 || p > 12.6 {
+		t.Errorf("SGX enc overhead = %.2f%%, want 12.5%%", p)
+	}
+	if p := morph.TreeOverheadPercent(); p > 0.0070 {
+		t.Errorf("MorphCtr tree overhead = %.4f%%, want ~0.006%%", p)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 64, []int{64}); err == nil {
+		t.Error("zero memory must fail")
+	}
+	if _, err := New(100, 64, []int{64}); err == nil {
+		t.Error("non-multiple memory must fail")
+	}
+	if _, err := New(gb, 0, []int{64}); err == nil {
+		t.Error("zero enc arity must fail")
+	}
+	if _, err := New(gb, 64, nil); err == nil {
+		t.Error("empty arity schedule must fail")
+	}
+	if _, err := New(gb, 64, []int{1}); err == nil {
+		t.Error("arity 1 must fail")
+	}
+}
+
+func TestIndexMath(t *testing.T) {
+	g, err := New(gb, 64, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, slot := g.EncSlot(0)
+	if block != 0 || slot != 0 {
+		t.Errorf("EncSlot(0) = %d,%d", block, slot)
+	}
+	block, slot = g.EncSlot(64*5 + 17)
+	if block != 5 || slot != 17 {
+		t.Errorf("EncSlot = %d,%d, want 5,17", block, slot)
+	}
+	parent, slot := g.ParentSlot(0, 64*3+9)
+	if parent != 3 || slot != 9 {
+		t.Errorf("ParentSlot(0) = %d,%d, want 3,9", parent, slot)
+	}
+}
+
+func TestIndexMathVariableArity(t *testing.T) {
+	g, err := New(gb, 64, []int{32, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LevelArity(1) != 32 || g.LevelArity(2) != 16 || g.LevelArity(3) != 16 {
+		t.Fatalf("arity schedule wrong: %d %d %d", g.LevelArity(1), g.LevelArity(2), g.LevelArity(3))
+	}
+	parent, slot := g.ParentSlot(0, 32*7+3)
+	if parent != 7 || slot != 3 {
+		t.Errorf("level-1 parent = %d,%d, want 7,3", parent, slot)
+	}
+	parent, slot = g.ParentSlot(1, 16*2+15)
+	if parent != 2 || slot != 15 {
+		t.Errorf("level-2 parent = %d,%d, want 2,15", parent, slot)
+	}
+}
+
+func TestCacheResidentLevel(t *testing.T) {
+	g, err := New(16*gb, 64, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels: L1 4MB, L2 64KB, L3 1KB, L4 64B.
+	if lvl := g.CacheResidentLevel(128 << 10); lvl != 2 {
+		t.Errorf("128KB cache holds levels >= %d, want 2", lvl)
+	}
+	if lvl := g.CacheResidentLevel(8 << 20); lvl != 1 {
+		t.Errorf("8MB cache holds levels >= %d, want 1", lvl)
+	}
+	if lvl := g.CacheResidentLevel(0); lvl != g.NumLevels()+1 {
+		t.Errorf("0B cache = %d, want %d", lvl, g.NumLevels()+1)
+	}
+	if lvl := g.CacheResidentLevel(512); lvl != 4 {
+		t.Errorf("512B cache holds levels >= %d, want 4 (root+L3 is 1088B)", lvl)
+	}
+}
+
+// Property: parent/child index math is a bijection — walking any data line
+// up to the root visits exactly one slot per level, and siblings sharing a
+// parent agree on the parent index.
+func TestQuickIndexAlgebra(t *testing.T) {
+	g, err := New(16*gb, 128, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(line uint64) bool {
+		line %= g.DataLines
+		block, slot := g.EncSlot(line)
+		if block*uint64(g.EncArity)+uint64(slot) != line {
+			return false
+		}
+		idx := block
+		for lvl := 0; lvl < g.NumLevels(); lvl++ {
+			parent, s := g.ParentSlot(lvl, idx)
+			if parent*uint64(g.LevelArity(lvl+1))+uint64(s) != idx {
+				return false
+			}
+			if parent >= g.LevelEntries(lvl+1) {
+				return false
+			}
+			idx = parent
+		}
+		return idx == 0 // the root is a single line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{64, "64B"}, {1 << 10, "1KB"}, {1 << 20, "1MB"}, {4 << 20, "4MB"},
+		{16 << 30, "16GB"}, {1536, "1.5KB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g, err := New(16*gb, 128, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	for _, want := range []string{"16GB", "128-ary", "3 levels", "1MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestScalingMonotonicity(t *testing.T) {
+	// Larger memories never shrink the tree, and MorphCtr stays at least
+	// 3.9x smaller than SC-64 at every capacity.
+	var prevMorph uint64
+	for _, gbs := range []uint64{1, 4, 16, 64, 256, 1024} {
+		morph, err := New(gbs<<30, 128, []int{128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := New(gbs<<30, 64, []int{64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if morph.TreeBytes() < prevMorph {
+			t.Fatalf("tree shrank at %dGB", gbs)
+		}
+		prevMorph = morph.TreeBytes()
+		if r := float64(sc.TreeBytes()) / float64(morph.TreeBytes()); r < 3.9 {
+			t.Errorf("at %dGB the SC-64/MorphCtr ratio fell to %.2f", gbs, r)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package workloads catalogs the paper's evaluation workloads: 16
+// memory-intensive SPEC 2006 benchmarks and 6 GAP graph kernels (Table II),
+// plus the six mixed workloads. Each benchmark carries its published
+// read/write PKI and memory footprint, and an access-pattern class chosen
+// to reproduce its counter-usage behavior (DESIGN.md, substitutions):
+//
+//   - Stream: regular sweeps (libquantum, gcc, lbm, ...) — uniform counter
+//     usage within write-heavy regions.
+//   - Random: pointer chasing over large working sets (mcf, omnetpp,
+//     pr/cc-twit) — sparse counter usage.
+//   - HotCold: hot pages interspersed with cold ones (web graphs,
+//     cactusADM) — sparse tree-counter usage.
+//   - HotColdSkew: the neither-sparse-nor-uniform middle regime
+//     (GemsFDTD), where both ZCC and rebasing struggle.
+//   - Burst: short sequential runs from random bases (bc kernels, bzip2).
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/trace"
+)
+
+// Pattern classifies a benchmark's memory-access behavior.
+type Pattern int
+
+// Pattern kinds.
+const (
+	Stream Pattern = iota
+	Random
+	HotCold
+	HotColdSkew
+	Burst
+	// Adversarial is Section V's pathological overflow-forcing writer
+	// (not part of Table II; used by the denial-of-service study).
+	Adversarial
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case Random:
+		return "random"
+	case HotCold:
+		return "hotcold"
+	case HotColdSkew:
+		return "hotcold-skew"
+	case Burst:
+		return "burst"
+	case Adversarial:
+		return "adversarial"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// AdversaryBenchmark returns Section V's pathological writer: a
+// write-heavy program crafted to force a counter overflow (and its
+// re-encryption storm) every ~67 writes.
+func AdversaryBenchmark() Benchmark {
+	return Benchmark{
+		Name: "adversary", Suite: "ATTACK",
+		ReadPKI: 10, WritePKI: 40,
+		Footprint: gbf(0.5), Pattern: Adversarial,
+	}
+}
+
+// AttackMix pairs one adversary core with victim copies of a benchmark —
+// the denial-of-service scenario Section V's fairness discussion targets.
+func AttackMix(victim Benchmark, cores int) Workload {
+	w := Workload{Name: "attack-" + victim.Name, Suite: "ATTACK"}
+	w.Cores = append(w.Cores, AdversaryBenchmark())
+	for i := 1; i < cores; i++ {
+		w.Cores = append(w.Cores, victim)
+	}
+	return w
+}
+
+// Benchmark is one program of Table II. Footprint is the paper's 4-core
+// total; the per-core footprint is a quarter of it.
+type Benchmark struct {
+	Name      string
+	Suite     string // "SPEC" or "GAP"
+	ReadPKI   float64
+	WritePKI  float64
+	Footprint uint64 // bytes, 4-core total as reported in Table II
+	Pattern   Pattern
+
+	// customGen, when set, replaces the synthetic pattern generator
+	// (recorded-trace replay); customLines is its footprint in lines.
+	customGen   func(seed uint64) trace.Generator
+	customLines uint64
+}
+
+// FromTrace builds a benchmark that replays a recorded access trace
+// (cycling when exhausted) instead of a synthetic pattern. Each core gets
+// its own replay cursor.
+func FromTrace(name string, accesses []trace.Access) (Benchmark, error) {
+	if _, err := trace.NewReplay(accesses); err != nil {
+		return Benchmark{}, err
+	}
+	var maxLine uint64
+	for _, a := range accesses {
+		if a.Line > maxLine {
+			maxLine = a.Line
+		}
+	}
+	recorded := append([]trace.Access(nil), accesses...)
+	return Benchmark{
+		Name:  name,
+		Suite: "TRACE",
+		customGen: func(seed uint64) trace.Generator {
+			g, err := trace.NewReplay(recorded)
+			if err != nil {
+				panic(err) // validated above
+			}
+			// Offset cores so rate-mode replays do not lockstep.
+			for i := uint64(0); i < seed%uint64(len(recorded)); i++ {
+				g.Next()
+			}
+			return g
+		},
+		customLines: maxLine + 1,
+	}, nil
+}
+
+// gbf converts a Table II footprint in GB to bytes.
+func gbf(x float64) uint64 { return uint64(x * float64(1<<30)) }
+
+// Table2 is the paper's workload table, in paper order.
+var Table2 = []Benchmark{
+	{Name: "mcf", Suite: "SPEC", ReadPKI: 69, WritePKI: 2, Footprint: gbf(7.5), Pattern: Random},
+	{Name: "omnetpp", Suite: "SPEC", ReadPKI: 18, WritePKI: 9, Footprint: gbf(0.6), Pattern: Random},
+	{Name: "xalancbmk", Suite: "SPEC", ReadPKI: 4, WritePKI: 3, Footprint: gbf(1.1), Pattern: Random},
+	{Name: "GemsFDTD", Suite: "SPEC", ReadPKI: 19, WritePKI: 8, Footprint: gbf(3.1), Pattern: HotColdSkew},
+	{Name: "milc", Suite: "SPEC", ReadPKI: 19, WritePKI: 7, Footprint: gbf(2.3), Pattern: Stream},
+	{Name: "soplex", Suite: "SPEC", ReadPKI: 28, WritePKI: 6, Footprint: gbf(1.0), Pattern: Burst},
+	{Name: "bzip2", Suite: "SPEC", ReadPKI: 5, WritePKI: 1.4, Footprint: gbf(1.2), Pattern: Burst},
+	{Name: "zeusmp", Suite: "SPEC", ReadPKI: 5, WritePKI: 1.9, Footprint: gbf(1.9), Pattern: Stream},
+	{Name: "sphinx", Suite: "SPEC", ReadPKI: 14, WritePKI: 1.4, Footprint: gbf(0.1), Pattern: Stream},
+	{Name: "leslie3d", Suite: "SPEC", ReadPKI: 16, WritePKI: 5, Footprint: gbf(0.3), Pattern: Stream},
+	{Name: "libquantum", Suite: "SPEC", ReadPKI: 24, WritePKI: 10, Footprint: gbf(0.1), Pattern: Stream},
+	{Name: "gcc", Suite: "SPEC", ReadPKI: 48, WritePKI: 53, Footprint: gbf(0.7), Pattern: Stream},
+	{Name: "lbm", Suite: "SPEC", ReadPKI: 28, WritePKI: 21, Footprint: gbf(1.6), Pattern: Stream},
+	{Name: "wrf", Suite: "SPEC", ReadPKI: 4, WritePKI: 2, Footprint: gbf(1.6), Pattern: Stream},
+	{Name: "cactusADM", Suite: "SPEC", ReadPKI: 5, WritePKI: 1.5, Footprint: gbf(1.6), Pattern: HotCold},
+	{Name: "dealII", Suite: "SPEC", ReadPKI: 1.7, WritePKI: 0.5, Footprint: gbf(0.2), Pattern: Burst},
+	{Name: "bc-twit", Suite: "GAP", ReadPKI: 61, WritePKI: 24, Footprint: gbf(9.3), Pattern: Burst},
+	{Name: "pr-twit", Suite: "GAP", ReadPKI: 94, WritePKI: 4, Footprint: gbf(11.2), Pattern: Random},
+	{Name: "cc-twit", Suite: "GAP", ReadPKI: 89, WritePKI: 7, Footprint: gbf(7.0), Pattern: Random},
+	{Name: "bc-web", Suite: "GAP", ReadPKI: 13, WritePKI: 7, Footprint: gbf(12.0), Pattern: HotCold},
+	{Name: "pr-web", Suite: "GAP", ReadPKI: 16, WritePKI: 3, Footprint: gbf(12.2), Pattern: HotCold},
+	{Name: "cc-web", Suite: "GAP", ReadPKI: 9, WritePKI: 1.5, Footprint: gbf(7.8), Pattern: HotCold},
+}
+
+// ByName returns the Table II benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Table2 {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Workload is one evaluation run: one benchmark per core. Rate mode runs
+// the same benchmark on all cores; mixes combine four different ones.
+type Workload struct {
+	Name  string
+	Suite string // "SPEC", "GAP", or "MIX"
+	Cores []Benchmark
+}
+
+// Rate builds a rate-mode workload: n copies of one benchmark.
+func Rate(b Benchmark, n int) Workload {
+	w := Workload{Name: b.Name, Suite: b.Suite}
+	for i := 0; i < n; i++ {
+		w.Cores = append(w.Cores, b)
+	}
+	return w
+}
+
+// mixDefs are the six mixed workloads ("a random combination of
+// benchmarks", Section VI); fixed here for reproducibility.
+var mixDefs = [][4]string{
+	{"mcf", "libquantum", "GemsFDTD", "bzip2"},
+	{"omnetpp", "gcc", "milc", "wrf"},
+	{"xalancbmk", "lbm", "soplex", "sphinx"},
+	{"mcf", "bc-twit", "leslie3d", "dealII"},
+	{"pr-twit", "zeusmp", "omnetpp", "cactusADM"},
+	{"cc-web", "gcc", "mcf", "libquantum"},
+}
+
+// Mixes returns mix1..mix6 for a 4-core system.
+func Mixes() []Workload {
+	out := make([]Workload, 0, len(mixDefs))
+	for i, def := range mixDefs {
+		w := Workload{Name: fmt.Sprintf("mix%d", i+1), Suite: "MIX"}
+		for _, name := range def {
+			b, err := ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			w.Cores = append(w.Cores, b)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// All returns the full evaluation set in paper order: 16 SPEC, 6 mixes,
+// 6 GAP — the "28 memory intensive workloads".
+func All(cores int) []Workload {
+	var out []Workload
+	for _, b := range Table2 {
+		if b.Suite == "SPEC" {
+			out = append(out, Rate(b, cores))
+		}
+	}
+	out = append(out, Mixes()...)
+	for _, b := range Table2 {
+		if b.Suite == "GAP" {
+			out = append(out, Rate(b, cores))
+		}
+	}
+	return out
+}
+
+// Generator builds the access generator for one core of a workload.
+// footprintScale shrinks Table II footprints to simulation scale; seed
+// should differ per core so rate-mode copies do not lockstep.
+func (b Benchmark) Generator(footprintScale float64, cores int, seed uint64) trace.Generator {
+	if b.customGen != nil {
+		return b.customGen(seed)
+	}
+	perCore := float64(b.Footprint) / float64(cores) * footprintScale
+	lines := uint64(perCore / 64)
+	if lines < trace.LinesPerPage {
+		lines = trace.LinesPerPage
+	}
+	rates := trace.NewRates(b.ReadPKI, b.WritePKI)
+	switch b.Pattern {
+	case Stream:
+		// Offset the start so rate-mode copies do not sweep in phase.
+		g := trace.NewStream(lines, rates, seed)
+		for i := uint64(0); i < seed%lines; i++ {
+			g.Next()
+		}
+		return g
+	case Random:
+		return trace.NewRandom(lines, rates, seed)
+	case HotCold:
+		return trace.NewHotCold(lines, rates, 0.05, 0.85, false, seed)
+	case HotColdSkew:
+		return trace.NewHotCold(lines, rates, 0.25, 0.80, true, seed)
+	case Burst:
+		return trace.NewBurst(lines, rates, 16, seed)
+	case Adversarial:
+		return trace.NewAdversary(lines, rates, seed)
+	}
+	panic(fmt.Sprintf("workloads: unhandled pattern %v", b.Pattern))
+}
+
+// FootprintLines returns a benchmark's per-core footprint in lines at a
+// given scale.
+func (b Benchmark) FootprintLines(footprintScale float64, cores int) uint64 {
+	if b.customGen != nil {
+		return b.customLines
+	}
+	lines := uint64(float64(b.Footprint) / float64(cores) * footprintScale / 64)
+	if lines < trace.LinesPerPage {
+		lines = trace.LinesPerPage
+	}
+	return lines
+}

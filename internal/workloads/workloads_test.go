@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/trace"
+)
+
+func TestTable2Catalog(t *testing.T) {
+	if len(Table2) != 22 {
+		t.Fatalf("Table II has %d benchmarks, want 22", len(Table2))
+	}
+	spec, gap := 0, 0
+	for _, b := range Table2 {
+		switch b.Suite {
+		case "SPEC":
+			spec++
+		case "GAP":
+			gap++
+		default:
+			t.Errorf("%s: unknown suite %q", b.Name, b.Suite)
+		}
+		if b.ReadPKI <= 0 || b.Footprint == 0 {
+			t.Errorf("%s: incomplete entry %+v", b.Name, b)
+		}
+	}
+	if spec != 16 || gap != 6 {
+		t.Fatalf("suite counts: %d SPEC, %d GAP, want 16/6", spec, gap)
+	}
+}
+
+func TestTable2SpotValues(t *testing.T) {
+	// Pin a few entries against the paper's table.
+	mcf, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcf.ReadPKI != 69 || mcf.WritePKI != 2 || mcf.Footprint != uint64(7.5*float64(1<<30)) {
+		t.Errorf("mcf = %+v", mcf)
+	}
+	gcc, _ := ByName("gcc")
+	if gcc.ReadPKI != 48 || gcc.WritePKI != 53 {
+		t.Errorf("gcc = %+v", gcc)
+	}
+	pr, _ := ByName("pr-web")
+	if pr.Suite != "GAP" || pr.ReadPKI != 16 {
+		t.Errorf("pr-web = %+v", pr)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestAll28Workloads(t *testing.T) {
+	all := All(4)
+	if len(all) != 28 {
+		t.Fatalf("All = %d workloads, want 28 (16 SPEC + 6 MIX + 6 GAP)", len(all))
+	}
+	for _, w := range all {
+		if len(w.Cores) != 4 {
+			t.Errorf("%s has %d cores", w.Name, len(w.Cores))
+		}
+	}
+	// Paper order: SPEC, then mixes, then GAP.
+	if all[0].Name != "mcf" || all[16].Name != "mix1" || all[22].Name != "bc-twit" {
+		t.Fatalf("ordering wrong: %s, %s, %s", all[0].Name, all[16].Name, all[22].Name)
+	}
+}
+
+func TestRateMode(t *testing.T) {
+	b, _ := ByName("lbm")
+	w := Rate(b, 4)
+	for _, c := range w.Cores {
+		if c.Name != "lbm" {
+			t.Fatal("rate mode must replicate the benchmark")
+		}
+	}
+}
+
+func TestMixesAreValid(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 6 {
+		t.Fatalf("%d mixes, want 6", len(mixes))
+	}
+	for _, m := range mixes {
+		if m.Suite != "MIX" || len(m.Cores) != 4 {
+			t.Errorf("mix %s malformed", m.Name)
+		}
+	}
+}
+
+func TestGeneratorConstruction(t *testing.T) {
+	for _, b := range Table2 {
+		g := b.Generator(1.0/64, 4, 1)
+		lines := b.FootprintLines(1.0/64, 4)
+		for i := 0; i < 1000; i++ {
+			a := g.Next()
+			if a.Line >= lines {
+				t.Fatalf("%s: line %d beyond footprint %d", b.Name, a.Line, lines)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	b, _ := ByName("GemsFDTD")
+	g1 := b.Generator(1.0/64, 4, 5)
+	g2 := b.Generator(1.0/64, 4, 5)
+	for i := 0; i < 500; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTinyFootprintClamped(t *testing.T) {
+	b, _ := ByName("sphinx") // 0.1 GB total
+	if lines := b.FootprintLines(1e-9, 4); lines < 64 {
+		t.Fatalf("footprint clamp failed: %d", lines)
+	}
+}
+
+func TestAdversaryBenchmark(t *testing.T) {
+	adv := AdversaryBenchmark()
+	if adv.Pattern != Adversarial || adv.Suite != "ATTACK" {
+		t.Fatalf("adversary = %+v", adv)
+	}
+	g := adv.Generator(1.0/128, 4, 1)
+	writes := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	// Write-heavy by construction (40 of 50 PKI).
+	if writes < 7000 {
+		t.Fatalf("adversary wrote only %d/10000", writes)
+	}
+}
+
+func TestAttackMix(t *testing.T) {
+	victim, _ := ByName("omnetpp")
+	w := AttackMix(victim, 4)
+	if len(w.Cores) != 4 {
+		t.Fatalf("cores = %d", len(w.Cores))
+	}
+	if w.Cores[0].Name != "adversary" {
+		t.Fatal("core 0 must be the adversary")
+	}
+	for _, c := range w.Cores[1:] {
+		if c.Name != "omnetpp" {
+			t.Fatal("victims must be the chosen benchmark")
+		}
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	acc := []trace.Access{
+		{Gap: 1, Write: false, Line: 5},
+		{Gap: 2, Write: true, Line: 9},
+	}
+	b, err := FromTrace("recorded", acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FootprintLines(1, 4) != 10 {
+		t.Fatalf("footprint = %d, want 10 (max line + 1)", b.FootprintLines(1, 4))
+	}
+	g := b.Generator(1, 4, 0) // seed 0: no offset
+	if got := g.Next(); got != acc[0] {
+		t.Fatalf("first = %+v", got)
+	}
+	if got := g.Next(); got != acc[1] {
+		t.Fatalf("second = %+v", got)
+	}
+	if got := g.Next(); got != acc[0] {
+		t.Fatalf("loop = %+v", got)
+	}
+	// Seeded generators start at an offset.
+	g2 := b.Generator(1, 4, 1)
+	if got := g2.Next(); got != acc[1] {
+		t.Fatalf("seeded first = %+v", got)
+	}
+	if _, err := FromTrace("empty", nil); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+}

@@ -1,0 +1,173 @@
+// Package morphtree is a library implementation of "Morphable Counters:
+// Enabling Compact Integrity Trees For Low-Overhead Secure Memories"
+// (Saileshwar et al., MICRO 2018).
+//
+// It provides, behind one public API:
+//
+//   - Morphable Counters (MorphCtr-128) — the paper's storage-efficient
+//     counter cacheline representation with Zero Counter Compression and
+//     Minor Counter Rebasing — alongside the split-counter baselines
+//     (SC-8/16/32/64/128) and VAULT's variable-arity schedule.
+//   - A functional secure-memory engine (New/Memory): counter-mode
+//     encryption, truncated MACs and a Bonsai-style counter integrity tree
+//     over an untrusted store, with real tamper/splice/replay detection.
+//   - A performance simulator (Simulate): a USIMM-style 4-core model with a
+//     shared metadata cache and DDR3 timing that reproduces the paper's
+//     evaluation (IPC, traffic breakdown, overflow rates, energy).
+//   - Tree geometry analysis (Geometry): per-level sizes, heights and
+//     storage overheads for any capacity and counter organization.
+//
+// Quick start:
+//
+//	mem, err := morphtree.New(morphtree.Config{
+//		MemoryBytes: 1 << 30,
+//		Enc:         morphtree.MorphableCounters(true),
+//		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+//		Key:         key,
+//	})
+//	err = mem.Write(0x1000, line)     // encrypt + MAC + tree update
+//	data, err := mem.Read(0x1000)     // verify chain to the root, decrypt
+//
+// See examples/ for runnable programs and cmd/experiments for the paper's
+// full evaluation harness.
+package morphtree
+
+import (
+	"io"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/sim"
+	"github.com/securemem/morphtree/internal/trace"
+	"github.com/securemem/morphtree/internal/tree"
+	"github.com/securemem/morphtree/internal/workloads"
+)
+
+// CounterSpec describes a counter cacheline organization: its name, its
+// arity (counters per 64-byte line, which sets the tree fan-in), and
+// constructors for blocks of it.
+type CounterSpec = counters.Spec
+
+// SplitCounters returns the conventional split-counter organization with
+// the given arity (one of 8, 16, 32, 64, 128). SplitCounters(64) is the
+// paper's SC-64 baseline.
+func SplitCounters(arity int) CounterSpec { return counters.SplitSpec(arity) }
+
+// MorphableCounters returns the paper's MorphCtr-128 organization: 128
+// counters per cacheline, morphing between Zero Counter Compression and a
+// dense 3-bit format. rebasing enables Minor Counter Rebasing (the full
+// design); disable it for the ZCC-only ablation.
+func MorphableCounters(rebasing bool) CounterSpec { return counters.MorphSpec(rebasing) }
+
+// DeltaCounters returns the delta-encoded counter organization of the
+// paper's concurrent work (Yitbarek & Austin, DAC 2018): 64 counters per
+// line stored as a shared base plus 5-bit deltas, with rebasing.
+func DeltaCounters() CounterSpec { return counters.DeltaSpec() }
+
+// Config configures a functional secure memory.
+type Config = secmem.Config
+
+// Memory is a functional secure memory: counter-mode encryption, MACs, and
+// a counter integrity tree over an untrusted store, with tamper and replay
+// detection on every read.
+type Memory = secmem.Memory
+
+// IntegrityError reports a failed verification — evidence of tampering,
+// splicing, or replay.
+type IntegrityError = secmem.IntegrityError
+
+// New constructs a functional secure memory.
+func New(cfg Config) (*Memory, error) { return secmem.New(cfg) }
+
+// TreeGeometry describes a metadata layout: encryption-counter footprint
+// and every integrity-tree level down to the on-chip root.
+type TreeGeometry = tree.Geometry
+
+// Geometry computes the metadata layout for a memory of memoryBytes with
+// the given encryption-counter arity and per-level tree arity schedule
+// (last element repeats). For the paper's 16 GB examples:
+//
+//	Geometry(16<<30, 64, []int{64})      // SC-64: 4 MB tree, 4 levels
+//	Geometry(16<<30, 64, []int{32, 16})  // VAULT: 8.5 MB tree, 6 levels
+//	Geometry(16<<30, 128, []int{128})    // MorphCtr-128: 1 MB, 3 levels
+func Geometry(memoryBytes uint64, encArity int, treeArities []int) (*TreeGeometry, error) {
+	return tree.New(memoryBytes, encArity, treeArities)
+}
+
+// SimConfig configures a performance-simulation system (Table I).
+type SimConfig = sim.Config
+
+// SimOptions controls a simulation run's warmup, length and scaling.
+type SimOptions = sim.RunOptions
+
+// SimResult reports a simulation's IPC, traffic breakdown, overflow
+// statistics, and energy.
+type SimResult = sim.Result
+
+// Workload is one evaluation workload (one benchmark per core).
+type Workload = workloads.Workload
+
+// Benchmark is one Table II program with its PKI rates, footprint and
+// access-pattern class.
+type Benchmark = workloads.Benchmark
+
+// Simulate runs one workload under one system configuration.
+func Simulate(cfg SimConfig, w Workload, opt SimOptions) (*SimResult, error) {
+	return sim.Run(cfg, w, opt)
+}
+
+// SimPreset returns a named system configuration: "nonsecure", "sgx",
+// "vault", "sc64", "sc128", "morph", "morph-zcc", "bmt" (Bonsai Merkle),
+// "morph-spec" (speculative verification), or "delta64" (delta-encoded
+// encryption counters).
+func SimPreset(name string) (SimConfig, error) { return sim.Preset(name) }
+
+// DefaultSimOptions returns the run options used by cmd/experiments.
+func DefaultSimOptions() SimOptions { return sim.DefaultRunOptions() }
+
+// Benchmarks returns the Table II catalog (16 SPEC 2006 + 6 GAP programs).
+func Benchmarks() []Benchmark { return workloads.Table2 }
+
+// BenchmarkByName looks up one Table II program.
+func BenchmarkByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// EvaluationWorkloads returns the paper's 28-workload evaluation set
+// (16 SPEC rate-mode + 6 mixes + 6 GAP rate-mode) for the given core count.
+func EvaluationWorkloads(cores int) []Workload { return workloads.All(cores) }
+
+// RateWorkload replicates one benchmark across n cores (rate mode).
+func RateWorkload(b Benchmark, n int) Workload { return workloads.Rate(b, n) }
+
+// Load reconstructs a secure memory previously serialized with
+// Memory.Save. cfg must describe the same organization and key; the
+// untrusted contents are self-protecting, so tampering with the saved
+// state surfaces as an *IntegrityError on read.
+func Load(cfg Config, r io.Reader) (*Memory, error) { return secmem.Load(cfg, r) }
+
+// AdversaryWorkload pairs Section V's pathological overflow-forcing writer
+// with victim copies of a benchmark, for denial-of-service studies
+// (see cmd/experiments -exp dos).
+func AdversaryWorkload(victim Benchmark, cores int) Workload {
+	return workloads.AttackMix(victim, cores)
+}
+
+// TraceAccess is one record of a memory-access trace: Gap non-memory
+// instructions, then a read or writeback of a 64-byte line.
+type TraceAccess = trace.Access
+
+// ParseTrace reads a trace file ("<gap> R|W <line>" per record, '#'
+// comments) for use with TraceBenchmark.
+func ParseTrace(r io.Reader) ([]TraceAccess, error) { return trace.ParseFile(r) }
+
+// WriteTrace dumps n accesses of a benchmark's synthetic generator in trace
+// file format, e.g. to inspect or hand-edit a workload.
+func WriteTrace(w io.Writer, b Benchmark, footprintScale float64, cores int, seed uint64, n int) error {
+	return trace.WriteFile(w, b.Generator(footprintScale, cores, seed), n)
+}
+
+// TraceBenchmark builds a benchmark replaying a recorded trace (looping
+// when exhausted) instead of a synthetic pattern; combine with RateWorkload
+// or custom Workload composition to simulate it.
+func TraceBenchmark(name string, accesses []TraceAccess) (Benchmark, error) {
+	return workloads.FromTrace(name, accesses)
+}

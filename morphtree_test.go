@@ -1,0 +1,101 @@
+package morphtree_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/securemem/morphtree"
+)
+
+var key = []byte("0123456789abcdef")
+
+func TestPublicFunctionalAPI(t *testing.T) {
+	mem, err := morphtree.New(morphtree.Config{
+		MemoryBytes: 1 << 20,
+		Enc:         morphtree.MorphableCounters(true),
+		Tree:        []morphtree.CounterSpec{morphtree.MorphableCounters(true)},
+		Key:         key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.Repeat([]byte{0xAB}, 64)
+	if err := mem.Write(4096, line); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Fatal("round trip failed")
+	}
+	mem.Store().FlipBit(4096/64, 0, 0)
+	_, err = mem.Read(4096)
+	var ie *morphtree.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("tamper not detected: %v", err)
+	}
+}
+
+func TestPublicGeometryAPI(t *testing.T) {
+	g, err := morphtree.Geometry(16<<30, 128, []int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() != 3 {
+		t.Fatalf("MorphTree levels = %d, want 3", g.NumLevels())
+	}
+	if g.TreeBytes() > 2<<20 {
+		t.Fatalf("MorphTree size = %d, want ~1MB", g.TreeBytes())
+	}
+}
+
+func TestPublicSpecConstructors(t *testing.T) {
+	if s := morphtree.SplitCounters(64); s.Arity != 64 || s.Name != "SC-64" {
+		t.Fatalf("SplitCounters(64) = %+v", s)
+	}
+	if s := morphtree.MorphableCounters(true); s.Arity != 128 {
+		t.Fatalf("MorphableCounters arity = %d", s.Arity)
+	}
+	if morphtree.MorphableCounters(true).Name == morphtree.MorphableCounters(false).Name {
+		t.Fatal("rebasing variants must have distinct names")
+	}
+}
+
+func TestPublicSimulationAPI(t *testing.T) {
+	cfg, err := morphtree.SimPreset("morph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := morphtree.BenchmarkByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := morphtree.DefaultSimOptions()
+	opt.WarmupAccesses = 10_000
+	opt.MeasureAccesses = 10_000
+	res, err := morphtree.Simulate(cfg, morphtree.RateWorkload(bench, cfg.Cores), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("simulation made no progress")
+	}
+}
+
+func TestPublicCatalog(t *testing.T) {
+	if got := len(morphtree.Benchmarks()); got != 22 {
+		t.Fatalf("catalog has %d benchmarks, want 22", got)
+	}
+	if got := len(morphtree.EvaluationWorkloads(4)); got != 28 {
+		t.Fatalf("evaluation set has %d workloads, want 28", got)
+	}
+	if _, err := morphtree.BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+	if _, err := morphtree.SimPreset("nope"); err == nil {
+		t.Fatal("unknown preset must fail")
+	}
+}
