@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race morphdebug vet morphlint bench verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the test suite with internal/invariant assertions compiled in.
+morphdebug:
+	$(GO) test -tags morphdebug ./...
+
+vet:
+	$(GO) vet ./...
+
+bin/morphlint: $(shell find cmd/morphlint internal/analysis internal/lint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
+	$(GO) build -o bin/morphlint ./cmd/morphlint
+
+morphlint: bin/morphlint
+	$(GO) vet -vettool=bin/morphlint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+verify: build vet morphlint morphdebug race
+
+clean:
+	rm -rf bin

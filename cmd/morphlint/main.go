@@ -1,0 +1,46 @@
+// Command morphlint is the repository's static-analysis suite: five
+// analyzers enforcing secure-memory invariants the compiler cannot see
+// (see DESIGN.md "Checked invariants").
+//
+// Usage:
+//
+//	go run ./cmd/morphlint ./...                 # standalone (re-execs go vet)
+//	go build -o morphlint ./cmd/morphlint
+//	go vet -vettool=./morphlint ./...            # as a vet tool
+//
+// morphlint speaks the `go vet -vettool` protocol (see
+// internal/analysis/unitchecker.go), so the go command handles package
+// loading, export data and caching; results are identical either way.
+// Findings are suppressed line-by-line with a justified directive:
+//
+//	//morphlint:allow <analyzer> -- reason
+package main
+
+import (
+	"os"
+	"strings"
+
+	"github.com/securemem/morphtree/internal/analysis"
+	"github.com/securemem/morphtree/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet protocol handshakes.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			analysis.PrintVersion(os.Stdout)
+			return
+		case args[0] == "-flags":
+			analysis.PrintFlags(os.Stdout)
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(analysis.RunUnit(args[0], lint.Analyzers()))
+		}
+	}
+
+	// Direct invocation: let go vet drive this same binary.
+	os.Exit(analysis.RunStandalone(args))
+}

@@ -1,0 +1,204 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of the
+// core of golang.org/x/tools/go/analysis, sized for this repository's needs.
+//
+// It exists because morphlint (cmd/morphlint) must run in hermetic build
+// environments with no module proxy access, where x/tools cannot be
+// downloaded. The surface mirrors the upstream design — an Analyzer holds a
+// Run function over a Pass carrying the parsed, type-checked package — so
+// analyzers written here port to the real framework mechanically if the
+// dependency ever becomes available.
+//
+// Three entry points drive analyzers:
+//
+//   - Unitchecker implements the `go vet -vettool` JSON protocol, so the
+//     go command loads, type-checks and caches packages (unitchecker.go).
+//   - Standalone re-executes the tool under `go vet` (standalone.go).
+//   - analysistest runs analyzers over testdata fixtures with `// want`
+//     expectations (analysistest/).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one analysis function and its options.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	// It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph documentation for the analyzer. The first
+	// sentence names the invariant checked and, where applicable, the
+	// paper section it guards.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) error
+}
+
+// A Pass provides information to an Analyzer's Run function about the
+// single package under analysis and exports diagnostic reporting.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset provides position information for the syntax trees.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for the syntax trees.
+	TypesInfo *types.Info
+
+	// report receives diagnostics after directive filtering.
+	report func(Diagnostic)
+
+	// allow maps "file:line" to the set of analyzer names suppressed on
+	// that line by a `//morphlint:allow <name>` directive.
+	allow map[string]map[string]bool
+}
+
+// A Diagnostic is a message associated with a source location.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a diagnostic at pos, unless the line carries (or the
+// preceding line is) a `//morphlint:allow <analyzer>` directive naming this
+// analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowed(pos) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowed reports whether a directive suppresses this analyzer at pos.
+func (p *Pass) allowed(pos token.Pos) bool {
+	if p.allow == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if names := p.allow[fmt.Sprintf("%s:%d", position.Filename, line)]; names[p.Analyzer.Name] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// directivePrefix introduces a suppression comment. The full form is
+// `//morphlint:allow <analyzer> [-- reason]`, placed on the offending line
+// or the line directly above it.
+const directivePrefix = "morphlint:allow"
+
+// collectDirectives scans every comment in the files for allow directives.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	allow := make(map[string]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, _, _ := strings.Cut(rest, " ")
+				name = strings.TrimSuffix(name, ":")
+				if name == "" {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+				if allow[key] == nil {
+					allow[key] = make(map[string]bool)
+				}
+				allow[key][name] = true
+			}
+		}
+	}
+	return allow
+}
+
+// Run applies each analyzer to one type-checked package and returns the
+// collected diagnostics in source order.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	allow := collectDirectives(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			allow:     allow,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			d.Message = fmt.Sprintf("%s [%s]", d.Message, name)
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders diagnostics by file position for stable output.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0; j-- {
+			a, b := fset.Position(diags[j-1].Pos), fset.Position(diags[j].Pos)
+			if a.Filename < b.Filename || (a.Filename == b.Filename && a.Offset <= b.Offset) {
+				break
+			}
+			diags[j-1], diags[j] = diags[j], diags[j-1]
+		}
+	}
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The morphlint
+// analyzers enforce production-code invariants and skip test sources.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Inspect walks every non-test file in depth-first order, calling fn for
+// each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, fn)
+	}
+}
+
+// PkgNamed reports whether pkg's name is one of names. morphlint scopes
+// package-specific invariants by package name so the same analyzer works on
+// the real tree (import path github.com/securemem/morphtree/internal/mac)
+// and on analysistest fixtures (import path "mac").
+func PkgNamed(pkg *types.Package, names ...string) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, n := range names {
+		if pkg.Name() == n {
+			return true
+		}
+	}
+	return false
+}

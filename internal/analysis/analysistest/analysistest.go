@@ -1,0 +1,247 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest with only the standard
+// library.
+//
+// Fixtures live under <dir>/src/<pkgpath>/ in GOPATH-style layout. Every
+// line that should trigger a diagnostic carries a comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// where each quoted string is a regular expression that must match the
+// message of exactly one diagnostic reported on that line. Lines without a
+// want comment must produce no diagnostics. Fixture packages may import
+// the standard library (type-checked from GOROOT source, no network) and
+// sibling fixture packages by their path under src/.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package and reports mismatches
+// between diagnostics and want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(dir, "src"))
+	for _, pkgpath := range pkgpaths {
+		t.Run(pkgpath, func(t *testing.T) {
+			t.Helper()
+			lp, err := ld.load(pkgpath)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pkgpath, err)
+			}
+			diags, err := analysis.Run([]*analysis.Analyzer{a}, ld.fset, lp.files, lp.pkg, lp.info)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+			}
+			check(t, ld.fset, lp.files, diags)
+		})
+	}
+}
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader loads fixture packages, caching them so fixtures can import each
+// other (e.g. a fixture invariant package for panicpolicy).
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*loadedPkg
+	stdlib  types.Importer
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		cache:   make(map[string]*loadedPkg),
+		// The "source" importer type-checks dependencies from GOROOT
+		// source, so fixtures need no pre-compiled export data and no
+		// network access.
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over fixtures-then-stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, path); isDir(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+func (l *loader) load(pkgpath string) (*loadedPkg, error) {
+	if lp, ok := l.cache[pkgpath]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(pkgpath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{files: files, pkg: pkg, info: info}
+	l.cache[pkgpath] = lp
+	return lp, nil
+}
+
+// expectation is one want regexp awaiting a diagnostic on its line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts want expectations keyed by "file:line".
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings ("..." or `...`).
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment near %q", pos, s)
+		}
+		end := 0
+		if quote == '`' {
+			end = strings.IndexByte(s[1:], '`') + 1
+		} else {
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+		}
+		if end <= 0 {
+			t.Fatalf("%s: unterminated want string in %q", pos, s)
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// check compares diagnostics against want expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+// RunStandalone handles direct invocation (`morphlint ./...`) by
+// re-executing the tool through `go vet -vettool=<self>`. The go command is
+// the package loader: it computes build metadata, compiles dependency
+// export data, and calls back into this binary once per package unit with a
+// vet.cfg file (see unitchecker.go). This is the same trick the upstream
+// unitchecker documentation recommends, and it keeps standalone runs and
+// vet runs byte-for-byte identical.
+func RunStandalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "morphlint: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "morphlint: go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

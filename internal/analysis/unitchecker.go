@@ -1,0 +1,191 @@
+package analysis
+
+// This file implements the `go vet -vettool` protocol with only the
+// standard library, mirroring golang.org/x/tools/go/analysis/unitchecker.
+//
+// The go command drives a vet tool in three steps:
+//
+//  1. `tool -flags` must print a JSON array describing the tool's flags
+//     (cmd/go/internal/vet/vetflag.go).
+//  2. `tool -V=full` must print `<name> version devel ... buildID=<hex>` so
+//     the go command can derive a cache key for the tool's identity
+//     (cmd/go/internal/work/buildid.go toolID).
+//  3. `tool <flags> <dir>/vet.cfg` runs the analysis on one package unit.
+//     The cfg file is JSON (cmd/go/internal/work/exec.go vetConfig) naming
+//     the package's files and the export data of its dependencies.
+//
+// Diagnostics go to stderr as file:line:col: message lines; exit status 2
+// signals findings. The tool must also write the (possibly empty) facts
+// file named by VetxOutput: the go command caches it and feeds it back for
+// dependency packages. morphlint's analyzers are fact-free, so units with
+// VetxOnly=true (dependencies analyzed only for their facts) short-circuit
+// without even parsing.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake. The output format is
+// parsed by the go command: field 1 must be "version", and a "devel"
+// version must end in a buildID= field. Hashing the executable makes the
+// ID change whenever the tool is rebuilt, invalidating stale vet caches.
+func PrintVersion(w io.Writer) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	name := filepath.Base(os.Args[0])
+	fmt.Fprintf(w, "%s version devel morphlint buildID=%x\n", name, h.Sum(nil))
+}
+
+// PrintFlags implements the -flags handshake. morphlint exposes no
+// analyzer flags, so the set is empty.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnit loads, checks and analyzes the single package unit described by
+// the vet.cfg file at cfgPath, printing diagnostics to stderr. The returned
+// exit code follows the vet convention: 0 clean, 1 tool failure, 2 findings.
+func RunUnit(cfgPath string, analyzers []*Analyzer) int {
+	code, err := runUnit(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "morphlint: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// Always produce the facts file the go command expects to cache, even
+	// though morphlint's analyzers define no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: only facts were wanted. Nothing to do.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 1, err
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data the go command already built for
+	// every dependency. The gc importer's lookup hook receives canonical
+	// package paths; ImportMap translates source-level import paths first.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcImporter := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  tcImporter,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := Run(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// newTypesInfo allocates the full set of type-checker result maps.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

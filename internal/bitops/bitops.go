@@ -7,7 +7,11 @@
 // bits of byte 0.
 package bitops
 
-import "fmt"
+import "github.com/securemem/morphtree/internal/invariant"
+
+// WordBits is the machine word width bit-level codecs chunk by: the widest
+// single read or write, and the unit layout padding is drained in.
+const WordBits = 64
 
 // Writer packs values into a fixed-size bit buffer, MSB-first.
 type Writer struct {
@@ -20,20 +24,15 @@ func NewWriter(size int) *Writer {
 	return &Writer{buf: make([]byte, size)}
 }
 
-// WriteBits appends the low width bits of v. It panics if width is outside
-// [0, 64], if v does not fit in width bits, or if the buffer would overflow;
-// these are programming errors in a fixed-layout codec, not runtime
-// conditions.
+// WriteBits appends the low width bits of v. Width must be in [0, WordBits],
+// v must fit in width bits, and the write must not overflow the buffer;
+// violations are programming errors in a fixed-layout codec, not runtime
+// conditions, checked under the morphdebug build tag (out-of-buffer writes
+// additionally fail the slice bounds check in any build).
 func (w *Writer) WriteBits(v uint64, width int) {
-	if width < 0 || width > 64 {
-		panic(fmt.Sprintf("bitops: invalid width %d", width))
-	}
-	if width < 64 && v >= 1<<uint(width) {
-		panic(fmt.Sprintf("bitops: value %d does not fit in %d bits", v, width))
-	}
-	if w.pos+width > len(w.buf)*8 {
-		panic(fmt.Sprintf("bitops: write of %d bits at %d overflows %d-byte buffer", width, w.pos, len(w.buf)))
-	}
+	invariant.Assertf(width >= 0 && width <= WordBits, "bitops: invalid width %d", width)
+	invariant.Assertf(width >= WordBits || v < 1<<uint(width), "bitops: value %d does not fit in %d bits", v, width)
+	invariant.Assertf(w.pos+width <= len(w.buf)*8, "bitops: write of %d bits at %d overflows %d-byte buffer", width, w.pos, len(w.buf))
 	for i := width - 1; i >= 0; i-- {
 		bit := (v >> uint(i)) & 1
 		if bit != 0 {
@@ -59,14 +58,11 @@ type Reader struct {
 // NewReader returns a Reader over buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
-// ReadBits extracts the next width bits as an unsigned integer.
+// ReadBits extracts the next width bits as an unsigned integer. Width and
+// buffer bounds are morphdebug-asserted like WriteBits.
 func (r *Reader) ReadBits(width int) uint64 {
-	if width < 0 || width > 64 {
-		panic(fmt.Sprintf("bitops: invalid width %d", width))
-	}
-	if r.pos+width > len(r.buf)*8 {
-		panic(fmt.Sprintf("bitops: read of %d bits at %d overflows %d-byte buffer", width, r.pos, len(r.buf)))
-	}
+	invariant.Assertf(width >= 0 && width <= WordBits, "bitops: invalid width %d", width)
+	invariant.Assertf(r.pos+width <= len(r.buf)*8, "bitops: read of %d bits at %d overflows %d-byte buffer", width, r.pos, len(r.buf))
 	var v uint64
 	for i := 0; i < width; i++ {
 		v <<= 1
@@ -83,9 +79,7 @@ func (r *Reader) Pos() int { return r.pos }
 
 // Skip advances the read position by width bits.
 func (r *Reader) Skip(width int) {
-	if r.pos+width > len(r.buf)*8 {
-		panic("bitops: skip overflows buffer")
-	}
+	invariant.Assertf(r.pos+width <= len(r.buf)*8, "bitops: skip overflows buffer")
 	r.pos += width
 }
 

@@ -1,0 +1,67 @@
+// Package buildsmoke_test compiles every binary under cmd/ and examples/.
+// Those packages are mostly excluded from unit testing (they are thin mains
+// over the internal packages), so without this check a refactor can break
+// them silently until someone runs the tool by hand.
+package buildsmoke_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// repoRoot walks up from this file to the directory containing go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	dir := filepath.Dir(file)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test file")
+		}
+		dir = parent
+	}
+}
+
+func TestBinariesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping build smoke test in -short mode")
+	}
+	root := repoRoot(t)
+	var pkgs []string
+	for _, parent := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(filepath.Join(root, parent))
+		if err != nil {
+			t.Fatalf("reading %s: %v", parent, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgs = append(pkgs, "./"+parent+"/"+e.Name())
+			}
+		}
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no cmd/ or examples/ packages found")
+	}
+	out := t.TempDir()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "build", "-o", filepath.Join(out, filepath.Base(pkg)+"-"), pkg)
+			cmd.Dir = root
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("go build %s failed: %v\n%s", pkg, err, msg)
+			}
+		})
+	}
+}

@@ -4,7 +4,10 @@
 // (Table I: 8 MB 8-way LLC, 128 KB 8-way metadata cache, 64 B lines).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Victim describes a line evicted to make room for an insertion.
 type Victim struct {
@@ -42,13 +45,17 @@ type way struct {
 
 // Cache is a set-associative write-back cache with true-LRU replacement.
 // Addresses are byte addresses; the cache operates on aligned lines.
+// All methods are safe for concurrent use; fields below mu are protected
+// by it, fields above it are immutable after New.
 type Cache struct {
 	lineBytes uint64
 	numSets   uint64
 	ways      int
-	sets      []way // numSets * ways, row-major
-	clock     uint64
-	stats     Stats
+
+	mu    sync.Mutex
+	sets  []way // numSets * ways, row-major
+	clock uint64
+	stats Stats
 }
 
 // New constructs a cache of sizeBytes capacity with the given associativity
@@ -77,7 +84,7 @@ func New(sizeBytes uint64, ways int, lineBytes uint64) (*Cache, error) {
 func MustNew(sizeBytes uint64, ways int, lineBytes uint64) *Cache {
 	c, err := New(sizeBytes, ways, lineBytes)
 	if err != nil {
-		panic(err)
+		panic(err) //morphlint:allow panicpolicy -- Must-style constructor for compile-time geometries; New is the checked form
 	}
 	return c
 }
@@ -86,7 +93,11 @@ func MustNew(sizeBytes uint64, ways int, lineBytes uint64) *Cache {
 func (c *Cache) Lines() int { return int(c.numSets) * c.ways }
 
 // Stats returns a copy of the activity counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 func (c *Cache) index(addr uint64) (setBase uint64, tag uint64) {
 	line := addr / c.lineBytes
@@ -96,6 +107,8 @@ func (c *Cache) index(addr uint64) (setBase uint64, tag uint64) {
 // Access looks up addr, updating recency and the dirty bit on a hit.
 // It returns whether the access hit; misses are NOT filled (use Fill).
 func (c *Cache) Access(addr uint64, write bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	base, tag := c.index(addr)
 	c.clock++
 	for i := 0; i < c.ways; i++ {
@@ -115,6 +128,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 
 // Contains probes for addr without touching recency or statistics.
 func (c *Cache) Contains(addr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	base, tag := c.index(addr)
 	for i := 0; i < c.ways; i++ {
 		w := &c.sets[base+uint64(i)]
@@ -128,6 +143,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // Fill inserts addr (which must have missed) with the given dirty state,
 // evicting the LRU way if the set is full. The victim, if any, is returned.
 func (c *Cache) Fill(addr uint64, dirty bool) (Victim, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.fill(addr, dirty, false)
 }
 
@@ -136,6 +153,8 @@ func (c *Cache) Fill(addr uint64, dirty bool) (Victim, bool) {
 // subsequent hit promotes it. Type-aware metadata caching uses this to keep
 // high-coverage upper-tree lines resident at the expense of leaf lines.
 func (c *Cache) FillLowPriority(addr uint64, dirty bool) (Victim, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.fill(addr, dirty, true)
 }
 
@@ -183,6 +202,8 @@ func (c *Cache) fill(addr uint64, dirty bool, lowPriority bool) (Victim, bool) {
 
 // Invalidate drops addr if present, returning its dirty state.
 func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	base, tag := c.index(addr)
 	for i := 0; i < c.ways; i++ {
 		w := &c.sets[base+uint64(i)]
@@ -197,16 +218,26 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
 }
 
 // WalkDirty visits every dirty line's address (used to flush metadata).
+// Addresses are snapshotted under the lock and fn is invoked outside it, so
+// fn may call back into the cache.
 func (c *Cache) WalkDirty(fn func(addr uint64)) {
+	c.mu.Lock()
+	var addrs []uint64
 	for i := range c.sets {
 		if c.sets[i].valid && c.sets[i].dirty {
-			fn(c.sets[i].tag * c.lineBytes)
+			addrs = append(addrs, c.sets[i].tag*c.lineBytes)
 		}
+	}
+	c.mu.Unlock()
+	for _, a := range addrs {
+		fn(a)
 	}
 }
 
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for i := range c.sets {
 		if c.sets[i].valid {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/securemem/morphtree/internal/bitops"
+	"github.com/securemem/morphtree/internal/invariant"
 )
 
 // Cacheline layouts (Figures 8 and 13). Field widths follow the paper
@@ -21,15 +22,29 @@ import (
 // without (dense format = Uniform); the decoder is told which, exactly as
 // the hardware would be.
 
+// Shared field widths of the layouts above.
+const (
+	// fullMajorBits is a full-width (untruncated) major counter or base
+	// field, as used by the Split and Delta layouts.
+	fullMajorBits = 64
+	// macBits is the per-line MAC field closing every layout.
+	macBits = 64
+	// splitMinorFieldBits is the split-counter minor field:
+	// 512 - 64 (major) - 64 (MAC) bits.
+	splitMinorFieldBits = LineBits - fullMajorBits - macBits
+	// zccNonZeroFieldBits is ZCC's shared non-zero counter field.
+	zccNonZeroFieldBits = 256
+)
+
 // newLineWriter and newLineReader wrap bitops for 64-byte lines.
 func newLineWriter() *bitops.Writer         { return bitops.NewWriter(LineBytes) }
 func newLineReader(b []byte) *bitops.Reader { return bitops.NewReader(b) }
 
-// padZeros writes n zero bits, chunked to respect the 64-bit write limit.
+// padZeros writes n zero bits, chunked to respect the word-size write limit.
 func padZeros(w *bitops.Writer, n int) {
-	for n > 64 {
-		w.WriteBits(0, 64)
-		n -= 64
+	for n > bitops.WordBits {
+		w.WriteBits(0, bitops.WordBits)
+		n -= bitops.WordBits
 	}
 	w.WriteBits(0, n)
 }
@@ -37,14 +52,12 @@ func padZeros(w *bitops.Writer, n int) {
 // Encode implements Block for Split.
 func (s *Split) Encode() []byte {
 	w := bitops.NewWriter(LineBytes)
-	w.WriteBits(s.major, 64)
+	w.WriteBits(s.major, fullMajorBits)
 	for _, v := range s.minors {
 		w.WriteBits(v, s.minorBits)
 	}
-	w.WriteBits(s.mac, 64)
-	if w.Pos() != LineBits {
-		panic(fmt.Sprintf("counters: split layout packed %d bits", w.Pos()))
-	}
+	w.WriteBits(s.mac, macBits)
+	invariant.Assertf(w.Pos() == LineBits, "counters: split layout packed %d bits", w.Pos())
 	return w.Bytes()
 }
 
@@ -59,14 +72,14 @@ func DecodeSplit(buf []byte, arity int) (*Split, error) {
 	}
 	r := bitops.NewReader(buf)
 	s := NewSplit(arity, bits)
-	s.major = r.ReadBits(64)
+	s.major = r.ReadBits(fullMajorBits)
 	for i := range s.minors {
 		s.minors[i] = r.ReadBits(bits)
 		if s.minors[i] != 0 {
 			s.nonzero++
 		}
 	}
-	s.mac = r.ReadBits(64)
+	s.mac = r.ReadBits(macBits)
 	return s, nil
 }
 
@@ -93,7 +106,7 @@ func (m *Morph) Encode() []byte {
 				packed += size
 			}
 		}
-		padZeros(w, 256-packed) // unused tail of the non-zero field
+		padZeros(w, zccNonZeroFieldBits-packed) // unused tail of the non-zero field
 	case FormatUniform:
 		w.WriteBits(1, 1)
 		w.WriteBits(3, 6) // Ctr-Sz = 3
@@ -110,10 +123,8 @@ func (m *Morph) Encode() []byte {
 			w.WriteBits(uint64(v), 3)
 		}
 	}
-	w.WriteBits(m.mac, 64)
-	if w.Pos() != LineBits {
-		panic(fmt.Sprintf("counters: morph %s layout packed %d bits", m.format, w.Pos()))
-	}
+	w.WriteBits(m.mac, macBits)
+	invariant.Assertf(w.Pos() == LineBits, "counters: morph %s layout packed %d bits", m.format, w.Pos())
 	return w.Bytes()
 }
 
@@ -185,16 +196,16 @@ func DecodeMorph(buf []byte, rebasing bool) (*Morph, error) {
 	// The unused tail must be zero — the encoder is canonical, and a
 	// non-canonical line is corruption (tolerating it would let padding
 	// bits escape MAC coverage). The MAC sits in the final 64 bits.
-	for pad := LineBits - 64 - r.Pos(); pad > 0; {
+	for pad := LineBits - macBits - r.Pos(); pad > 0; {
 		chunk := pad
-		if chunk > 64 {
-			chunk = 64
+		if chunk > bitops.WordBits {
+			chunk = bitops.WordBits
 		}
 		if r.ReadBits(chunk) != 0 {
 			return nil, fmt.Errorf("counters: non-canonical morph line (non-zero padding)")
 		}
 		pad -= chunk
 	}
-	m.mac = r.ReadBits(64)
+	m.mac = r.ReadBits(macBits)
 	return m, nil
 }

@@ -84,19 +84,43 @@ type Spec struct {
 // String returns the spec name.
 func (s Spec) String() string { return s.Name }
 
-// SplitSpec returns the split-counter organization with the given arity.
-// Valid arities divide the 384-bit minor field evenly: 8, 16, 32, 64, 128.
-func SplitSpec(arity int) Spec {
+// ArityError reports a split-counter arity with no defined cacheline
+// layout. Valid arities divide the 384-bit minor field evenly: 8, 16, 32,
+// 64, 128.
+type ArityError struct {
+	// Arity is the rejected counters-per-line value.
+	Arity int
+}
+
+// Error implements error.
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("counters: unsupported split-counter arity %d (want 8, 16, 32, 64, or 128)", e.Arity)
+}
+
+// NewSplitSpec returns the split-counter organization with the given arity,
+// or an *ArityError if no layout exists for it. Use this form when the
+// arity comes from configuration or user input.
+func NewSplitSpec(arity int) (Spec, error) {
 	bits, ok := splitMinorBits[arity]
 	if !ok {
-		panic(fmt.Sprintf("counters: unsupported split-counter arity %d", arity))
+		return Spec{}, &ArityError{Arity: arity}
 	}
 	return Spec{
 		Name:   fmt.Sprintf("SC-%d", arity),
 		Arity:  arity,
 		New:    func() Block { return NewSplit(arity, bits) },
 		Decode: func(buf []byte) (Block, error) { return DecodeSplit(buf, arity) },
+	}, nil
+}
+
+// SplitSpec is NewSplitSpec for statically known-good arities: it panics
+// with an *ArityError on an unsupported arity.
+func SplitSpec(arity int) Spec {
+	spec, err := NewSplitSpec(arity)
+	if err != nil {
+		panic(err) //morphlint:allow panicpolicy -- Must-style constructor for compile-time arities; NewSplitSpec is the checked form
 	}
+	return spec
 }
 
 // MorphSpec returns the Morphable Counter organization (128 counters per
@@ -125,12 +149,22 @@ var splitMinorBits = map[int]int{
 	128: 3,
 }
 
-// MinorBits returns the split-counter minor width for an arity, for use in
-// analytic models. It panics on unsupported arities.
-func MinorBits(arity int) int {
+// MinorBitsFor returns the split-counter minor width for an arity, or an
+// *ArityError if no layout exists for it.
+func MinorBitsFor(arity int) (int, error) {
 	bits, ok := splitMinorBits[arity]
 	if !ok {
-		panic(fmt.Sprintf("counters: unsupported split-counter arity %d", arity))
+		return 0, &ArityError{Arity: arity}
+	}
+	return bits, nil
+}
+
+// MinorBits is MinorBitsFor for statically known-good arities, for use in
+// analytic models. It panics with an *ArityError on unsupported arities.
+func MinorBits(arity int) int {
+	bits, err := MinorBitsFor(arity)
+	if err != nil {
+		panic(err) //morphlint:allow panicpolicy -- Must-style accessor for compile-time arities; MinorBitsFor is the checked form
 	}
 	return bits
 }

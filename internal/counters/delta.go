@@ -1,6 +1,10 @@
 package counters
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/invariant"
+)
 
 // Delta is the delta-encoded counter organization of the paper's concurrent
 // work (Yitbarek & Austin, DAC 2018 — reference [19]): counters in a line
@@ -14,16 +18,22 @@ import "fmt"
 // Layout: Base(64) | 64 x 5-bit Deltas(320) | unused(64) | MAC(64) = 512.
 type Delta struct {
 	base    uint64
-	deltas  [64]uint32
+	deltas  [DeltaArity]uint32
 	nonzero int
 	mac     uint64
 }
+
+// DeltaArity is the number of counters in a delta-encoded cacheline.
+const DeltaArity = 64
 
 // deltaBits is the per-counter delta width.
 const deltaBits = 5
 
 // deltaMax is the largest delta value.
 const deltaMax = 1<<deltaBits - 1
+
+// deltaPadBits is the unused field between the deltas and the MAC.
+const deltaPadBits = LineBits - fullMajorBits - DeltaArity*deltaBits - macBits
 
 // NewDelta returns a zeroed delta-encoded counter line.
 func NewDelta() *Delta { return &Delta{} }
@@ -32,14 +42,14 @@ func NewDelta() *Delta { return &Delta{} }
 func DeltaSpec() Spec {
 	return Spec{
 		Name:   "Delta-64",
-		Arity:  64,
+		Arity:  DeltaArity,
 		New:    func() Block { return NewDelta() },
 		Decode: func(buf []byte) (Block, error) { return DecodeDelta(buf) },
 	}
 }
 
 // Arity implements Block.
-func (d *Delta) Arity() int { return 64 }
+func (d *Delta) Arity() int { return DeltaArity }
 
 // NonZero implements Block.
 func (d *Delta) NonZero() int { return d.nonzero }
@@ -97,21 +107,19 @@ func (d *Delta) Increment(i int) Event {
 	}
 	d.deltas[i] = 1
 	d.nonzero = 1
-	return Event{Overflow: true, Reencrypt: 64}
+	return Event{Overflow: true, Reencrypt: DeltaArity}
 }
 
 // Encode implements Block.
 func (d *Delta) Encode() []byte {
 	w := newLineWriter()
-	w.WriteBits(d.base, 64)
+	w.WriteBits(d.base, fullMajorBits)
 	for _, v := range d.deltas {
 		w.WriteBits(uint64(v), deltaBits)
 	}
-	padZeros(w, 64) // unused field
-	w.WriteBits(d.mac, 64)
-	if w.Pos() != LineBits {
-		panic(fmt.Sprintf("counters: delta layout packed %d bits", w.Pos()))
-	}
+	padZeros(w, deltaPadBits) // unused field
+	w.WriteBits(d.mac, macBits)
+	invariant.Assertf(w.Pos() == LineBits, "counters: delta layout packed %d bits", w.Pos())
 	return w.Bytes()
 }
 
@@ -122,16 +130,16 @@ func DecodeDelta(buf []byte) (*Delta, error) {
 	}
 	r := newLineReader(buf)
 	d := NewDelta()
-	d.base = r.ReadBits(64)
+	d.base = r.ReadBits(fullMajorBits)
 	for i := range d.deltas {
 		d.deltas[i] = uint32(r.ReadBits(deltaBits))
 		if d.deltas[i] != 0 {
 			d.nonzero++
 		}
 	}
-	if r.ReadBits(64) != 0 {
+	if r.ReadBits(deltaPadBits) != 0 {
 		return nil, fmt.Errorf("counters: non-canonical delta line (non-zero padding)")
 	}
-	d.mac = r.ReadBits(64)
+	d.mac = r.ReadBits(macBits)
 	return d, nil
 }

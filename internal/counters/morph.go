@@ -1,6 +1,10 @@
 package counters
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/invariant"
+)
 
 // MorphArity is the number of counters in a Morphable Counter cacheline.
 const MorphArity = 128
@@ -52,7 +56,7 @@ func ZCCSize(nonzero int) int {
 		return 6
 	case nonzero <= 51:
 		return 5
-	case nonzero <= 64:
+	case nonzero <= morphSetSize:
 		return 4
 	default:
 		return 3
@@ -137,7 +141,7 @@ func (m *Morph) Increment(i int) Event {
 	case FormatMCR:
 		return m.incrementMCR(i)
 	}
-	panic("counters: invalid morph format")
+	panic(invariant.Violationf("counters: invalid morph format %v", m.format))
 }
 
 // incrementZCC handles an increment while in the sparse representation.

@@ -1,6 +1,6 @@
 package counters
 
-import "fmt"
+import "github.com/securemem/morphtree/internal/invariant"
 
 // Split is a conventional split-counter cacheline (Yan et al., ISCA 2006):
 // one 64-bit major counter shared by Arity minor counters of minorBits each.
@@ -17,11 +17,12 @@ type Split struct {
 	mac       uint64
 }
 
-// NewSplit returns a zeroed split-counter block.
+// NewSplit returns a zeroed split-counter block. The layout must fit the
+// 384-bit minor field (morphdebug-asserted); arities from SplitSpec and
+// NewSplitSpec always do.
 func NewSplit(arity, minorBits int) *Split {
-	if arity*minorBits > 384 {
-		panic(fmt.Sprintf("counters: split layout %d x %d-bit exceeds 384-bit minor field", arity, minorBits))
-	}
+	invariant.Assertf(arity*minorBits <= splitMinorFieldBits,
+		"counters: split layout %d x %d-bit exceeds %d-bit minor field", arity, minorBits, splitMinorFieldBits)
 	return &Split{
 		arity:     arity,
 		minorBits: minorBits,

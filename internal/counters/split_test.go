@@ -1,6 +1,10 @@
 package counters
 
-import "testing"
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/invariant"
+)
 
 func TestSplitSpecArities(t *testing.T) {
 	for _, arity := range []int{8, 16, 32, 64, 128} {
@@ -124,6 +128,9 @@ func TestSplitNoValueReuseAcrossOverflow(t *testing.T) {
 }
 
 func TestSplitOversizedLayoutPanics(t *testing.T) {
+	if !invariant.Enabled {
+		t.Skip("layout-fit check is a morphdebug assertion; run with -tags morphdebug")
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for 128 x 6-bit layout")

@@ -111,7 +111,7 @@ func New(cfg Config) (*DRAM, error) {
 func MustNew(cfg Config) *DRAM {
 	d, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(err) //morphlint:allow panicpolicy -- Must-style constructor for compile-time configurations; New is the checked form
 	}
 	return d
 }

@@ -1,0 +1,10 @@
+//go:build !morphdebug
+
+package invariant
+
+// Enabled reports whether debug assertions are compiled in.
+const Enabled = false
+
+// Assertf is a no-op without the morphdebug build tag. The condition is
+// still evaluated by the caller; keep assertion expressions cheap.
+func Assertf(cond bool, format string, args ...any) {}

@@ -1,0 +1,16 @@
+//go:build morphdebug
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether debug assertions are compiled in.
+const Enabled = true
+
+// Assertf panics with a *ViolationError if cond is false. Only built under
+// the morphdebug tag; release builds compile it to a no-op.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(&ViolationError{Msg: fmt.Sprintf(format, args...)})
+	}
+}

@@ -1,0 +1,50 @@
+// Package invariant is the sanctioned escape hatch for runtime assertion
+// of properties the type system cannot express: 64-byte line layouts packing
+// to exactly 512 bits, ZCC bit-vector popcounts matching allocated widths,
+// counter monotonicity, and similar secure-memory invariants (MICRO 2018
+// §IV–V).
+//
+// morphlint's panicpolicy analyzer forbids bare panic calls in library
+// packages; the two constructs this package provides are recognized as
+// deliberate:
+//
+//   - panic(invariant.Violationf(...)) marks a provably-unreachable state
+//     (a corrupted enum, a case the constructor already rejected). It
+//     always panics — reaching it is a bug no matter the build mode.
+//   - invariant.Assertf(cond, ...) is a debug assertion compiled to a no-op
+//     unless the `morphdebug` build tag is set. Hot paths (codec packing,
+//     bit-level writers) use it so release builds pay nothing while
+//     `go test -tags morphdebug ./...` checks every layout invariant.
+//
+// invariant.Must converts an (value, error) pair whose error was already
+// ruled out by prior validation into the value, panicking with a
+// *ViolationError otherwise.
+package invariant
+
+import "fmt"
+
+// ViolationError is the payload of every invariant panic, so recover-based
+// harnesses can distinguish assertion failures from other panics.
+type ViolationError struct {
+	// Msg describes the violated invariant.
+	Msg string
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string { return "invariant violation: " + e.Msg }
+
+// Violationf builds the panic payload for a provably-unreachable state.
+// Intended use: panic(invariant.Violationf("counters: invalid format %v", f)).
+func Violationf(format string, args ...any) *ViolationError {
+	return &ViolationError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Must unwraps a (value, error) pair whose error path was already excluded
+// by prior validation, e.g. replaying a trace that was validated at load
+// time. It panics with a *ViolationError if the impossible error occurs.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(&ViolationError{Msg: "Must on validated path: " + err.Error()})
+	}
+	return v
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// CryptoRand forbids math/rand in the non-test code of the cryptographic
+// packages (aesctr, mac, secmem).
+//
+// Counter-mode pads and MAC keys derive their security from
+// unpredictability (Section II-A); a deterministic PRNG anywhere in those
+// packages is a key-recovery bug waiting to be wired in. Tests may use
+// math/rand freely for reproducible inputs.
+var CryptoRand = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc:  "forbid math/rand in non-test code of cryptographic packages (aesctr, mac, secmem)",
+	Run:  runCryptoRand,
+}
+
+func runCryptoRand(pass *analysis.Pass) error {
+	if !analysis.PkgNamed(pass.Pkg, "aesctr", "mac", "secmem") {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		imp, ok := n.(*ast.ImportSpec)
+		if !ok {
+			return true
+		}
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			return true
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(), "%s imported in cryptographic package %s; use crypto/rand", path, pass.Pkg.Name())
+		}
+		return true
+	})
+	return nil
+}

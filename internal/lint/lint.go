@@ -1,0 +1,18 @@
+// Package lint holds morphlint's repo-specific analyzers. Each enforces a
+// secure-memory invariant from the paper (MICRO 2018) that the Go compiler
+// cannot check; DESIGN.md "Checked invariants" maps analyzers to the paper
+// sections they guard.
+package lint
+
+import "github.com/securemem/morphtree/internal/analysis"
+
+// Analyzers returns the full morphlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CachelineInv,
+		CryptoRand,
+		ErrDiscard,
+		PanicPolicy,
+		LockHeld,
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// LockHeld is a heuristic check that mutex-protected state is only touched
+// with the mutex held.
+//
+// Convention enforced: in a struct with a field `mu sync.Mutex` (or
+// RWMutex), every field declared AFTER mu is protected by it — immutable
+// configuration goes before mu, mutable state after (internal/cache.Cache
+// and internal/secmem.Memory follow this layout). An exported method that
+// reads or writes a protected field must call mu.Lock/RLock somewhere in
+// its body; unexported methods are assumed to be called with the lock
+// already held (the repo's *Locked-helper convention). This is the
+// single-memory-controller serialization the engine models (secmem doc):
+// losing it silently breaks counter monotonicity under concurrent writers.
+var LockHeld = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "heuristic: fields declared after a mu sync.Mutex must only be touched with mu held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(pass *analysis.Pass) error {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+			return true
+		}
+		recv := receiverNamed(pass, fn)
+		if recv == nil || guarded[recv] == nil {
+			return true
+		}
+		if locksMutex(pass, fn.Body) {
+			return true
+		}
+		// No lock acquired anywhere in the method: any protected-field
+		// access is a finding.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !guarded[recv][obj] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s accesses mutex-protected field %s without holding mu (declared after mu in %s)", recv.Obj().Name(), fn.Name.Name, obj.Name(), recv.Obj().Name())
+			return true
+		})
+		return true
+	})
+	return nil
+}
+
+// guardedFields maps each named struct type with a `mu` mutex field to the
+// set of field objects declared after it.
+func guardedFields(pass *analysis.Pass) map[*types.Named]map[types.Object]bool {
+	out := make(map[*types.Named]map[types.Object]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		muIndex := -1
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "mu" && isMutex(f.Type()) {
+				muIndex = i
+				break
+			}
+		}
+		if muIndex < 0 || muIndex == st.NumFields()-1 {
+			continue
+		}
+		fields := make(map[types.Object]bool)
+		for i := muIndex + 1; i < st.NumFields(); i++ {
+			fields[st.Field(i)] = true
+		}
+		out[named] = fields
+	}
+	return out
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if !analysis.PkgNamed(obj.Pkg(), "sync") {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverNamed resolves a method's receiver to its named struct type.
+func receiverNamed(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.Types[fn.Recv.List[0].Type].Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// locksMutex reports whether the body contains a mu.Lock or mu.RLock call.
+func locksMutex(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// PanicPolicy forbids bare panic calls in library packages.
+//
+// A panicking memory controller is a denial-of-service primitive: any
+// validation failure an attacker can trigger from untrusted storage must
+// surface as an *IntegrityError (or other typed error), never as a crash.
+// Two escape hatches remain, both via internal/invariant:
+//
+//   - panic(invariant.Violationf(...)) for provably-unreachable states;
+//   - invariant.Assertf(...) for morphdebug-gated layout assertions.
+//
+// Must-style constructors for statically known-good configurations may
+// carry a `//morphlint:allow panicpolicy` directive with a justification.
+// Package main binaries are exempt (top-level error handling may legitimately
+// crash), as is internal/invariant itself.
+var PanicPolicy = &analysis.Analyzer{
+	Name: "panicpolicy",
+	Doc:  "forbid bare panic in library packages; route through internal/invariant or typed errors",
+	Run:  runPanicPolicy,
+}
+
+func runPanicPolicy(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || pass.Pkg.Name() == "invariant" {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || obj.Name() != "panic" {
+			return true
+		}
+		if len(call.Args) == 1 && isInvariantPayload(pass, call.Args[0]) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "bare panic in library package %s; return a typed error, or use internal/invariant (Violationf for unreachable states, Assertf for morphdebug checks)", pass.Pkg.Name())
+		return true
+	})
+	return nil
+}
+
+// isInvariantPayload reports whether the panic argument is produced by the
+// invariant package (e.g. invariant.Violationf(...)).
+func isInvariantPayload(pass *analysis.Pass, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObject(pass, call)
+	return obj != nil && analysis.PkgNamed(obj.Pkg(), "invariant")
+}

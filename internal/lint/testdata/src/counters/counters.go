@@ -1,0 +1,21 @@
+package counters
+
+// LineBytes is a package-level const: the sanctioned home for the literal.
+const LineBytes = 64
+
+// splitMinorBits is a package-level layout table: also sanctioned.
+var splitMinorBits = map[int]int{64: 6, 128: 3}
+
+func encode() int {
+	n := 64               // want "hard-coded cacheline layout literal 64"
+	n += 128              // want "hard-coded cacheline layout literal 128"
+	bits := 512           // want "hard-coded cacheline layout literal 512"
+	const localNamed = 64 // a function-local const names the literal: the fix, not a finding
+	width := 32           // not a layout literal
+	tail := 64            //morphlint:allow cachelineinv -- fixture exercises the suppression directive
+	return n + bits + localNamed + width + tail + splitMinorBits[LineBytes]
+}
+
+func clean() int {
+	return LineBytes * 8
+}

@@ -1,0 +1,16 @@
+// Package invariant mirrors the real internal/invariant surface so the
+// panicpolicy fixture can exercise the sanctioned panic payload.
+package invariant
+
+import "fmt"
+
+// ViolationError is the payload type panicpolicy recognizes.
+type ViolationError struct{ Msg string }
+
+// Error implements error.
+func (e *ViolationError) Error() string { return e.Msg }
+
+// Violationf mirrors the real constructor.
+func Violationf(format string, args ...any) *ViolationError {
+	return &ViolationError{Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,56 @@
+package locked
+
+import "sync"
+
+// Counter follows the repo convention: immutable configuration before mu,
+// mutex-protected state after it.
+type Counter struct {
+	name string
+
+	mu    sync.Mutex
+	count int
+}
+
+// Name touches only an immutable field declared before mu: no lock needed.
+func (c *Counter) Name() string { return c.name }
+
+// Add acquires the mutex, so its protected-field accesses are fine.
+func (c *Counter) Add(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count += n
+}
+
+func (c *Counter) Count() int {
+	return c.count // want "Counter.Count accesses mutex-protected field count"
+}
+
+// reset is unexported: assumed called with mu already held.
+func (c *Counter) reset() {
+	c.count = 0
+}
+
+// RW exercises the RWMutex variant.
+type RW struct {
+	mu   sync.RWMutex
+	data map[string]int
+}
+
+// Get read-locks, which counts as holding the mutex.
+func (r *RW) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k]
+}
+
+func (r *RW) Len() int {
+	return len(r.data) // want "RW.Len accesses mutex-protected field data"
+}
+
+// Plain has no mutex, so nothing is checked.
+type Plain struct {
+	count int
+}
+
+// Bump is unguarded by convention: Plain declares no mu.
+func (p *Plain) Bump() { p.count++ }

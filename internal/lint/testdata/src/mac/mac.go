@@ -1,0 +1,15 @@
+package mac
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want "math/rand imported in cryptographic package mac"
+)
+
+func Key() []byte {
+	b := make([]byte, 16)
+	if _, err := crand.Read(b); err != nil {
+		return nil
+	}
+	b[0] = byte(rand.Int())
+	return b
+}

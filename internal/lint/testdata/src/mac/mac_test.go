@@ -1,0 +1,6 @@
+package mac
+
+import "math/rand"
+
+// Test files may use math/rand freely for reproducible inputs.
+func deterministicInput() int { return rand.Int() }

@@ -1,0 +1,7 @@
+// Package main is exempt from panicpolicy: top-level error handling in a
+// binary may legitimately crash.
+package main
+
+func main() {
+	panic("binaries may crash")
+}

@@ -1,0 +1,9 @@
+// Package other is not a layout-bearing package, so cachelineinv must not
+// report its literals.
+package other
+
+func size() int {
+	n := 64
+	n += 512
+	return n
+}

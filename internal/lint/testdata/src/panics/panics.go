@@ -1,0 +1,31 @@
+package panics
+
+import (
+	"fmt"
+
+	"invariant"
+)
+
+func bad(x int) error {
+	if x < 0 {
+		panic("negative input") // want "bare panic in library package panics"
+	}
+	if x > 100 {
+		panic(fmt.Sprintf("too large: %d", x)) // want "bare panic in library package panics"
+	}
+	return nil
+}
+
+func unreachable(x int) int {
+	switch {
+	case x >= 0:
+		return x
+	case x < 0:
+		return -x
+	}
+	panic(invariant.Violationf("unhandled value %d", x))
+}
+
+func allowed() {
+	panic("justified") //morphlint:allow panicpolicy -- fixture exercises the suppression directive
+}

@@ -1,0 +1,7 @@
+// Package plainpkg is not cryptographic, so cryptorand must not report its
+// math/rand import.
+package plainpkg
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,23 @@
+package secmem
+
+import "fmt"
+
+func Persist() error { return nil }
+
+func Decode(b []byte) (int, error) { return len(b), nil }
+
+func bad() {
+	Persist()       // want "result of secmem.Persist includes an error that is discarded"
+	Decode(nil)     // want "result of secmem.Decode includes an error that is discarded"
+	defer Persist() // want "result of secmem.Persist includes an error that is discarded"
+	go Persist()    // want "result of secmem.Persist includes an error that is discarded"
+}
+
+func good() error {
+	_ = Persist() // explicit discard stays visible in review
+	if _, err := Decode(nil); err != nil {
+		return err
+	}
+	fmt.Println("fmt is not a watched package")
+	return Persist()
+}

@@ -85,12 +85,14 @@ type Stats struct {
 // concurrent use; operations serialize on an internal lock, matching the
 // single memory controller the engine models.
 type Memory struct {
+	// Immutable after New.
+	cfg    Config
+	geom   *tree.Geometry
+	cipher *aesctr.Cipher
+	keyer  *mac.Keyer
+	store  *Store
+
 	mu      sync.Mutex
-	cfg     Config
-	geom    *tree.Geometry
-	cipher  *aesctr.Cipher
-	keyer   *mac.Keyer
-	store   *Store
 	trusted []map[uint64]counters.Block // per level below root
 	root    counters.Block
 	stats   Stats

@@ -1,11 +1,10 @@
 package sim
 
 import (
-	"fmt"
-
 	"github.com/securemem/morphtree/internal/cache"
 	"github.com/securemem/morphtree/internal/counters"
 	"github.com/securemem/morphtree/internal/dram"
+	"github.com/securemem/morphtree/internal/invariant"
 	"github.com/securemem/morphtree/internal/tree"
 )
 
@@ -93,7 +92,7 @@ func (e *engine) specAt(level int) counters.Spec {
 		return e.cfg.Enc
 	}
 	if e.cfg.MACTree {
-		panic("sim: MAC-tree levels hold no counters")
+		panic(invariant.Violationf("sim: MAC-tree levels hold no counters"))
 	}
 	i := level - 1
 	if i >= len(e.cfg.Tree) {
@@ -124,7 +123,7 @@ func (e *engine) decodeMeta(addr uint64) (level int, idx uint64) {
 			return lvl, (addr - e.levelBase[lvl]) / 64
 		}
 	}
-	panic(fmt.Sprintf("sim: address %#x is not metadata", addr))
+	panic(invariant.Violationf("sim: address %#x is not metadata", addr))
 }
 
 // dramAccess issues one memory access at CPU time `at`, records it under a

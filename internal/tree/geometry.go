@@ -20,6 +20,11 @@ import (
 // LineBytes is the cacheline size used throughout (64 bytes).
 const LineBytes = counters.LineBytes
 
+// maxTreeLevels bounds the level count during construction. An arity-2 tree
+// over a 64-bit address space has at most 64 levels, so exceeding this means
+// the arity schedule failed to shrink the footprint.
+const maxTreeLevels = 64
+
 // Level describes one level of the integrity tree.
 type Level struct {
 	// Level is 1-based: level 1 protects the encryption counters.
@@ -89,7 +94,7 @@ func New(memoryBytes uint64, encArity int, treeArities []int) (*Geometry, error)
 		if entries <= 1 {
 			break
 		}
-		if lvl > 64 {
+		if lvl > maxTreeLevels {
 			return nil, fmt.Errorf("tree: runaway level count (arity schedule %v)", treeArities)
 		}
 	}

@@ -1,0 +1,117 @@
+package tree
+
+import "testing"
+
+// TestOneLevelTree covers the degenerate geometry where level 1 is already
+// the root: a memory small enough that all encryption counters fit one line.
+func TestOneLevelTree(t *testing.T) {
+	// 64 data lines, 64-ary counters: one encryption-counter line, so the
+	// tree is a single root line protecting it.
+	g, err := New(64*LineBytes, 64, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EncCounterLines != 1 {
+		t.Fatalf("enc counter lines = %d, want 1", g.EncCounterLines)
+	}
+	if g.NumLevels() != 1 {
+		t.Fatalf("levels = %d, want 1", g.NumLevels())
+	}
+	if g.Levels[0].Entries != 1 || g.Levels[0].Bytes != LineBytes {
+		t.Errorf("root level = %d entries / %d bytes, want 1 / %d", g.Levels[0].Entries, g.Levels[0].Bytes, LineBytes)
+	}
+	if g.RootLevel() != 1 {
+		t.Errorf("root level = %d, want 1", g.RootLevel())
+	}
+	parent, slot := g.ParentSlot(0, 63)
+	if parent != 0 || slot != 63 {
+		t.Errorf("ParentSlot(0, 63) = %d,%d, want 0,63", parent, slot)
+	}
+}
+
+// TestSingleLineMemory is the smallest legal geometry: one data line.
+func TestSingleLineMemory(t *testing.T) {
+	g, err := New(LineBytes, 64, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DataLines != 1 || g.EncCounterLines != 1 {
+		t.Fatalf("data/enc lines = %d/%d, want 1/1", g.DataLines, g.EncCounterLines)
+	}
+	if g.NumLevels() != 1 {
+		t.Fatalf("levels = %d, want 1", g.NumLevels())
+	}
+}
+
+// TestNonPowerOfTwoSizes checks ceil-division behavior: partial lines and
+// partial levels round up, and every level still shrinks to a single root.
+func TestNonPowerOfTwoSizes(t *testing.T) {
+	cases := []struct {
+		name     string
+		lines    uint64
+		encArity int
+		arities  []int
+		encLines uint64
+	}{
+		// 100 lines / 64-ary = 2 partially-used counter lines.
+		{"100-lines", 100, 64, []int{64}, 2},
+		// 3 GB is not a power of two; 50331648 lines / 64 = 786432.
+		{"3GB", 3 * gb / LineBytes, 64, []int{64}, 786432},
+		// A prime line count with a mixed arity schedule.
+		{"prime", 65537, 128, []int{32, 16}, 513},
+	}
+	for _, c := range cases {
+		g, err := New(c.lines*LineBytes, c.encArity, c.arities)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if g.EncCounterLines != c.encLines {
+			t.Errorf("%s: enc counter lines = %d, want %d", c.name, g.EncCounterLines, c.encLines)
+		}
+		// Levels must shrink strictly and end in a single-line root.
+		prev := g.EncCounterLines
+		for _, l := range g.Levels {
+			if l.Entries >= prev && prev > 1 {
+				t.Errorf("%s: level %d has %d entries, not smaller than %d", c.name, l.Level, l.Entries, prev)
+			}
+			want := ceilDiv(prev, uint64(l.Arity))
+			if l.Entries != want {
+				t.Errorf("%s: level %d entries = %d, want ceil(%d/%d) = %d", c.name, l.Level, l.Entries, prev, l.Arity, want)
+			}
+			prev = l.Entries
+		}
+		if root := g.Levels[len(g.Levels)-1]; root.Entries != 1 {
+			t.Errorf("%s: root has %d entries, want 1", c.name, root.Entries)
+		}
+		// Every entry at every level must map to a valid parent slot.
+		for lvl := 0; lvl < g.NumLevels(); lvl++ {
+			entries := g.LevelEntries(lvl)
+			for _, idx := range []uint64{0, entries - 1} {
+				parent, slot := g.ParentSlot(lvl, idx)
+				if parent >= g.LevelEntries(lvl+1) {
+					t.Errorf("%s: level %d index %d maps to parent %d beyond level %d's %d entries",
+						c.name, lvl, idx, parent, lvl+1, g.LevelEntries(lvl+1))
+				}
+				if slot < 0 || slot >= g.LevelArity(lvl+1) {
+					t.Errorf("%s: level %d index %d maps to slot %d beyond arity %d",
+						c.name, lvl, idx, slot, g.LevelArity(lvl+1))
+				}
+			}
+		}
+	}
+}
+
+// TestRunawaySchedule exercises the maxTreeLevels guard indirectly: arity 2
+// over a large memory is legal and deep, but must still terminate.
+func TestRunawaySchedule(t *testing.T) {
+	g, err := New(16*gb, 64, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() < 20 {
+		t.Errorf("binary tree over 16GB has %d levels, expected >= 20", g.NumLevels())
+	}
+	if g.Levels[len(g.Levels)-1].Entries != 1 {
+		t.Error("binary tree did not converge to a single root line")
+	}
+}

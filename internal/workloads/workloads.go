@@ -18,6 +18,7 @@ package workloads
 import (
 	"fmt"
 
+	"github.com/securemem/morphtree/internal/invariant"
 	"github.com/securemem/morphtree/internal/trace"
 )
 
@@ -111,10 +112,7 @@ func FromTrace(name string, accesses []trace.Access) (Benchmark, error) {
 		Name:  name,
 		Suite: "TRACE",
 		customGen: func(seed uint64) trace.Generator {
-			g, err := trace.NewReplay(recorded)
-			if err != nil {
-				panic(err) // validated above
-			}
+			g := invariant.Must(trace.NewReplay(recorded)) // validated above
 			// Offset cores so rate-mode replays do not lockstep.
 			for i := uint64(0); i < seed%uint64(len(recorded)); i++ {
 				g.Next()
@@ -198,11 +196,8 @@ func Mixes() []Workload {
 	for i, def := range mixDefs {
 		w := Workload{Name: fmt.Sprintf("mix%d", i+1), Suite: "MIX"}
 		for _, name := range def {
-			b, err := ByName(name)
-			if err != nil {
-				panic(err)
-			}
-			w.Cores = append(w.Cores, b)
+			// mixDefs only names benchmarks from the tables above.
+			w.Cores = append(w.Cores, invariant.Must(ByName(name)))
 		}
 		out = append(out, w)
 	}
@@ -259,7 +254,7 @@ func (b Benchmark) Generator(footprintScale float64, cores int, seed uint64) tra
 	case Adversarial:
 		return trace.NewAdversary(lines, rates, seed)
 	}
-	panic(fmt.Sprintf("workloads: unhandled pattern %v", b.Pattern))
+	panic(invariant.Violationf("workloads: unhandled pattern %v", b.Pattern))
 }
 
 // FootprintLines returns a benchmark's per-core footprint in lines at a
