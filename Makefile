@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint bench verify clean
+.PHONY: build test race morphdebug vet morphlint bench serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,21 @@ morphlint: bin/morphlint
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+bin/morphserve: $(shell find cmd/morphserve internal/server internal/shard internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -o bin/morphserve ./cmd/morphserve
+
+bin/morphload: $(shell find cmd/morphload internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -o bin/morphload ./cmd/morphload
+
+# Loopback smoke test of the serving layer: morphload drives a local
+# morphserve, verifies integrity end to end (including an injected tamper),
+# and writes BENCH_serve.json.
+serve-smoke: bin/morphserve bin/morphload
+	bin/morphserve -addr 127.0.0.1:7443 -shards 4 -org morph128 -tamper & \
+	SERVE_PID=$$!; sleep 1; \
+	bin/morphload -addr 127.0.0.1:7443 -clients 8 -duration 3s -tamper -out BENCH_serve.json; \
+	STATUS=$$?; kill $$SERVE_PID; exit $$STATUS
 
 verify: build vet morphlint morphdebug race
 

@@ -1,0 +1,291 @@
+// Command morphload is a closed-loop load generator for morphserve: N
+// client goroutines drive concurrent READ/WRITE traffic over the wire
+// protocol, each verifying its own read-back contents against what it
+// wrote, and the run ends with a report of throughput, latency
+// percentiles, verified-integrity counts, and the server's aggregated
+// engine stats (the paper's overflow / rebase / re-encryption metrics),
+// written to a JSON file.
+//
+// Usage:
+//
+//	morphload -addr 127.0.0.1:7443 -clients 8 -duration 5s -out BENCH_serve.json
+//	morphload -tamper    # also inject a tamper and require fail-closed detection
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/wire"
+)
+
+const lineBytes = secmem.LineBytes
+
+type clientResult struct {
+	reads, writes   uint64
+	verifiedReads   uint64 // reads whose contents matched expectations
+	mismatches      uint64 // silent corruption: wrong contents, no error
+	integrityErrors uint64 // *secmem.IntegrityError during normal traffic
+	otherErrors     uint64
+	latencies       []time.Duration
+	firstErr        error
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Addr          string  `json:"addr"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_s"`
+	SpanBytes     uint64  `json:"span_bytes"`
+	WriteFraction float64 `json:"write_fraction"`
+
+	Ops           uint64  `json:"ops"`
+	Reads         uint64  `json:"reads"`
+	Writes        uint64  `json:"writes"`
+	ThroughputOps float64 `json:"throughput_ops_s"`
+
+	LatencyUS map[string]float64 `json:"latency_us"`
+
+	VerifiedReads   uint64 `json:"verified_reads"`
+	Mismatches      uint64 `json:"read_mismatches"`
+	IntegrityErrors uint64 `json:"integrity_errors"`
+	OtherErrors     uint64 `json:"other_errors"`
+	VerifyOK        bool   `json:"verify_ok"`
+
+	TamperAttempted bool `json:"tamper_attempted"`
+	TamperDetected  bool `json:"tamper_detected"`
+
+	ServerStats secmem.Stats `json:"server_stats"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7443", "morphserve address")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "load phase length")
+	span := flag.Uint64("span", 1<<20, "address span to exercise (must fit the server's -mem)")
+	writeFrac := flag.Float64("writes", 0.5, "fraction of ops that are writes")
+	seed := flag.Int64("seed", 1, "per-client RNG seed base")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-op deadline")
+	tamper := flag.Bool("tamper", false, "after the load phase, inject a tamper via the wire TAMPER op and require an IntegrityError (server must run with -tamper)")
+	out := flag.String("out", "BENCH_serve.json", "report file")
+	flag.Parse()
+
+	if *clients < 1 || *span/lineBytes < uint64(*clients) {
+		log.Fatalf("morphload: need at least one line per client (span %d, clients %d)", *span, *clients)
+	}
+
+	// Each client owns a disjoint contiguous range of lines, so it can
+	// verify every read against exactly what it last wrote there.
+	results := make([]clientResult, *clients)
+	linesPerClient := *span / lineBytes / uint64(*clients)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = runClient(*addr, *timeout, deadline, rand.New(rand.NewSource(*seed+int64(c))),
+				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac)
+		}(c)
+	}
+	wg.Wait()
+
+	rep := report{
+		Addr:          *addr,
+		Clients:       *clients,
+		DurationSec:   duration.Seconds(),
+		SpanBytes:     *span,
+		WriteFraction: *writeFrac,
+		LatencyUS:     map[string]float64{},
+	}
+	var all []time.Duration
+	for c := range results {
+		r := &results[c]
+		rep.Reads += r.reads
+		rep.Writes += r.writes
+		rep.VerifiedReads += r.verifiedReads
+		rep.Mismatches += r.mismatches
+		rep.IntegrityErrors += r.integrityErrors
+		rep.OtherErrors += r.otherErrors
+		all = append(all, r.latencies...)
+		if r.firstErr != nil {
+			log.Printf("morphload: client %d: first error: %v", c, r.firstErr)
+		}
+	}
+	rep.Ops = rep.Reads + rep.Writes
+	rep.ThroughputOps = float64(rep.Ops) / duration.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1.0}} {
+		rep.LatencyUS[p.name] = float64(percentile(all, p.q)) / float64(time.Microsecond)
+	}
+
+	// Control connection: server-side full verification and final stats.
+	ctl, err := wire.Dial(*addr, *timeout)
+	if err != nil {
+		log.Fatalf("morphload: control connection: %v", err)
+	}
+	defer ctl.Close()
+	if err := ctl.Verify(); err != nil {
+		log.Printf("morphload: VERIFY failed: %v", err)
+	} else {
+		rep.VerifyOK = true
+	}
+
+	if *tamper {
+		rep.TamperAttempted = true
+		rep.TamperDetected = injectTamper(ctl)
+	}
+
+	if st, err := ctl.Stats(); err != nil {
+		log.Printf("morphload: STATS failed: %v", err)
+	} else {
+		rep.ServerStats = st
+	}
+
+	if err := writeReport(*out, rep); err != nil {
+		log.Fatalf("morphload: %v", err)
+	}
+	fmt.Printf("morphload: %d ops in %.1fs (%.0f ops/s), p50=%.0fus p99=%.0fus; %d verified reads, %d mismatches, %d integrity errors, verify_ok=%v",
+		rep.Ops, rep.DurationSec, rep.ThroughputOps, rep.LatencyUS["p50"], rep.LatencyUS["p99"],
+		rep.VerifiedReads, rep.Mismatches, rep.IntegrityErrors, rep.VerifyOK)
+	if rep.TamperAttempted {
+		fmt.Printf(", tamper_detected=%v", rep.TamperDetected)
+	}
+	fmt.Println()
+	if rep.Mismatches > 0 || rep.IntegrityErrors > 0 || rep.OtherErrors > 0 || !rep.VerifyOK ||
+		(rep.TamperAttempted && !rep.TamperDetected) {
+		os.Exit(1)
+	}
+}
+
+// runClient is one closed-loop worker: pick a random owned line, write a
+// deterministic pattern or read back and verify, until the deadline.
+func runClient(addr string, timeout time.Duration, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64) clientResult {
+	var res clientResult
+	cl, err := wire.Dial(addr, timeout)
+	if err != nil {
+		res.firstErr = err
+		res.otherErrors++
+		return res
+	}
+	defer cl.Close()
+	seqs := make(map[uint64]uint64, lines)
+	var ie *secmem.IntegrityError
+	for time.Now().Before(deadline) {
+		a := base + uint64(rng.Int63n(int64(lines)))*lineBytes
+		if rng.Float64() < writeFrac {
+			seq := seqs[a] + 1
+			start := time.Now()
+			err := cl.Write(a, fill(a, seq))
+			res.latencies = append(res.latencies, time.Since(start))
+			if err != nil {
+				recordErr(&res, err, &ie)
+				continue
+			}
+			seqs[a] = seq
+			res.writes++
+		} else {
+			start := time.Now()
+			got, err := cl.Read(a)
+			res.latencies = append(res.latencies, time.Since(start))
+			if err != nil {
+				recordErr(&res, err, &ie)
+				continue
+			}
+			res.reads++
+			var want []byte
+			if seq, ok := seqs[a]; ok {
+				want = fill(a, seq)
+			} else {
+				want = make([]byte, lineBytes) // never written: zeros
+			}
+			if string(got) == string(want) {
+				res.verifiedReads++
+			} else {
+				res.mismatches++
+			}
+		}
+	}
+	return res
+}
+
+func recordErr(res *clientResult, err error, ie **secmem.IntegrityError) {
+	if res.firstErr == nil {
+		res.firstErr = err
+	}
+	if errors.As(err, ie) {
+		res.integrityErrors++
+	} else {
+		res.otherErrors++
+	}
+}
+
+// injectTamper writes a line, flips a stored ciphertext bit through the
+// wire TAMPER op, and requires the following read to fail closed with a
+// typed IntegrityError. It runs after VERIFY so the report's verify_ok
+// reflects the untampered memory.
+func injectTamper(ctl *wire.Client) bool {
+	const victim = 0
+	if err := ctl.Write(victim, fill(victim, 0xA11CE)); err != nil {
+		log.Printf("morphload: tamper setup write: %v", err)
+		return false
+	}
+	if err := ctl.Tamper(victim); err != nil {
+		log.Printf("morphload: TAMPER op: %v", err)
+		return false
+	}
+	_, err := ctl.Read(victim)
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		log.Printf("morphload: tampered read returned %v, want *secmem.IntegrityError", err)
+		return false
+	}
+	log.Printf("morphload: tamper detected as expected: %v", ie)
+	return true
+}
+
+// fill produces the deterministic line contents for (addr, seq); readers
+// recompute it to verify integrity end to end.
+func fill(addr, seq uint64) []byte {
+	line := make([]byte, lineBytes)
+	for i := 0; i < lineBytes; i += 16 {
+		binary.LittleEndian.PutUint64(line[i:], addr^seq)
+		binary.LittleEndian.PutUint64(line[i+8:], seq*0x9e3779b97f4a7c15+uint64(i))
+	}
+	return line
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func writeReport(path string, rep report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

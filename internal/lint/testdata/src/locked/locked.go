@@ -54,3 +54,55 @@ type Plain struct {
 
 // Bump is unguarded by convention: Plain declares no mu.
 func (p *Plain) Bump() { p.count++ }
+
+// Shard mirrors the serving layer's per-shard layout: engine handle and
+// shard id are immutable and sit before mu; the stats fields after mu —
+// scalars and per-level slices alike — are mutable under load and must only
+// be touched with the lock held.
+type Shard struct {
+	id  int
+	key []byte
+
+	mu         sync.Mutex
+	reads      uint64
+	writes     uint64
+	increments []uint64
+}
+
+// ID touches only immutable pre-mu fields: no lock needed.
+func (s *Shard) ID() int { return s.id }
+
+// Record locks before mutating the stats fields.
+func (s *Shard) Record(write bool, level int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if write {
+		s.writes++
+	} else {
+		s.reads++
+	}
+	s.increments[level]++
+}
+
+// Snapshot deep-copies under the lock — the aggregation pattern the
+// sharded server's STATS frame relies on.
+func (s *Shard) Snapshot() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.increments...)
+}
+
+func (s *Shard) Reads() uint64 {
+	return s.reads // want "Shard.Reads accesses mutex-protected field reads"
+}
+
+func (s *Shard) Increments() []uint64 {
+	return s.increments // want "Shard.Increments accesses mutex-protected field increments"
+}
+
+// merge is unexported: assumed called with mu already held.
+func (s *Shard) merge(other []uint64) {
+	for i, v := range other {
+		s.increments[i] += v
+	}
+}

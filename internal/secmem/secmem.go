@@ -161,15 +161,46 @@ func (m *Memory) Geometry() *tree.Geometry { return m.geom }
 // Store exposes the untrusted backing store (the adversary's view).
 func (m *Memory) Store() *Store { return m.store }
 
-// Stats returns a copy of the activity counters.
+// Clone returns a deep copy of s: the per-level slices are reallocated, so
+// mutating the copy (or the original, under the engine's lock) never aliases
+// the other.
+func (s Stats) Clone() Stats {
+	s.Increments = append([]uint64(nil), s.Increments...)
+	s.Overflows = append([]uint64(nil), s.Overflows...)
+	s.Rebases = append([]uint64(nil), s.Rebases...)
+	return s
+}
+
+// Merge adds other's counts into s, extending the per-level slices if other
+// has more levels. Shard aggregators use this to roll per-engine stats into
+// one view.
+func (s *Stats) Merge(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Reencryptions += other.Reencryptions
+	s.VerifiedFetches += other.VerifiedFetches
+	s.Increments = mergeLevels(s.Increments, other.Increments)
+	s.Overflows = mergeLevels(s.Overflows, other.Overflows)
+	s.Rebases = mergeLevels(s.Rebases, other.Rebases)
+}
+
+func mergeLevels(dst, src []uint64) []uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// Stats returns a deep copy of the activity counters, taken under the
+// engine's lock. Callers may retain and mutate the result freely; it never
+// aliases the slices the engine keeps incrementing.
 func (m *Memory) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.stats
-	s.Increments = append([]uint64(nil), m.stats.Increments...)
-	s.Overflows = append([]uint64(nil), m.stats.Overflows...)
-	s.Rebases = append([]uint64(nil), m.stats.Rebases...)
-	return s
+	return m.stats.Clone()
 }
 
 // FlushMetadataCache drops every verified counter line below the root, so

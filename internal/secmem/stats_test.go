@@ -1,0 +1,112 @@
+package secmem
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/counters"
+)
+
+// TestStatsDeepCopy locks in that Stats() hands back slices the engine will
+// never touch again: a caller scribbling on the returned per-level counts
+// must not perturb the engine, and the engine's continued activity must not
+// show through a previously returned snapshot.
+func TestStatsDeepCopy(t *testing.T) {
+	m := mustNew(t, Config{
+		MemoryBytes: 1 << 14,
+		Enc:         counters.MorphSpec(true),
+		Tree:        []counters.Spec{counters.MorphSpec(true)},
+		Key:         testKey,
+	})
+	line := make([]byte, LineBytes)
+	for i := 0; i < 32; i++ {
+		if err := m.Write(uint64(i)*LineBytes, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Stats()
+	if len(snap.Increments) == 0 || snap.Increments[0] == 0 {
+		t.Fatal("expected nonzero level-0 increments after writes")
+	}
+	want := snap.Increments[0]
+
+	// Scribble on the snapshot; the engine must be unaffected.
+	for i := range snap.Increments {
+		snap.Increments[i] = ^uint64(0)
+		snap.Overflows[i] = ^uint64(0)
+		snap.Rebases[i] = ^uint64(0)
+	}
+	fresh := m.Stats()
+	if fresh.Increments[0] != want {
+		t.Fatalf("engine stats aliased by caller mutation: increments[0] = %d, want %d", fresh.Increments[0], want)
+	}
+
+	// Keep writing; the earlier snapshot must stay frozen.
+	before := fresh.Clone()
+	for i := 0; i < 32; i++ {
+		if err := m.Write(uint64(i)*LineBytes, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fresh.Increments[0] != before.Increments[0] {
+		t.Fatalf("snapshot aliased by engine mutation: increments[0] moved %d -> %d", before.Increments[0], fresh.Increments[0])
+	}
+}
+
+// TestStatsConcurrentReaders hammers Stats() from readers that mutate their
+// copies while writers drive the engine — under -race this fails if any
+// slice is shared between the engine and a caller.
+func TestStatsConcurrentReaders(t *testing.T) {
+	m := mustNew(t, Config{
+		MemoryBytes: 1 << 14,
+		Enc:         counters.MorphSpec(true),
+		Tree:        []counters.Spec{counters.MorphSpec(true)},
+		Key:         testKey,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			line := make([]byte, LineBytes)
+			for i := 0; i < 200; i++ {
+				addr := uint64((w*200+i)%256) * LineBytes
+				if err := m.Write(addr, line); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := m.Stats()
+				for j := range s.Increments {
+					s.Increments[j]++ // must be our private copy
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, Reencryptions: 3, VerifiedFetches: 4, Increments: []uint64{1, 2}, Overflows: []uint64{1}, Rebases: []uint64{5}}
+	b := Stats{Reads: 10, Writes: 20, Reencryptions: 30, VerifiedFetches: 40, Increments: []uint64{1, 2, 3}, Overflows: []uint64{1, 1}, Rebases: []uint64{1}}
+	a.Merge(b)
+	if a.Reads != 11 || a.Writes != 22 || a.Reencryptions != 33 || a.VerifiedFetches != 44 {
+		t.Fatalf("scalar merge wrong: %+v", a)
+	}
+	wantInc := []uint64{2, 4, 3}
+	for i, v := range wantInc {
+		if a.Increments[i] != v {
+			t.Fatalf("Increments[%d] = %d, want %d", i, a.Increments[i], v)
+		}
+	}
+	if a.Overflows[0] != 2 || a.Overflows[1] != 1 || a.Rebases[0] != 6 {
+		t.Fatalf("level merge wrong: %+v", a)
+	}
+}

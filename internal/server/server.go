@@ -1,0 +1,249 @@
+// Package server is morphserve's TCP front: one goroutine per connection
+// speaking the wire protocol against a shard.Sharded engine, with a
+// connection cap, per-frame read/write deadlines, and graceful shutdown
+// driven by a context.
+//
+// The server is deliberately fail-closed and crash-free: every malformed
+// frame, unknown opcode, or engine error becomes a typed response frame
+// (integrity violations keep their level/index/reason), and a hostile peer
+// can at worst cost the server one bounded allocation and one connection
+// slot until its deadline expires.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/wire"
+)
+
+// Config tunes the listener's limits.
+type Config struct {
+	// MaxConns caps concurrent connections (default 64). Excess
+	// connections receive a StatusError frame and are closed.
+	MaxConns int
+	// ReadTimeout bounds waiting for the next request frame on a
+	// connection (default 30s); an idle peer is disconnected.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame (default 30s).
+	WriteTimeout time.Duration
+	// AllowTamper enables the OpTamper adversary op. Off by default;
+	// only demos and tests that show fail-closed detection turn it on.
+	AllowTamper bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves wire-protocol requests against a sharded secure memory.
+type Server struct {
+	shards *shard.Sharded
+	cfg    Config
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New constructs a server over a sharded engine.
+func New(sh *shard.Sharded, cfg Config) *Server {
+	return &Server{
+		shards: sh,
+		cfg:    cfg.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until ctx is canceled, then closes the
+// listener and every live connection and waits for the per-connection
+// goroutines to drain. It always returns a non-nil error: ctx.Err() on
+// shutdown, or the accept failure.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		_ = ln.Close()
+		s.closeAll()
+	}()
+
+	var serveErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				serveErr = ctx.Err()
+			} else {
+				serveErr = fmt.Errorf("server: accept: %w", err)
+			}
+			break
+		}
+		if !s.track(conn) {
+			s.reject(conn)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	return serveErr
+}
+
+// track registers a connection, enforcing MaxConns. It reports whether the
+// connection was admitted.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	_ = conn.Close()
+}
+
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+}
+
+// reject tells an over-limit peer why it is being dropped.
+func (s *Server) reject(conn net.Conn) {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = wire.WriteFrame(conn, wire.StatusError, []byte("connection limit reached"))
+	_ = conn.Close()
+}
+
+// serveConn runs one connection's request loop until the peer closes, a
+// deadline fires, or the stream turns unframeable.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		op, payload, err := wire.ReadFrame(br)
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			// Length prefix was unreadable, oversized, or the body was
+			// cut off: the stream cannot be trusted to be framed
+			// anymore. Report (best effort) and drop the connection.
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			status, body := wire.EncodeError(err)
+			_ = wire.WriteFrame(bw, status, body)
+			_ = bw.Flush()
+			return
+		}
+		status, body := s.handle(op, payload)
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
+		if err := wire.WriteFrame(bw, status, body); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request. Every path returns a response; unknown
+// or malformed requests are StatusError, integrity violations are
+// StatusIntegrity, and the connection stays usable (framing is intact).
+func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
+	switch op {
+	case wire.OpRead:
+		addr, err := wire.DecodeAddr(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		line, err := s.shards.Read(addr)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, line
+
+	case wire.OpWrite:
+		addr, line, err := wire.DecodeWrite(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		if err := s.shards.Write(addr, line); err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, nil
+
+	case wire.OpVerify:
+		if err := s.shards.VerifyAll(); err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, nil
+
+	case wire.OpStats:
+		body, err := wire.EncodeStats(s.shards.Stats())
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, body
+
+	case wire.OpSnapshot:
+		var buf bytes.Buffer
+		if err := s.shards.Save(&buf); err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, buf.Bytes()
+
+	case wire.OpTamper:
+		if !s.cfg.AllowTamper {
+			return wire.StatusError, []byte("tamper op disabled (start server with tampering enabled)")
+		}
+		addr, err := wire.DecodeAddr(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		if !s.shards.FlipDataBit(addr, 0, 1) {
+			return wire.StatusError, []byte("tamper target not present in store")
+		}
+		return wire.StatusOK, nil
+	}
+	return wire.StatusError, []byte(fmt.Sprintf("unknown opcode %#x", op))
+}

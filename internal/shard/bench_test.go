@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkShardScaling measures aggregate write throughput under parallel
+// clients as the shard count grows. With one shard every client serializes
+// on the single engine mutex; with N shards, lines interleaved across
+// engines proceed concurrently, so on a multi-core runner aggregate
+// ops/sec should rise with N — the scaling claim behind the serving layer.
+func BenchmarkShardScaling(b *testing.B) {
+	const memBytes = 1 << 22
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/write", n), func(b *testing.B) {
+			s := mustNew(b, testConfig(b, n, memBytes, "morph128"))
+			const lines = uint64(memBytes / LineBytes)
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				line := fill(0, 1)
+				for pb.Next() {
+					i := next.Add(1)
+					addr := (i % lines) * LineBytes
+					if err := s.Write(addr, line); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(s.Stats().Writes)/b.Elapsed().Seconds(), "writes/s")
+		})
+		b.Run(fmt.Sprintf("shards=%d/read", n), func(b *testing.B) {
+			s := mustNew(b, testConfig(b, n, memBytes, "morph128"))
+			const warm = 1 << 10
+			for i := uint64(0); i < warm; i++ {
+				if err := s.Write(i*LineBytes, fill(i, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					addr := (i % warm) * LineBytes
+					if _, err := s.Read(addr); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

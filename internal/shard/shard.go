@@ -1,0 +1,285 @@
+// Package shard is an N-way sharded front over secmem.Memory: line
+// addresses interleave round-robin across N independent engines, each with
+// its own integrity tree, untrusted store, and key derived from the master
+// key, so operations on different shards proceed in parallel instead of
+// serializing on one engine mutex.
+//
+// The sharding is security-preserving: every shard is a complete secure
+// memory (counters, MACs, tree, on-chip root), so tampering with one
+// shard's store fails closed inside that shard without weakening — or
+// being maskable by — any other shard. Per-shard keys mean a pad or MAC
+// collision in one shard tells an adversary nothing about the others.
+package shard
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// LineBytes mirrors the engine's cacheline granularity.
+const LineBytes = secmem.LineBytes
+
+// Config describes a sharded secure memory.
+type Config struct {
+	// Shards is the number of independent engines (>= 1).
+	Shards int
+	// Mem is the template for each engine. MemoryBytes is the TOTAL
+	// protected capacity and must divide evenly into Shards engines of
+	// whole cachelines; Key is the master key each shard's sub-key is
+	// derived from.
+	Mem secmem.Config
+}
+
+// Sharded interleaves line addresses across independent secmem engines.
+// All fields are immutable after New; concurrency control lives inside each
+// engine, so methods are safe for concurrent use.
+type Sharded struct {
+	cfg    Config
+	shards []*secmem.Memory
+}
+
+// New constructs a sharded secure memory. Each shard serves
+// MemoryBytes/Shards of the address space and is keyed with
+// HMAC-SHA256(master, "morphtree/shard/<i>") truncated to the master key's
+// length, so shards never share counter-mode pads or MAC chains.
+func New(cfg Config) (*Sharded, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d must be >= 1", cfg.Shards)
+	}
+	stride := uint64(cfg.Shards) * LineBytes
+	if cfg.Mem.MemoryBytes == 0 || cfg.Mem.MemoryBytes%stride != 0 {
+		return nil, fmt.Errorf("shard: capacity %d is not a positive multiple of %d shards x %d-byte lines", cfg.Mem.MemoryBytes, cfg.Shards, LineBytes)
+	}
+	s := &Sharded{cfg: cfg, shards: make([]*secmem.Memory, cfg.Shards)}
+	for i := range s.shards {
+		sub := cfg.Mem
+		sub.MemoryBytes = cfg.Mem.MemoryBytes / uint64(cfg.Shards)
+		key, err := deriveKey(cfg.Mem.Key, i)
+		if err != nil {
+			return nil, err
+		}
+		sub.Key = key
+		m, err := secmem.New(sub)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = m
+	}
+	return s, nil
+}
+
+// deriveKey derives shard i's sub-key from the master key, preserving the
+// master's AES key length.
+func deriveKey(master []byte, i int) ([]byte, error) {
+	switch len(master) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("shard: master key must be 16, 24, or 32 bytes, got %d", len(master))
+	}
+	mac := hmac.New(sha256.New, master)
+	fmt.Fprintf(mac, "morphtree/shard/%d", i)
+	return mac.Sum(nil)[:len(master)], nil
+}
+
+// locate maps a line-aligned global address to (shard, local address).
+// Interleaving is round-robin at line granularity: global line d lives in
+// shard d % N at local line d / N, so sequential traffic spreads evenly.
+func (s *Sharded) locate(addr uint64) (int, uint64, error) {
+	if addr%LineBytes != 0 {
+		return 0, 0, fmt.Errorf("shard: address %#x is not line-aligned", addr)
+	}
+	if addr >= s.cfg.Mem.MemoryBytes {
+		return 0, 0, fmt.Errorf("shard: address %#x beyond capacity %#x", addr, s.cfg.Mem.MemoryBytes)
+	}
+	d := addr / LineBytes
+	n := uint64(s.cfg.Shards)
+	return int(d % n), (d / n) * LineBytes, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.cfg.Shards }
+
+// MemoryBytes returns the total protected capacity.
+func (s *Sharded) MemoryBytes() uint64 { return s.cfg.Mem.MemoryBytes }
+
+// ShardOf returns which shard serves a line-aligned address.
+func (s *Sharded) ShardOf(addr uint64) (int, error) {
+	idx, _, err := s.locate(addr)
+	return idx, err
+}
+
+// Shard exposes shard i's engine — primarily its untrusted Store, the
+// adversary interface attack tests tamper through.
+func (s *Sharded) Shard(i int) *secmem.Memory { return s.shards[i] }
+
+// Read verifies and decrypts the line at a line-aligned global address.
+func (s *Sharded) Read(addr uint64) ([]byte, error) {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.shards[idx].Read(local)
+}
+
+// Write encrypts and stores a 64-byte line at a line-aligned global address.
+func (s *Sharded) Write(addr uint64, line []byte) error {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return err
+	}
+	return s.shards[idx].Write(local, line)
+}
+
+// Stats returns the aggregate of every shard's engine stats (sums of the
+// paper's event categories: increments, overflows, rebases, re-encryptions,
+// verified fetches). Each per-shard snapshot is a deep copy taken under
+// that shard's lock, so the merge never races the engines.
+func (s *Sharded) Stats() secmem.Stats {
+	var agg secmem.Stats
+	for _, m := range s.shards {
+		agg.Merge(m.Stats())
+	}
+	return agg
+}
+
+// ShardStats returns each shard's individual stats snapshot, for spotting
+// load imbalance.
+func (s *Sharded) ShardStats() []secmem.Stats {
+	out := make([]secmem.Stats, len(s.shards))
+	for i, m := range s.shards {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// VerifyAll re-verifies every written line in every shard from a cold
+// metadata cache, returning the first integrity error found.
+func (s *Sharded) VerifyAll() error {
+	for i, m := range s.shards {
+		if err := m.VerifyAll(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FlipDataBit flips one stored ciphertext bit of the line at a global
+// address (adversary interface, used by the wire-level TAMPER op). It
+// reports whether the line existed.
+func (s *Sharded) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return false
+	}
+	return s.shards[idx].Store().FlipBit(local/LineBytes, byteOff, bit)
+}
+
+const (
+	saveMagic   = "MTSH"
+	saveVersion = 1
+)
+
+// Save serializes every shard's state (via secmem's persistence format,
+// each blob length-prefixed so streams stay delimited) plus the shard
+// layout, for the wire SNAPSHOT op.
+func (s *Sharded) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, saveMagic); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], saveVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.cfg.Shards))
+	binary.LittleEndian.PutUint64(hdr[16:], s.cfg.Mem.MemoryBytes)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	var buf bytes.Buffer
+	for i, m := range s.shards {
+		buf.Reset()
+		if err := m.Save(&buf); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(buf.Len()))
+		if _, err := w.Write(n[:]); err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reconstructs a sharded memory from a Save stream. cfg must describe
+// the same layout (shard count, capacity, counter organization, master key)
+// the state was saved under.
+func Load(cfg Config, r io.Reader) (*Sharded, error) {
+	magic := make([]byte, len(saveMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != saveMagic {
+		return nil, fmt.Errorf("shard: load: bad magic")
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	if v := binary.LittleEndian.Uint64(hdr[0:]); v != saveVersion {
+		return nil, fmt.Errorf("shard: load: unsupported version %d", v)
+	}
+	if n := binary.LittleEndian.Uint64(hdr[8:]); n != uint64(cfg.Shards) {
+		return nil, fmt.Errorf("shard: load: %d shards, config has %d", n, cfg.Shards)
+	}
+	if mb := binary.LittleEndian.Uint64(hdr[16:]); mb != cfg.Mem.MemoryBytes {
+		return nil, fmt.Errorf("shard: load: capacity %d, config has %d", mb, cfg.Mem.MemoryBytes)
+	}
+	s := &Sharded{cfg: cfg, shards: make([]*secmem.Memory, cfg.Shards)}
+	for i := range s.shards {
+		var n [8]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, fmt.Errorf("shard: load: %w", err)
+		}
+		blob := make([]byte, binary.LittleEndian.Uint64(n[:]))
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, fmt.Errorf("shard %d: load: %w", i, err)
+		}
+		sub := cfg.Mem
+		sub.MemoryBytes = cfg.Mem.MemoryBytes / uint64(cfg.Shards)
+		key, err := deriveKey(cfg.Mem.Key, i)
+		if err != nil {
+			return nil, err
+		}
+		sub.Key = key
+		m, err := secmem.Load(sub, bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = m
+	}
+	return s, nil
+}
+
+// Organization maps a counter-organization name to its encryption and tree
+// specs, covering the designs the paper evaluates. Names: sc64, sc128,
+// vault, morph128, morph128-zcc.
+func Organization(name string) (enc counters.Spec, tree []counters.Spec, err error) {
+	switch name {
+	case "sc64":
+		return counters.SplitSpec(64), []counters.Spec{counters.SplitSpec(64)}, nil
+	case "sc128":
+		return counters.SplitSpec(128), []counters.Spec{counters.SplitSpec(128)}, nil
+	case "vault":
+		return counters.SplitSpec(64), []counters.Spec{counters.SplitSpec(32), counters.SplitSpec(16)}, nil
+	case "morph128":
+		return counters.MorphSpec(true), []counters.Spec{counters.MorphSpec(true)}, nil
+	case "morph128-zcc":
+		return counters.MorphSpec(false), []counters.Spec{counters.MorphSpec(false)}, nil
+	}
+	return counters.Spec{}, nil, fmt.Errorf("shard: unknown organization %q (want sc64, sc128, vault, morph128, morph128-zcc)", name)
+}

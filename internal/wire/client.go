@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// Client speaks the morphserve protocol over one connection, one request
+// in flight at a time (the closed-loop model morphload measures).
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	mu sync.Mutex
+	bw *bufio.Writer
+	br *bufio.Reader
+}
+
+// Dial connects to a morphserve address. timeout, if nonzero, bounds the
+// dial and every subsequent round trip.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, timeout), nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	return &Client{
+		conn:    conn,
+		timeout: timeout,
+		bw:      bufio.NewWriter(conn),
+		br:      bufio.NewReader(conn),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response, surfacing
+// StatusIntegrity as *secmem.IntegrityError and StatusError as
+// *RemoteError.
+func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("wire: set deadline: %w", err)
+		}
+	}
+	if err := WriteFrame(c.bw, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("wire: flush: %w", err)
+	}
+	status, body, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, DecodeError(status, body)
+	}
+	return body, nil
+}
+
+// Read fetches and verifies the line at a line-aligned address.
+func (c *Client) Read(addr uint64) ([]byte, error) {
+	body, err := c.roundTrip(OpRead, EncodeAddr(addr))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != secmem.LineBytes {
+		return nil, fmt.Errorf("wire: read returned %d bytes, want %d", len(body), secmem.LineBytes)
+	}
+	return body, nil
+}
+
+// Write stores a 64-byte line at a line-aligned address.
+func (c *Client) Write(addr uint64, line []byte) error {
+	payload, err := EncodeWrite(addr, line)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(OpWrite, payload)
+	return err
+}
+
+// Verify asks the server to re-verify every written line in every shard.
+func (c *Client) Verify() error {
+	_, err := c.roundTrip(OpVerify, nil)
+	return err
+}
+
+// Stats fetches the server's aggregated shard stats.
+func (c *Client) Stats() (secmem.Stats, error) {
+	body, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return secmem.Stats{}, err
+	}
+	return DecodeStats(body)
+}
+
+// Snapshot fetches the server's full persisted state (shard.Save format).
+func (c *Client) Snapshot() ([]byte, error) {
+	return c.roundTrip(OpSnapshot, nil)
+}
+
+// Tamper asks the server to flip a stored ciphertext bit at an address —
+// honored only by servers started with tampering enabled.
+func (c *Client) Tamper(addr uint64) error {
+	_, err := c.roundTrip(OpTamper, EncodeAddr(addr))
+	return err
+}

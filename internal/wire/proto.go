@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// Payload codecs for the individual ops. Addresses travel as big-endian
+// u64; lines are raw 64-byte cachelines.
+
+// addrBytes is the encoded size of a line address.
+const addrBytes = 8
+
+// EncodeAddr encodes an OpRead / OpTamper payload.
+func EncodeAddr(addr uint64) []byte {
+	p := make([]byte, addrBytes)
+	binary.BigEndian.PutUint64(p, addr)
+	return p
+}
+
+// DecodeAddr decodes an OpRead / OpTamper payload.
+func DecodeAddr(p []byte) (uint64, error) {
+	if len(p) != addrBytes {
+		return 0, fmt.Errorf("wire: address payload is %d bytes, want %d", len(p), addrBytes)
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// EncodeWrite encodes an OpWrite payload: address followed by the line.
+func EncodeWrite(addr uint64, line []byte) ([]byte, error) {
+	if len(line) != secmem.LineBytes {
+		return nil, fmt.Errorf("wire: line is %d bytes, want %d", len(line), secmem.LineBytes)
+	}
+	return append(EncodeAddr(addr), line...), nil
+}
+
+// DecodeWrite decodes an OpWrite payload.
+func DecodeWrite(p []byte) (uint64, []byte, error) {
+	if len(p) != addrBytes+secmem.LineBytes {
+		return 0, nil, fmt.Errorf("wire: write payload is %d bytes, want %d", len(p), addrBytes+secmem.LineBytes)
+	}
+	return binary.BigEndian.Uint64(p), p[addrBytes:], nil
+}
+
+// EncodeStats encodes an OpStats OK payload.
+func EncodeStats(s secmem.Stats) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode stats: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeStats decodes an OpStats OK payload.
+func DecodeStats(p []byte) (secmem.Stats, error) {
+	var s secmem.Stats
+	if err := json.Unmarshal(p, &s); err != nil {
+		return secmem.Stats{}, fmt.Errorf("wire: decode stats: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeError turns any error into a response (status, payload) pair. An
+// *secmem.IntegrityError anywhere in the chain is encoded structurally so
+// it survives the trip; everything else collapses to a StatusError string.
+func EncodeError(err error) (byte, []byte) {
+	var ie *secmem.IntegrityError
+	if errors.As(err, &ie) {
+		p := make([]byte, 16, 16+len(ie.Reason))
+		binary.BigEndian.PutUint64(p, uint64(int64(ie.Level)))
+		binary.BigEndian.PutUint64(p[8:], ie.Index)
+		return StatusIntegrity, append(p, ie.Reason...)
+	}
+	return StatusError, []byte(err.Error())
+}
+
+// DecodeError reconstructs the error a non-OK response carries:
+// *secmem.IntegrityError for StatusIntegrity, *RemoteError for StatusError.
+func DecodeError(status byte, p []byte) error {
+	switch status {
+	case StatusIntegrity:
+		if len(p) < 16 {
+			return fmt.Errorf("wire: integrity payload is %d bytes, want >= 16", len(p))
+		}
+		return &secmem.IntegrityError{
+			Level:  int(int64(binary.BigEndian.Uint64(p))),
+			Index:  binary.BigEndian.Uint64(p[8:]),
+			Reason: string(p[16:]),
+		}
+	case StatusError:
+		return &RemoteError{Msg: string(p)}
+	}
+	return fmt.Errorf("wire: unknown response status %#x", status)
+}

@@ -1,0 +1,121 @@
+// Package wire is morphserve's length-prefixed binary protocol. A frame is
+//
+//	| u32 big-endian body length | body |
+//
+// where a request body is | opcode byte | payload | and a response body is
+// | status byte | payload |. Length-prefixing keeps the stream
+// self-delimiting, so a malformed payload never desynchronizes the
+// connection, and a hard cap on the body length bounds what a hostile peer
+// can make the server allocate.
+//
+// Errors are typed end to end: a secmem.IntegrityError raised inside a
+// shard is encoded field-for-field (level, index, reason) and decoded back
+// into a *secmem.IntegrityError on the client, so callers' errors.As checks
+// work identically in-process and across the wire.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	// OpRead reads one line: payload is a u64 address; OK response
+	// carries the 64-byte plaintext.
+	OpRead byte = 0x01
+	// OpWrite writes one line: payload is a u64 address + 64 bytes.
+	OpWrite byte = 0x02
+	// OpVerify re-verifies every written line in every shard.
+	OpVerify byte = 0x03
+	// OpStats returns the aggregated shard stats as JSON.
+	OpStats byte = 0x04
+	// OpSnapshot returns the full persisted state (shard.Save format).
+	OpSnapshot byte = 0x05
+	// OpTamper flips a stored ciphertext bit at a u64 address (adversary
+	// interface; servers only honor it when started with tampering
+	// enabled). Used to demonstrate fail-closed detection end to end.
+	OpTamper byte = 0x06
+)
+
+// Response status bytes.
+const (
+	// StatusOK carries the op-specific result payload.
+	StatusOK byte = 0x00
+	// StatusIntegrity carries an encoded secmem.IntegrityError: the
+	// request touched tampered memory and failed closed.
+	StatusIntegrity byte = 0x01
+	// StatusError carries a plain error string (bad request, limits,
+	// unknown opcode).
+	StatusError byte = 0x02
+)
+
+// MaxBody caps a frame's body length. Snapshots of large memories are the
+// biggest legitimate frames; anything over this is treated as a hostile or
+// corrupt length prefix before any allocation happens.
+const MaxBody = 64 << 20
+
+// lenBytes is the size of the frame length prefix.
+const lenBytes = 4
+
+// Typed framing errors, matchable with errors.Is.
+var (
+	// ErrOversized reports a length prefix exceeding MaxBody.
+	ErrOversized = errors.New("wire: frame exceeds size limit")
+	// ErrTruncated reports a connection that died mid-frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrEmptyFrame reports a zero-length body (no opcode/status byte).
+	ErrEmptyFrame = errors.New("wire: empty frame body")
+)
+
+// RemoteError is a non-integrity failure reported by the peer
+// (StatusError): bad request, server limits, unknown opcode.
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// WriteFrame writes one frame whose body is the tag byte (opcode or
+// status) followed by payload.
+func WriteFrame(w io.Writer, tag byte, payload []byte) error {
+	if len(payload)+1 > MaxBody {
+		return fmt.Errorf("%w: body %d > %d", ErrOversized, len(payload)+1, MaxBody)
+	}
+	hdr := make([]byte, lenBytes+1, lenBytes+1+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[lenBytes] = tag
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame and returns its tag byte and payload. A clean
+// close at a frame boundary returns io.EOF; a close or error mid-frame
+// returns ErrTruncated; a length prefix over MaxBody returns ErrOversized
+// without allocating the claimed size.
+func ReadFrame(r io.Reader) (tag byte, payload []byte, err error) {
+	var hdr [lenBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: reading length: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if n > MaxBody {
+		return 0, nil, fmt.Errorf("%w: body %d > %d", ErrOversized, n, MaxBody)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading %d-byte body: %v", ErrTruncated, n, err)
+	}
+	return body[0], body[1:], nil
+}
