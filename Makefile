@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint bench serve-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ serve-smoke: bin/morphserve bin/morphload
 	SERVE_PID=$$!; sleep 1; \
 	bin/morphload -addr 127.0.0.1:7443 -clients 8 -duration 3s -tamper -out BENCH_serve.json; \
 	STATUS=$$?; kill $$SERVE_PID; exit $$STATUS
+
+bin/morphcrash: $(shell find cmd/morphcrash internal/durable internal/wal internal/shard internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -o bin/morphcrash ./cmd/morphcrash
+
+# Reduced crash-injection matrix: kill-point surgery on the WAL, the
+# snapshot rename, and the epoch truncation, each recovered and checked
+# against a shadow model. The full matrix is `bin/morphcrash` with
+# defaults; this keeps CI fast.
+crash-smoke: bin/morphcrash
+	bin/morphcrash -points 9 -writes 300 -out BENCH_durable.json
 
 verify: build vet morphlint morphdebug race
 

@@ -1,0 +1,645 @@
+// Command morphcrash is the durability layer's crash-injection harness. It
+// builds a reference store under a seeded write workload, then — for a
+// matrix of crash points — clones the data directory, performs the file
+// surgery a kernel panic at that instant would leave behind, and recovers
+// the clone, asserting the result byte-for-byte against a shadow model:
+//
+//   - append:   the WAL tail is cut at a random byte offset; exactly the
+//     whole frames before the cut must survive, in order, and the recovery
+//     must report a torn tail rather than an integrity violation.
+//   - snapshot: the crash lands mid-checkpoint — next-epoch segments exist
+//     and at most a partial snapshot temp file; recovery must fall back to
+//     the previous epoch with nothing lost and sweep the stale files.
+//   - truncate: the crash lands after the snapshot rename but before the
+//     old epoch's files are unlinked; recovery must prefer the new epoch,
+//     keep the full state, and finish the sweep.
+//
+// Two tampering probes ride along: a flipped snapshot byte and a flipped
+// WAL payload byte with a recomputed CRC (an adversary, not a crash) must
+// both surface as integrity errors at recovery, never as silent repairs.
+//
+// Results, plus a durable-on/off throughput comparison, are written as
+// JSON (default BENCH_durable.json). Exit status is non-zero if any crash
+// point recovers wrong or any tamper probe goes undetected.
+//
+// Usage:
+//
+//	morphcrash -points 24 -writes 600 -shards 4 -mem 262144 -seed 1 -out BENCH_durable.json
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/securemem/morphtree/internal/durable"
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/wal"
+)
+
+var demoKey = []byte("0123456789abcdef")
+
+// shadowWrite is one acknowledged write in engine apply order, which the
+// WAL-before-apply lock discipline guarantees is also WAL record order.
+type shadowWrite struct {
+	addr uint64
+	line []byte
+}
+
+// trialResult is one crash point's outcome in the JSON report.
+type trialResult struct {
+	Stage     string `json:"stage"`
+	Detail    string `json:"detail"`
+	Recovered int    `json:"recovered_writes"`
+	Expected  int    `json:"expected_writes"`
+	TornTails int    `json:"torn_tails"`
+	Pass      bool   `json:"pass"`
+	Err       string `json:"error,omitempty"`
+}
+
+type tamperResult struct {
+	Target   string `json:"target"`
+	Detected bool   `json:"detected"`
+	Err      string `json:"recovery_error"`
+}
+
+type benchResult struct {
+	Mode        string  `json:"mode"`
+	Writes      int     `json:"writes"`
+	Seconds     float64 `json:"seconds"`
+	WritesPerMs float64 `json:"writes_per_ms"`
+}
+
+type report struct {
+	Config struct {
+		Org    string `json:"org"`
+		Shards int    `json:"shards"`
+		Mem    uint64 `json:"mem_bytes"`
+		Writes int    `json:"writes"`
+		Points int    `json:"points"`
+		Seed   int64  `json:"seed"`
+	} `json:"config"`
+	Crash    []trialResult  `json:"crash_matrix"`
+	Tamper   []tamperResult `json:"tamper_probes"`
+	Bench    []benchResult  `json:"throughput"`
+	Recovery struct {
+		Records int     `json:"replayed_records"`
+		Writes  int     `json:"replayed_writes"`
+		Millis  float64 `json:"elapsed_ms"`
+	} `json:"full_replay_recovery"`
+	Pass bool `json:"pass"`
+}
+
+func main() {
+	points := flag.Int("points", 24, "total crash points across the three stages")
+	writes := flag.Int("writes", 600, "workload size in acknowledged writes")
+	shards := flag.Int("shards", 4, "shard count")
+	mem := flag.Uint64("mem", 256<<10, "protected capacity in bytes")
+	org := flag.String("org", "morph128", "counter organization")
+	seed := flag.Int64("seed", 1, "workload and crash-point seed")
+	out := flag.String("out", "BENCH_durable.json", "JSON report path")
+	flag.Parse()
+
+	if err := run(*points, *writes, *shards, *mem, *org, *seed, *out); err != nil {
+		log.Fatalf("morphcrash: %v", err)
+	}
+}
+
+func shardConfig(org string, shards int, mem uint64) (shard.Config, error) {
+	enc, tree, err := shard.Organization(org)
+	if err != nil {
+		return shard.Config{}, err
+	}
+	return shard.Config{
+		Shards: shards,
+		Mem: secmem.Config{
+			MemoryBytes: mem,
+			Enc:         enc,
+			Tree:        tree,
+			Key:         demoKey,
+		},
+	}, nil
+}
+
+func run(points, writes, shards int, mem uint64, org string, seed int64, out string) error {
+	shcfg, err := shardConfig(org, shards, mem)
+	if err != nil {
+		return err
+	}
+	work, err := os.MkdirTemp("", "morphcrash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	var rep report
+	rep.Config.Org = org
+	rep.Config.Shards = shards
+	rep.Config.Mem = mem
+	rep.Config.Writes = writes
+	rep.Config.Points = points
+	rep.Config.Seed = seed
+
+	// ---- Reference run: seeded workload against a durable store. ----
+	// NoAudit keeps every WAL frame at the fixed write size, which makes
+	// the expected surviving-record count at a cut offset pure arithmetic
+	// rather than a re-parse of the file under test.
+	master := filepath.Join(work, "master")
+	dm, _, err := durable.Open(shcfg, durable.Config{Dir: master, Sync: durable.SyncAlways, NoAudit: true})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nlines := mem / durable.LineBytes
+	journal := make([][]shadowWrite, shards) // per-shard, apply order
+	for i := 0; i < writes; i++ {
+		addr := (rng.Uint64() % nlines) * durable.LineBytes
+		line := make([]byte, durable.LineBytes)
+		binary.LittleEndian.PutUint64(line, rng.Uint64())
+		binary.LittleEndian.PutUint64(line[8:], uint64(i))
+		if err := dm.Write(addr, line); err != nil {
+			return fmt.Errorf("workload write %d: %w", i, err)
+		}
+		si, _, err := dm.Sharded().Locate(addr)
+		if err != nil {
+			return err
+		}
+		journal[si] = append(journal[si], shadowWrite{addr, line})
+	}
+	if err := dm.Close(); err != nil {
+		return err
+	}
+
+	// ---- Crash matrix. ----
+	// Half the points cut the WAL tail; the rest split between the two
+	// checkpoint-crash windows.
+	nAppend := points / 2
+	nSnap := (points - nAppend) / 2
+	nTrunc := points - nAppend - nSnap
+	allPass := true
+
+	for i := 0; i < nAppend; i++ {
+		res := trialAppend(shcfg, work, master, journal, rng, i)
+		allPass = allPass && res.Pass
+		rep.Crash = append(rep.Crash, res)
+	}
+	for i := 0; i < nSnap; i++ {
+		res := trialSnapshot(shcfg, work, master, journal, rng, i)
+		allPass = allPass && res.Pass
+		rep.Crash = append(rep.Crash, res)
+	}
+	for i := 0; i < nTrunc; i++ {
+		res := trialTruncate(shcfg, work, master, journal, rng, i)
+		allPass = allPass && res.Pass
+		rep.Crash = append(rep.Crash, res)
+	}
+
+	// ---- Tamper probes: adversarial edits must NOT recover silently. ----
+	for _, tr := range []tamperResult{
+		probeTamperWAL(shcfg, work, master, rng),
+		probeTamperSnapshot(shcfg, work, master),
+	} {
+		allPass = allPass && tr.Detected
+		rep.Tamper = append(rep.Tamper, tr)
+	}
+
+	// ---- Full-replay recovery cost (the Anubis-style bound: work is ----
+	// proportional to WAL length since the last checkpoint).
+	{
+		dir := filepath.Join(work, "recover-all")
+		if err := cloneDir(master, dir); err != nil {
+			return err
+		}
+		m2, info, err := durable.Open(shcfg, durable.Config{Dir: dir})
+		if err != nil {
+			return fmt.Errorf("full-replay recovery: %w", err)
+		}
+		rep.Recovery.Records = info.ReplayedRecords
+		rep.Recovery.Writes = info.ReplayedWrites
+		rep.Recovery.Millis = float64(info.Elapsed.Microseconds()) / 1000
+		if err := m2.Close(); err != nil {
+			return err
+		}
+	}
+
+	// ---- Throughput: durable off vs each fsync policy. ----
+	for _, mode := range []string{"volatile", "always", "interval", "none"} {
+		br, err := benchMode(shcfg, work, mode, writes, seed)
+		if err != nil {
+			return err
+		}
+		rep.Bench = append(rep.Bench, br)
+	}
+
+	rep.Pass = allPass
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("morphcrash: %d crash points + %d tamper probes, pass=%v, report %s\n",
+		len(rep.Crash), len(rep.Tamper), rep.Pass, out)
+	if !allPass {
+		return fmt.Errorf("crash matrix failed; see %s", out)
+	}
+	return nil
+}
+
+// expectState replays per-shard journal prefixes into the final expected
+// line contents: keep[s] records survive for shard s.
+func expectState(journal [][]shadowWrite, keep []int) map[uint64][]byte {
+	want := make(map[uint64][]byte)
+	for s, js := range journal {
+		for i := 0; i < keep[s]; i++ {
+			want[js[i].addr] = js[i].line
+		}
+	}
+	return want
+}
+
+// checkState reads every address either journal mentions and compares it
+// with the shadow model (addresses whose surviving prefix never wrote them
+// must read as never-written zeros).
+func checkState(m *durable.Memory, journal [][]shadowWrite, want map[uint64][]byte) error {
+	zeros := make([]byte, durable.LineBytes)
+	seen := make(map[uint64]bool)
+	for _, js := range journal {
+		for _, w := range js {
+			if seen[w.addr] {
+				continue
+			}
+			seen[w.addr] = true
+			got, err := m.Read(w.addr)
+			if err != nil {
+				return fmt.Errorf("read %#x: %w", w.addr, err)
+			}
+			exp, ok := want[w.addr]
+			if !ok {
+				exp = zeros
+			}
+			if string(got) != string(exp) {
+				return fmt.Errorf("addr %#x diverged from shadow model", w.addr)
+			}
+		}
+	}
+	return m.VerifyAll()
+}
+
+func failTrial(stage, detail string, err error) trialResult {
+	return trialResult{Stage: stage, Detail: detail, Pass: false, Err: err.Error()}
+}
+
+// trialAppend kills the store mid-WAL-append: the victim shard's segment
+// is truncated at a random byte offset.
+func trialAppend(shcfg shard.Config, work, master string, journal [][]shadowWrite, rng *rand.Rand, i int) trialResult {
+	const stage = "append"
+	dir := filepath.Join(work, fmt.Sprintf("append-%03d", i))
+	if err := cloneDir(master, dir); err != nil {
+		return failTrial(stage, "", err)
+	}
+	victim := rng.Intn(len(journal))
+	seg := durable.SegmentPath(dir, 1, victim)
+	st, err := os.Stat(seg)
+	if err != nil {
+		return failTrial(stage, "", err)
+	}
+	cut := rng.Int63n(st.Size() + 1)
+	detail := fmt.Sprintf("shard %d cut at byte %d/%d", victim, cut, st.Size())
+	if err := os.Truncate(seg, cut); err != nil {
+		return failTrial(stage, detail, err)
+	}
+
+	// Fixed-size frames (NoAudit) make the survivor count arithmetic.
+	keep := make([]int, len(journal))
+	for s := range journal {
+		keep[s] = len(journal[s])
+	}
+	keep[victim] = int(cut / wal.WriteFrameBytes)
+	wantTorn := cut%wal.WriteFrameBytes != 0
+
+	m, info, err := durable.Open(shcfg, durable.Config{Dir: dir})
+	if err != nil {
+		return failTrial(stage, detail, fmt.Errorf("recovery refused a pure crash artifact: %w", err))
+	}
+	defer func() { _ = m.Close() }() //morphlint:allow errdiscard trial teardown
+	res := trialResult{
+		Stage:     stage,
+		Detail:    detail,
+		Recovered: info.ReplayedWrites,
+		Expected:  sum(keep),
+		TornTails: info.TornTailCount(),
+	}
+	if info.ReplayedWrites != res.Expected {
+		res.Err = fmt.Sprintf("replayed %d writes, want %d", info.ReplayedWrites, res.Expected)
+		return res
+	}
+	if wantTorn != (info.TornTailCount() == 1) {
+		res.Err = fmt.Sprintf("torn tails = %d, want torn=%v", info.TornTailCount(), wantTorn)
+		return res
+	}
+	if err := checkState(m, journal, expectState(journal, keep)); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Pass = true
+	return res
+}
+
+// trialSnapshot kills the store mid-checkpoint, in the window where the
+// next epoch's WAL segments exist but its snapshot has not renamed into
+// place. Even-numbered points also leave a partial snapshot temp file.
+func trialSnapshot(shcfg shard.Config, work, master string, journal [][]shadowWrite, rng *rand.Rand, i int) trialResult {
+	const stage = "snapshot"
+	dir := filepath.Join(work, fmt.Sprintf("snapshot-%03d", i))
+	if err := cloneDir(master, dir); err != nil {
+		return failTrial(stage, "", err)
+	}
+	for s := range journal {
+		if err := os.WriteFile(durable.SegmentPath(dir, 2, s), nil, 0o644); err != nil {
+			return failTrial(stage, "", err)
+		}
+	}
+	detail := "stale epoch-2 segments"
+	if i%2 == 0 {
+		junk := make([]byte, rng.Intn(4096))
+		rng.Read(junk)
+		if err := os.WriteFile(durable.SnapshotPath(dir, 2)+".tmp", junk, 0o644); err != nil {
+			return failTrial(stage, detail, err)
+		}
+		detail += fmt.Sprintf(" + %d-byte partial snapshot temp", len(junk))
+	}
+
+	keep := make([]int, len(journal))
+	for s := range journal {
+		keep[s] = len(journal[s])
+	}
+	m, info, err := durable.Open(shcfg, durable.Config{Dir: dir})
+	if err != nil {
+		return failTrial(stage, detail, fmt.Errorf("recovery refused a pure crash artifact: %w", err))
+	}
+	defer func() { _ = m.Close() }() //morphlint:allow errdiscard trial teardown
+	res := trialResult{Stage: stage, Detail: detail, Recovered: info.ReplayedWrites, Expected: sum(keep), TornTails: info.TornTailCount()}
+	if info.SnapshotSeq != 1 {
+		res.Err = fmt.Sprintf("recovered from epoch %d, want fallback to 1", info.SnapshotSeq)
+		return res
+	}
+	if info.ReplayedWrites != res.Expected {
+		res.Err = fmt.Sprintf("replayed %d writes, want %d", info.ReplayedWrites, res.Expected)
+		return res
+	}
+	if err := checkState(m, journal, expectState(journal, keep)); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	// The interrupted checkpoint's litter must be swept.
+	for s := range journal {
+		if _, err := os.Stat(durable.SegmentPath(dir, 2, s)); err == nil {
+			res.Err = fmt.Sprintf("stale epoch-2 segment %d survived recovery", s)
+			return res
+		}
+	}
+	res.Pass = true
+	return res
+}
+
+// trialTruncate kills the store after a checkpoint committed (snapshot
+// renamed) but before the previous epoch's files were unlinked: recovery
+// must prefer the new epoch and finish the sweep.
+func trialTruncate(shcfg shard.Config, work, master string, journal [][]shadowWrite, rng *rand.Rand, i int) trialResult {
+	const stage = "truncate"
+	dir := filepath.Join(work, fmt.Sprintf("truncate-%03d", i))
+	if err := cloneDir(master, dir); err != nil {
+		return failTrial(stage, "", err)
+	}
+	// Preserve epoch 1's files, run a real checkpoint (which removes
+	// them), then resurrect them — exactly what a crash between the
+	// rename and the unlinks leaves on disk.
+	saved := map[string][]byte{}
+	names := []string{filepath.Base(durable.SnapshotPath(dir, 1))}
+	for s := range journal {
+		names = append(names, filepath.Base(durable.SegmentPath(dir, 1, s)))
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return failTrial(stage, "", err)
+		}
+		saved[name] = data
+	}
+	m, _, err := durable.Open(shcfg, durable.Config{Dir: dir})
+	if err != nil {
+		return failTrial(stage, "", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		return failTrial(stage, "", err)
+	}
+	if err := m.Close(); err != nil {
+		return failTrial(stage, "", err)
+	}
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return failTrial(stage, "", err)
+		}
+	}
+	detail := fmt.Sprintf("epoch-1 snapshot + %d segments resurrected beside committed epoch 2", len(journal))
+
+	keep := make([]int, len(journal))
+	for s := range journal {
+		keep[s] = len(journal[s])
+	}
+	m2, info, err := durable.Open(shcfg, durable.Config{Dir: dir})
+	if err != nil {
+		return failTrial(stage, detail, fmt.Errorf("recovery refused a pure crash artifact: %w", err))
+	}
+	defer func() { _ = m2.Close() }() //morphlint:allow errdiscard trial teardown
+	res := trialResult{Stage: stage, Detail: detail, Recovered: info.ReplayedWrites, Expected: 0, TornTails: info.TornTailCount()}
+	if info.SnapshotSeq != 2 {
+		res.Err = fmt.Sprintf("recovered from epoch %d, want the committed 2", info.SnapshotSeq)
+		return res
+	}
+	if info.ReplayedWrites != 0 {
+		res.Err = fmt.Sprintf("replayed %d writes, want 0 after a committed checkpoint", info.ReplayedWrites)
+		return res
+	}
+	if err := checkState(m2, journal, expectState(journal, keep)); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if _, err := os.Stat(durable.SnapshotPath(dir, 1)); err == nil {
+		res.Err = "resurrected epoch-1 snapshot survived recovery"
+		return res
+	}
+	res.Pass = true
+	return res
+}
+
+// probeTamperWAL flips one payload byte in a WAL frame and recomputes the
+// CRC: indistinguishable from a crash to a checksum, so only the keyed
+// record MAC can catch it.
+func probeTamperWAL(shcfg shard.Config, work, master string, rng *rand.Rand) tamperResult {
+	res := tamperResult{Target: "wal payload byte flip + CRC recompute"}
+	dir := filepath.Join(work, "tamper-wal")
+	if err := cloneDir(master, dir); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	seg := durable.SegmentPath(dir, 1, 0)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	frames := len(data) / wal.WriteFrameBytes
+	if frames == 0 {
+		res.Err = "shard 0 WAL empty"
+		return res
+	}
+	off := rng.Intn(frames) * wal.WriteFrameBytes
+	body := data[off+8 : off+wal.WriteFrameBytes]
+	body[30] ^= 0x40
+	binary.LittleEndian.PutUint32(data[off+4:], crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	_, _, err = durable.Open(shcfg, durable.Config{Dir: dir})
+	if err == nil {
+		res.Err = "tampered WAL recovered without error"
+		return res
+	}
+	res.Err = err.Error()
+	res.Detected = isIntegrity(err)
+	return res
+}
+
+// probeTamperSnapshot checkpoints a clone (so state lives in the
+// snapshot), then flips one snapshot byte.
+func probeTamperSnapshot(shcfg shard.Config, work, master string) tamperResult {
+	res := tamperResult{Target: "snapshot byte flip"}
+	dir := filepath.Join(work, "tamper-snap")
+	if err := cloneDir(master, dir); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	m, _, err := durable.Open(shcfg, durable.Config{Dir: dir})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := m.Checkpoint(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := m.Close(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	snap := durable.SnapshotPath(dir, 2)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	data[len(data)/3] ^= 0x02
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	_, _, err = durable.Open(shcfg, durable.Config{Dir: dir})
+	if err == nil {
+		res.Err = "tampered snapshot recovered without error"
+		return res
+	}
+	res.Err = err.Error()
+	res.Detected = isIntegrity(err)
+	return res
+}
+
+func isIntegrity(err error) bool {
+	var ie *secmem.IntegrityError
+	return errors.As(err, &ie)
+}
+
+// benchMode measures acknowledged-write throughput for one durability mode.
+func benchMode(shcfg shard.Config, work, mode string, writes int, seed int64) (benchResult, error) {
+	br := benchResult{Mode: mode, Writes: writes}
+	rng := rand.New(rand.NewSource(seed + 7))
+	nlines := shcfg.Mem.MemoryBytes / durable.LineBytes
+	line := make([]byte, durable.LineBytes)
+
+	var write func(addr uint64, line []byte) error
+	var done func() error
+	if mode == "volatile" {
+		sh, err := shard.New(shcfg)
+		if err != nil {
+			return br, err
+		}
+		write = sh.Write
+		done = func() error { return nil }
+	} else {
+		sync, err := durable.ParseSyncPolicy(mode)
+		if err != nil {
+			return br, err
+		}
+		m, _, err := durable.Open(shcfg, durable.Config{Dir: filepath.Join(work, "bench-"+mode), Sync: sync})
+		if err != nil {
+			return br, err
+		}
+		write = m.Write
+		done = m.Close
+	}
+	start := time.Now()
+	for i := 0; i < writes; i++ {
+		binary.LittleEndian.PutUint64(line, rng.Uint64())
+		if err := write((rng.Uint64()%nlines)*durable.LineBytes, line); err != nil {
+			return br, fmt.Errorf("bench %s write %d: %w", mode, i, err)
+		}
+	}
+	if err := done(); err != nil {
+		return br, err
+	}
+	br.Seconds = time.Since(start).Seconds()
+	if br.Seconds > 0 {
+		br.WritesPerMs = float64(writes) / (br.Seconds * 1000)
+	}
+	return br, nil
+}
+
+func cloneDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,15 +1,23 @@
 // Command morphserve runs a sharded secure-memory service: N independent
 // secmem engines behind a TCP wire protocol (READ / WRITE / VERIFY / STATS
-// / SNAPSHOT frames), with the counter organization selectable among the
-// designs the paper evaluates.
+// / SNAPSHOT / CHECKPOINT frames), with the counter organization selectable
+// among the designs the paper evaluates.
 //
 // Usage:
 //
 //	morphserve -addr 127.0.0.1:7443 -org morph128 -shards 8 -mem 4194304
+//	morphserve -data-dir /var/lib/morphserve            # crash-consistent
+//	morphserve -data-dir d -fsync interval -snapshot-every 30s
 //	morphserve -tamper        # enable the wire-level tamper op for demos
 //
+// Without -data-dir the store is volatile. With it, every write is
+// journaled to a write-ahead log before it is acknowledged, snapshots are
+// cut atomically (on the -snapshot-every timer and on CHECKPOINT frames),
+// and a restart recovers the pre-crash state — refusing to start if the
+// on-disk files show tampering rather than a torn crash tail.
+//
 // Drive it with cmd/morphload; stop it with SIGINT/SIGTERM for a graceful
-// drain.
+// drain (which also flushes the WAL).
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/securemem/morphtree/internal/durable"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/server"
 	"github.com/securemem/morphtree/internal/shard"
@@ -39,6 +48,9 @@ func main() {
 	maxConns := flag.Int("max-conns", 256, "concurrent connection cap")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-frame read/write deadline")
 	tamper := flag.Bool("tamper", false, "enable the wire-level TAMPER op (adversary interface, demos only)")
+	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
+	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
+	snapEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
 	flag.Parse()
 
 	key := []byte("0123456789abcdef")
@@ -57,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("morphserve: %v", err)
 	}
-	sh, err := shard.New(shard.Config{
+	shcfg := shard.Config{
 		Shards: n,
 		Mem: secmem.Config{
 			MemoryBytes: *mem,
@@ -65,9 +77,37 @@ func main() {
 			Tree:        tree,
 			Key:         key,
 		},
-	})
-	if err != nil {
-		log.Fatalf("morphserve: %v", err)
+	}
+
+	// eng is the serving surface; dm is non-nil only in durable mode.
+	var eng server.Engine
+	var dm *durable.Memory
+	if *dataDir == "" {
+		sh, err := shard.New(shcfg)
+		if err != nil {
+			log.Fatalf("morphserve: %v", err)
+		}
+		eng = sh
+	} else {
+		sync, err := durable.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("morphserve: -fsync: %v", err)
+		}
+		m, info, err := durable.Open(shcfg, durable.Config{Dir: *dataDir, Sync: sync})
+		if err != nil {
+			// A recovery-time integrity error means the files were
+			// tampered with, not torn: refuse to serve.
+			log.Fatalf("morphserve: open %s: %v", *dataDir, err)
+		}
+		if info.Fresh {
+			log.Printf("morphserve: %s: fresh store, snapshot seq %d", *dataDir, info.SnapshotSeq)
+		} else {
+			log.Printf("morphserve: %s: recovered snapshot seq %d + %d WAL records (%d writes, %d torn tails truncated, %d lines re-verified) in %v",
+				*dataDir, info.SnapshotSeq, info.ReplayedRecords, info.ReplayedWrites,
+				info.TornTailCount(), info.SampleVerified, info.Elapsed.Round(time.Millisecond))
+		}
+		dm = m
+		eng = m
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -83,19 +123,41 @@ func main() {
 		cancel()
 	}()
 
-	fmt.Printf("morphserve: %s, %d shards, %d MiB, listening on %s (tamper=%v)\n",
-		*org, n, *mem>>20, ln.Addr(), *tamper)
-	srv := server.New(sh, server.Config{
+	durability := "volatile"
+	if dm != nil {
+		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", *dataDir, *fsyncMode, *snapEvery)
+	}
+	fmt.Printf("morphserve: %s, %d shards, %d MiB, listening on %s (tamper=%v, %s)\n",
+		*org, n, *mem>>20, ln.Addr(), *tamper, durability)
+	cfg := server.Config{
 		MaxConns:     *maxConns,
 		ReadTimeout:  *timeout,
 		WriteTimeout: *timeout,
 		AllowTamper:  *tamper,
-	})
+		Logf:         log.Printf,
+	}
+	if dm != nil {
+		cfg.SnapshotEvery = *snapEvery
+	}
+	srv := server.New(eng, cfg)
 	err = srv.Serve(ctx, ln)
 	if err != nil && ctx.Err() == nil {
 		log.Fatalf("morphserve: %v", err)
 	}
-	st := sh.Stats()
+	if dm != nil {
+		// Serve already flushed the WAL; cut a final checkpoint so the
+		// next start replays nothing, then release the segment files.
+		if err := dm.Checkpoint(); err != nil {
+			log.Printf("morphserve: final checkpoint: %v", err)
+		}
+		if err := dm.Close(); err != nil {
+			log.Printf("morphserve: close store: %v", err)
+		}
+		d := dm.Durability()
+		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints\n",
+			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints)
+	}
+	st := eng.Stats()
 	fmt.Printf("morphserve: served %d reads, %d writes, %d verified fetches; overflows %v, rebases %v, re-encryptions %d\n",
 		st.Reads, st.Writes, st.VerifiedFetches, st.Overflows, st.Rebases, st.Reencryptions)
 }

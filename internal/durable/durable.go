@@ -1,0 +1,460 @@
+// Package durable (morphdur) makes a sharded secure memory crash-
+// consistent: every mutating operation is journaled to a per-shard
+// write-ahead log before it is applied, and the full state is periodically
+// captured in a monotonically numbered atomic snapshot. Recovery replays
+// the newest snapshot's WAL segments on top of it, tolerates crash-torn
+// tails (truncate and continue), and fails closed with an IntegrityError on
+// any at-rest tampering.
+//
+// Layout of a data directory (seq is a monotonically increasing epoch):
+//
+//	snapshot.<seq>        atomic full-state snapshot (temp-file + rename)
+//	wal.<seq>-<shard>     shard's journal of mutations since snapshot <seq>
+//
+// Invariants the checkpoint sequence maintains:
+//
+//  1. WAL-before-apply: a write's record is appended (under the same lock
+//     that applies it) before the engine mutates, so the on-disk journal
+//     order equals the apply order per shard.
+//  2. Snapshot-before-truncate: old segments and snapshots are deleted
+//     only after the snapshot that covers them has been fsynced and
+//     atomically renamed into place. A crash at any byte of the sequence
+//     leaves either the old epoch fully intact or the new one.
+//  3. Durability point: a write is durable when its WAL frame is fsynced.
+//     SyncAlways acks after a group-commit fsync (concurrent writers on a
+//     shard share one fsync); SyncInterval fsyncs on a timer; SyncNone
+//     only at checkpoint/flush/close.
+//
+// Phoenix-style lazy persistence maps onto this design as: counters and
+// tree state live only in snapshots (written lazily, at checkpoints), while
+// the WAL carries the logical writes needed to rebuild the gap — replaying
+// a write through the engine regenerates counters, MACs, and tree updates
+// deterministically. Per Anubis, recovery work is bounded by the WAL length
+// since the last checkpoint, not by memory size.
+package durable
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/wal"
+)
+
+// LineBytes mirrors the engine's cacheline granularity.
+const LineBytes = shard.LineBytes
+
+// SyncPolicy selects when WAL appends are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before acknowledging every write; concurrent
+	// writers to a shard are group-committed under one fsync.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Config.Interval);
+	// writes acknowledged between ticks can be lost to a crash.
+	SyncInterval
+	// SyncNone fsyncs only at checkpoints, Flush, and Close.
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("durable: unknown sync policy %q (want always, interval, none)", s)
+}
+
+// Config tunes the durability layer.
+type Config struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// Interval is the SyncInterval flush period (default 2ms).
+	Interval time.Duration
+	// VerifySample caps how many replayed lines recovery re-reads through
+	// the integrity tree so at-rest tampering of WAL or snapshot surfaces
+	// as an *secmem.IntegrityError at startup. 0 means the default (16);
+	// negative disables sampling.
+	VerifySample int
+	// VerifyAll makes recovery re-verify every written line in every
+	// shard (bounded-recovery-time tradeoff: thorough but O(state)).
+	VerifyAll bool
+	// NoAudit suppresses the overflow/rebase audit records normally
+	// journaled at each group-commit flush. Crash harnesses set it so WAL
+	// segments contain only fixed-size write frames.
+	NoAudit bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.VerifySample == 0 {
+		c.VerifySample = 16
+	}
+	return c
+}
+
+// Stats counts durability-layer activity.
+type Stats struct {
+	// Appends is the number of write records journaled.
+	Appends uint64
+	// Fsyncs is the number of WAL fsyncs issued; Appends/Fsyncs is the
+	// group-commit batching factor.
+	Fsyncs uint64
+	// AuditRecords counts overflow/rebase audit records journaled.
+	AuditRecords uint64
+	// Checkpoints counts snapshots taken (including the bootstrap one).
+	Checkpoints uint64
+}
+
+// RecoveryInfo describes what Open reconstructed.
+type RecoveryInfo struct {
+	// Fresh reports an empty directory bootstrapped with snapshot 1.
+	Fresh bool
+	// SnapshotSeq is the epoch recovered from.
+	SnapshotSeq uint64
+	// CoveredLSN / CoveredWrites are the per-shard positions the snapshot
+	// covers; AppliedLSN / AppliedWrites the positions after WAL replay.
+	CoveredLSN, CoveredWrites []uint64
+	AppliedLSN, AppliedWrites []uint64
+	// ReplayedRecords / ReplayedWrites total the WAL records replayed.
+	ReplayedRecords, ReplayedWrites int
+	// TornTails holds, per shard, the torn-tail truncation performed (nil
+	// entry = clean tail).
+	TornTails []*wal.TornTailError
+	// SampleVerified is how many replayed lines were re-read through the
+	// integrity tree.
+	SampleVerified int
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// TornTailCount returns how many shards needed tail truncation.
+func (r *RecoveryInfo) TornTailCount() int {
+	n := 0
+	for _, t := range r.TornTails {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// committer is one shard's journal: its mutex is both the append lock and
+// the apply-order lock, so the WAL's record order always equals the order
+// mutations hit the engine.
+type committer struct {
+	shard int
+	eng   *secmem.Memory
+
+	mu     sync.Mutex // guards log appends + engine apply order + lsn
+	log    *wal.Log
+	lsn    uint64 // last assigned LSN (cumulative across segments)
+	writes uint64 // cumulative write records (journal prefix index)
+	// audit baselines: totals already journaled as audit records
+	auditedOv, auditedRb uint64
+
+	syncMu sync.Mutex // guards synced and the fsync itself
+	synced uint64     // last LSN known durable
+}
+
+// Memory is a crash-consistent secure memory: a shard.Sharded engine whose
+// every mutation is WAL-journaled and periodically snapshotted. Reads and
+// writes are safe for concurrent use; Checkpoint serializes against writers
+// per shard.
+type Memory struct {
+	cfg   Config
+	shcfg shard.Config
+	sh    *shard.Sharded
+
+	snapKey []byte
+
+	ckptMu sync.Mutex // serializes Checkpoint / Flush / Close
+	seq    atomic.Uint64
+
+	commits []*committer
+
+	appends      atomic.Uint64
+	fsyncs       atomic.Uint64
+	auditRecords atomic.Uint64
+	checkpoints  atomic.Uint64
+
+	bgErrMu sync.Mutex
+	bgErr   error // first background-flusher failure, surfaced on Flush/Close
+
+	closed atomic.Bool
+	stopc  chan struct{}
+	wg     sync.WaitGroup
+}
+
+// derived keys: every file is sealed/authenticated under a key bound to its
+// role (and, for WAL segments, its shard and epoch), all derived from the
+// engine master key. A segment or snapshot moved, renamed, or replayed from
+// another epoch therefore fails authentication.
+func walKey(master []byte, shardIdx int, seq uint64) []byte {
+	h := hmac.New(sha256.New, master)
+	fmt.Fprintf(h, "morphtree/wal/%d/%d", shardIdx, seq)
+	return h.Sum(nil)
+}
+
+func snapshotKey(master []byte) []byte {
+	h := hmac.New(sha256.New, master)
+	fmt.Fprintf(h, "morphtree/snapshot")
+	return h.Sum(nil)
+}
+
+// Sharded exposes the underlying engine (tests and the crash harness reach
+// the adversary interface through it). Mutations made directly on it bypass
+// the journal.
+func (m *Memory) Sharded() *shard.Sharded { return m.sh }
+
+// Seq returns the current snapshot epoch.
+func (m *Memory) Seq() uint64 { return m.seq.Load() }
+
+// NumShards returns the shard count.
+func (m *Memory) NumShards() int { return len(m.commits) }
+
+// MemoryBytes returns the total protected capacity.
+func (m *Memory) MemoryBytes() uint64 { return m.sh.MemoryBytes() }
+
+// Read verifies and decrypts the line at a line-aligned global address.
+func (m *Memory) Read(addr uint64) ([]byte, error) { return m.sh.Read(addr) }
+
+// VerifyAll re-verifies every written line in every shard.
+func (m *Memory) VerifyAll() error { return m.sh.VerifyAll() }
+
+// Stats returns the engine's aggregated activity counters.
+func (m *Memory) Stats() secmem.Stats { return m.sh.Stats() }
+
+// Save streams the current state in shard.Save format (the wire SNAPSHOT
+// op; unrelated to the on-disk snapshot files).
+func (m *Memory) Save(w io.Writer) error { return m.sh.Save(w) }
+
+// FlipDataBit forwards the adversary interface (wire TAMPER op).
+func (m *Memory) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
+	return m.sh.FlipDataBit(addr, byteOff, bit)
+}
+
+// Durability returns the durability-layer activity counters.
+func (m *Memory) Durability() Stats {
+	return Stats{
+		Appends:      m.appends.Load(),
+		Fsyncs:       m.fsyncs.Load(),
+		AuditRecords: m.auditRecords.Load(),
+		Checkpoints:  m.checkpoints.Load(),
+	}
+}
+
+// Write journals and applies one 64-byte line write. It returns once the
+// write is applied and — under SyncAlways — once its WAL frame is fsynced.
+func (m *Memory) Write(addr uint64, line []byte) error {
+	if m.closed.Load() {
+		return fmt.Errorf("durable: write after Close")
+	}
+	if len(line) != LineBytes {
+		return fmt.Errorf("durable: line must be %d bytes, got %d", LineBytes, len(line))
+	}
+	idx, _, err := m.sh.Locate(addr)
+	if err != nil {
+		return err
+	}
+	c := m.commits[idx]
+	c.mu.Lock()
+	lsn := c.lsn + 1
+	if err := c.log.Append(wal.Record{Kind: wal.KindWrite, LSN: lsn, Addr: addr, Line: line}); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.lsn = lsn
+	c.writes++
+	applyErr := m.sh.Write(addr, line)
+	c.mu.Unlock()
+	if applyErr != nil {
+		// The record is journaled but the engine refused it (which, with
+		// address and length validated above, means live-state tampering).
+		// Replay on restart applies it; the divergence is reported, not
+		// hidden.
+		return applyErr
+	}
+	m.appends.Add(1)
+	if m.cfg.Sync == SyncAlways {
+		return c.syncTo(m, lsn)
+	}
+	return nil
+}
+
+// syncTo makes every record up to at least lsn durable. The first caller
+// in a burst becomes the group-commit leader: it flushes and fsyncs
+// everything appended so far, and concurrent callers whose LSN that batch
+// covered return without issuing their own fsync.
+func (c *committer) syncTo(m *Memory, lsn uint64) error {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if c.synced >= lsn {
+		return nil
+	}
+	c.mu.Lock()
+	if !m.cfg.NoAudit {
+		if err := c.appendAuditLocked(m); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	target := c.lsn
+	err := c.log.Flush()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := c.log.Fsync(); err != nil {
+		return err
+	}
+	c.synced = target
+	m.fsyncs.Add(1)
+	return nil
+}
+
+// appendAuditLocked journals the overflow re-encryption and rebase events
+// the engine performed since the last audit record, so the WAL names every
+// class of mutation even though deterministic replay of the write records
+// regenerates them. Called with c.mu held.
+func (c *committer) appendAuditLocked(m *Memory) error {
+	st := c.eng.Stats()
+	var ov, rb uint64
+	for _, v := range st.Overflows {
+		ov += v
+	}
+	for _, v := range st.Rebases {
+		rb += v
+	}
+	if ov > c.auditedOv {
+		c.lsn++
+		if err := c.log.Append(wal.Record{Kind: wal.KindOverflow, LSN: c.lsn, Count: ov - c.auditedOv}); err != nil {
+			c.lsn--
+			return err
+		}
+		c.auditedOv = ov
+		m.auditRecords.Add(1)
+	}
+	if rb > c.auditedRb {
+		c.lsn++
+		if err := c.log.Append(wal.Record{Kind: wal.KindRebase, LSN: c.lsn, Count: rb - c.auditedRb}); err != nil {
+			c.lsn--
+			return err
+		}
+		c.auditedRb = rb
+		m.auditRecords.Add(1)
+	}
+	return nil
+}
+
+// flusher is the SyncInterval background goroutine.
+func (m *Memory) flusher() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			for _, c := range m.commits {
+				c.mu.Lock()
+				lsn := c.lsn
+				c.mu.Unlock()
+				if err := c.syncTo(m, lsn); err != nil {
+					m.setBgErr(err)
+				}
+			}
+		}
+	}
+}
+
+func (m *Memory) setBgErr(err error) {
+	m.bgErrMu.Lock()
+	if m.bgErr == nil {
+		m.bgErr = err
+	}
+	m.bgErrMu.Unlock()
+}
+
+func (m *Memory) takeBgErr() error {
+	m.bgErrMu.Lock()
+	defer m.bgErrMu.Unlock()
+	err := m.bgErr
+	m.bgErr = nil
+	return err
+}
+
+// Flush makes every journaled record durable (the graceful-shutdown flush),
+// and surfaces any background flusher failure.
+func (m *Memory) Flush() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	return m.flushLocked()
+}
+
+func (m *Memory) flushLocked() error {
+	for _, c := range m.commits {
+		c.mu.Lock()
+		lsn := c.lsn
+		c.mu.Unlock()
+		if err := c.syncTo(m, lsn); err != nil {
+			return err
+		}
+	}
+	return m.takeBgErr()
+}
+
+// Close flushes the WAL and closes every segment. It does not checkpoint;
+// the WAL replays on next Open. Write and Checkpoint fail after Close.
+func (m *Memory) Close() error {
+	if m.closed.Swap(true) {
+		return nil
+	}
+	if m.stopc != nil {
+		close(m.stopc)
+	}
+	m.wg.Wait()
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	firstErr := m.flushLocked()
+	for _, c := range m.commits {
+		c.syncMu.Lock()
+		c.mu.Lock()
+		if err := c.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.mu.Unlock()
+		c.syncMu.Unlock()
+	}
+	return firstErr
+}

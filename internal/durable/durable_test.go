@@ -1,0 +1,554 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/wal"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func testShardConfig(t testing.TB, shards int, memBytes uint64) shard.Config {
+	t.Helper()
+	enc, tree, err := shard.Organization("morph128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard.Config{
+		Shards: shards,
+		Mem: secmem.Config{
+			MemoryBytes: memBytes,
+			Enc:         enc,
+			Tree:        tree,
+			Key:         testKey,
+		},
+	}
+}
+
+func mustOpen(t testing.TB, shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo) {
+	t.Helper()
+	m, info, err := Open(shcfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, info
+}
+
+func fill(addr, seq uint64) []byte {
+	line := make([]byte, LineBytes)
+	for i := 0; i < LineBytes; i += 16 {
+		binary.LittleEndian.PutUint64(line[i:], addr^seq)
+		binary.LittleEndian.PutUint64(line[i+8:], seq*0x9e3779b97f4a7c15+uint64(i))
+	}
+	return line
+}
+
+func TestFreshOpenWriteReopen(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 2, 1<<13)
+	m, info := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncAlways})
+	if !info.Fresh || info.SnapshotSeq != 1 {
+		t.Fatalf("fresh open info = %+v, want Fresh with seq 1", info)
+	}
+	const writes = 64
+	for i := uint64(0); i < writes; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := m.Durability()
+	if d.Appends != writes || d.Fsyncs == 0 {
+		t.Fatalf("durability stats = %+v, want %d appends and some fsyncs", d, writes)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, info2 := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncAlways})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if info2.Fresh {
+		t.Fatal("second open reported Fresh")
+	}
+	if info2.ReplayedWrites != writes {
+		t.Fatalf("replayed %d writes, want %d", info2.ReplayedWrites, writes)
+	}
+	if info2.SampleVerified == 0 {
+		t.Fatal("recovery verified no replayed lines through the tree")
+	}
+	if info2.TornTailCount() != 0 {
+		t.Fatalf("clean shutdown reported %d torn tails", info2.TornTailCount())
+	}
+	for i := uint64(0); i < writes; i++ {
+		got, err := m2.Read(i * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(i, 1)) {
+			t.Fatalf("line %d mismatch after recovery", i)
+		}
+	}
+	if err := m2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRotatesEpochs(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 2, 1<<13)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncNone})
+	for i := uint64(0); i < 32; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq() != 2 {
+		t.Fatalf("seq after checkpoint = %d, want 2", m.Seq())
+	}
+	// Epoch 1 files must be gone; epoch 2 snapshot + segments present.
+	if _, err := os.Stat(SnapshotPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old snapshot still present: %v", err)
+	}
+	if _, err := os.Stat(SegmentPath(dir, 1, 0)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old segment still present: %v", err)
+	}
+	if _, err := os.Stat(SnapshotPath(dir, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// More writes after the checkpoint land in epoch 2's WAL.
+	for i := uint64(32); i < 48; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if info.SnapshotSeq != 2 {
+		t.Fatalf("recovered from seq %d, want 2", info.SnapshotSeq)
+	}
+	if info.ReplayedWrites != 16 {
+		t.Fatalf("replayed %d writes, want only the 16 post-checkpoint ones", info.ReplayedWrites)
+	}
+	for i := uint64(0); i < 48; i++ {
+		got, err := m2.Read(i * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(i, 2)) {
+			t.Fatalf("line %d mismatch after checkpointed recovery", i)
+		}
+	}
+}
+
+// TestGroupCommitConcurrent hammers one durable memory from many
+// goroutines under SyncAlways; under -race this is the group-commit safety
+// claim, and the fsync count proves batching actually coalesces commits.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 4, 1<<15)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncAlways})
+	const (
+		workers       = 8
+		writesPerWork = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPerWork; i++ {
+				addr := (uint64(w*writesPerWork+i) * LineBytes) % m.MemoryBytes()
+				if err := m.Write(addr, fill(addr, uint64(w))); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	d := m.Durability()
+	if d.Appends != workers*writesPerWork {
+		t.Fatalf("appends = %d, want %d", d.Appends, workers*writesPerWork)
+	}
+	if d.Fsyncs == 0 || d.Fsyncs > d.Appends {
+		t.Fatalf("fsyncs = %d with %d appends, want 1..appends", d.Fsyncs, d.Appends)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged write must survive; concurrent writers may have
+	// raced on an address, so just verify integrity plus replay count.
+	m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if info.ReplayedWrites != workers*writesPerWork {
+		t.Fatalf("replayed %d writes, want %d", info.ReplayedWrites, workers*writesPerWork)
+	}
+	if err := m2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncIntervalAndNoneFlushOnClose(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			shcfg := testShardConfig(t, 2, 1<<13)
+			m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: pol})
+			for i := uint64(0); i < 24; i++ {
+				if err := m.Write(i*LineBytes, fill(i, 5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+			defer func() {
+				if err := m2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			if info.ReplayedWrites != 24 {
+				t.Fatalf("replayed %d writes, want 24", info.ReplayedWrites)
+			}
+		})
+	}
+}
+
+func TestTornTailTruncatedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 1, 1<<12)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncAlways, NoAudit: true})
+	const writes = 10
+	for i := uint64(0); i < writes; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the single shard's segment mid-way through the 8th frame.
+	seg := SegmentPath(dir, 1, 0)
+	cut := int64(7*wal.WriteFrameBytes + 13)
+	if err := os.Truncate(seg, cut); err != nil {
+		t.Fatal(err)
+	}
+	m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if info.TornTailCount() != 1 {
+		t.Fatalf("torn tails = %d, want 1", info.TornTailCount())
+	}
+	if info.ReplayedWrites != 7 {
+		t.Fatalf("replayed %d writes, want the 7 whole frames", info.ReplayedWrites)
+	}
+	for i := uint64(0); i < 7; i++ {
+		got, err := m2.Read(i * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(i, 7)) {
+			t.Fatalf("line %d mismatch after torn-tail recovery", i)
+		}
+	}
+	// The torn writes are gone: those lines read as never written.
+	for i := uint64(7); i < writes; i++ {
+		got, err := m2.Read(i * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, make([]byte, LineBytes)) {
+			t.Fatalf("line %d survived past the torn tail", i)
+		}
+	}
+	// And the memory accepts new writes after repair.
+	if err := m2.Write(7*LineBytes, fill(7, 8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedSnapshotIsIntegrityError(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 2, 1<<13)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncNone})
+	for i := uint64(0); i < 16; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := SnapshotPath(dir, 2)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(shcfg, Config{Dir: dir})
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("open with tampered snapshot returned %v, want *secmem.IntegrityError", err)
+	}
+}
+
+// flipWalFrame flips a payload byte of frame k in a write-only segment and
+// recomputes the CRC, modeling an adversary rather than a crash.
+func flipWalFrame(t *testing.T, path string, frame int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := frame * wal.WriteFrameBytes
+	body := data[off+8 : off+wal.WriteFrameBytes]
+	body[30] ^= 0x20
+	binary.LittleEndian.PutUint32(data[off+4:], crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperedWALIsIntegrityError(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 1, 1<<12)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncAlways, NoAudit: true})
+	for i := uint64(0); i < 8; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 11)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flipWalFrame(t, SegmentPath(dir, 1, 0), 3)
+	_, _, err := Open(shcfg, Config{Dir: dir})
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("open with tampered WAL returned %v, want *secmem.IntegrityError", err)
+	}
+	if !strings.Contains(ie.Reason, "tampering") {
+		t.Fatalf("reason %q does not name tampering", ie.Reason)
+	}
+}
+
+func TestRecoveryCleansStaleEpochs(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 2, 1<<13)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncNone})
+	for i := uint64(0); i < 16; i++ {
+		if err := m.Write(i*LineBytes, fill(i, 13)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint: stale next-epoch segments and a
+	// half-written snapshot temp file exist, but epoch 2's snapshot never
+	// renamed into place.
+	for i := 0; i < 2; i++ {
+		if err := os.WriteFile(SegmentPath(dir, 2, i), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(SnapshotPath(dir, 2)+".tmp", []byte("partial snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+	if info.SnapshotSeq != 1 || info.ReplayedWrites != 16 {
+		t.Fatalf("info = %+v, want recovery from epoch 1 with 16 writes", info)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(SegmentPath(dir, 2, i)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale segment %d survived recovery: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(SnapshotPath(dir, 2) + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale snapshot temp file survived recovery")
+	}
+	// A checkpoint after stale-epoch cleanup must not collide with
+	// leftover file names.
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditRecordsJournalOverflowsAndRebases(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 1, 1<<12)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir, Sync: SyncNone})
+	// Sweep every line repeatedly: uniform increments saturate the shared
+	// morphable counter lines and force overflow re-encryptions.
+	const rounds = 100
+	nlines := m.MemoryBytes() / LineBytes
+	for round := uint64(0); round < rounds; round++ {
+		for i := uint64(0); i < nlines; i++ {
+			if err := m.Write(i*LineBytes, fill(i, round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := m.Stats()
+	var events uint64
+	for _, v := range st.Overflows {
+		events += v
+	}
+	for _, v := range st.Rebases {
+		events += v
+	}
+	if events == 0 {
+		t.Fatal("uniform sweep workload produced no overflow/rebase events")
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Durability().AuditRecords == 0 {
+		t.Fatalf("engine reported %d overflow/rebase events but no audit records were journaled", events)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The audited WAL (writes + audit records interleaved) must replay.
+	m2, info := mustOpen(t, shcfg, Config{Dir: dir})
+	defer func() {
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	wantWrites := int(rounds * nlines)
+	if info.ReplayedWrites != wantWrites || info.ReplayedRecords <= wantWrites {
+		t.Fatalf("replayed %d records / %d writes, want >%d records incl. audits and %d writes",
+			info.ReplayedRecords, info.ReplayedWrites, wantWrites, wantWrites)
+	}
+	for i := uint64(0); i < nlines; i++ {
+		got, err := m2.Read(i * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fill(i, rounds-1)) {
+			t.Fatalf("line %d content lost through audited replay", i)
+		}
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 1, 1<<12)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := m.Write(0, fill(0, 1)); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint after close succeeded")
+	}
+}
+
+func TestOpenRejectsMismatchedShardConfig(t *testing.T) {
+	dir := t.TempDir()
+	shcfg := testShardConfig(t, 4, 1<<13)
+	m, _ := mustOpen(t, shcfg, Config{Dir: dir})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testShardConfig(t, 2, 1<<13)
+	_, _, err := Open(bad, Config{Dir: dir})
+	var me *shard.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("open with wrong shard count returned %v, want *shard.MismatchError", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"none", SyncNone}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestSnapshotPathNames(t *testing.T) {
+	if got := SnapshotPath("d", 0x2a); got != filepath.Join("d", "snapshot.000000000000002a") {
+		t.Fatalf("SnapshotPath = %q", got)
+	}
+	if got := SegmentPath("d", 3, 12); got != filepath.Join("d", "wal.0000000000000003-0012") {
+		t.Fatalf("SegmentPath = %q", got)
+	}
+	for _, name := range []string{"snapshot.000000000000002a", "wal.0000000000000003-0012"} {
+		if _, _, _, ok := parseSeq(name); !ok {
+			t.Fatalf("parseSeq(%q) failed", name)
+		}
+	}
+	if _, _, _, ok := parseSeq("garbage"); ok {
+		t.Fatal("parseSeq accepted garbage")
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,518 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/wal"
+)
+
+// Snapshot file format (integers little-endian):
+//
+//	magic "MDSS" | u64 version | u64 seq | u64 nshards |
+//	nshards × (u64 coveredLSN, u64 coveredWrites) |
+//	shard.Save blob | 32-byte HMAC-SHA256 over everything before it
+//
+// The trailing keyed MAC authenticates the whole file — including the
+// on-chip root the shard blob carries and the coverage header replay
+// starts from — so any at-rest edit fails recovery with an
+// *secmem.IntegrityError. (Substituting an entire older, self-consistent
+// {snapshot, WAL} directory is rollback, which needs the root anchored in
+// trusted storage and is documented out of scope; see DESIGN.md §10.)
+const (
+	snapMagic   = "MDSS"
+	snapVersion = 1
+	snapMACLen  = sha256.Size
+)
+
+// SnapshotPath names epoch seq's snapshot file.
+func SnapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot.%016x", seq))
+}
+
+// SegmentPath names a shard's WAL segment for epoch seq.
+func SegmentPath(dir string, seq uint64, shardIdx int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal.%016x-%04d", seq, shardIdx))
+}
+
+// parseSeq extracts the epoch from a snapshot or segment file name.
+func parseSeq(name string) (seq uint64, shardIdx int, isSnap bool, ok bool) {
+	switch {
+	case strings.HasPrefix(name, "snapshot."):
+		s, err := strconv.ParseUint(strings.TrimPrefix(name, "snapshot."), 16, 64)
+		return s, 0, true, err == nil
+	case strings.HasPrefix(name, "wal."):
+		rest := strings.TrimPrefix(name, "wal.")
+		dash := strings.IndexByte(rest, '-')
+		if dash < 0 {
+			return 0, 0, false, false
+		}
+		s, err1 := strconv.ParseUint(rest[:dash], 16, 64)
+		i, err2 := strconv.Atoi(rest[dash+1:])
+		return s, i, false, err1 == nil && err2 == nil
+	}
+	return 0, 0, false, false
+}
+
+// writeSnapshot captures the engine state as snapshot.<seq> via temp file,
+// fsync, atomic rename, and directory fsync. Callers hold every shard's
+// locks, so the state is frozen for the duration.
+func (m *Memory) writeSnapshot(seq uint64, covered, coveredWrites []uint64) error {
+	final := SnapshotPath(m.cfg.Dir, seq)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	h := hmac.New(sha256.New, m.snapKey)
+	bw := bufio.NewWriter(io.MultiWriter(f, h))
+	werr := func() error {
+		if _, err := bw.WriteString(snapMagic); err != nil {
+			return err
+		}
+		var hdr [24]byte
+		binary.LittleEndian.PutUint64(hdr[0:], snapVersion)
+		binary.LittleEndian.PutUint64(hdr[8:], seq)
+		binary.LittleEndian.PutUint64(hdr[16:], uint64(len(covered)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var pos [16]byte
+		for i := range covered {
+			binary.LittleEndian.PutUint64(pos[0:], covered[i])
+			binary.LittleEndian.PutUint64(pos[8:], coveredWrites[i])
+			if _, err := bw.Write(pos[:]); err != nil {
+				return err
+			}
+		}
+		if err := m.sh.Save(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if _, err := f.Write(h.Sum(nil)); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	if werr != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot %s: %w", tmp, werr)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	return wal.SyncDir(m.cfg.Dir)
+}
+
+// readSnapshot authenticates and loads snapshot.<seq>. Rename atomicity
+// means a named snapshot is complete, so any malformation or MAC mismatch
+// is at-rest tampering, reported as *secmem.IntegrityError.
+func readSnapshot(path string, seq uint64, snapKey []byte, shcfg shard.Config) (*shard.Sharded, []uint64, []uint64, error) {
+	tamper := func(reason string) error {
+		return &secmem.IntegrityError{Level: -1, Index: seq, Reason: "snapshot " + path + ": " + reason}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	minLen := len(snapMagic) + 24 + snapMACLen
+	if len(data) < minLen {
+		return nil, nil, nil, tamper(fmt.Sprintf("%d bytes, shorter than any valid snapshot", len(data)))
+	}
+	body, macGot := data[:len(data)-snapMACLen], data[len(data)-snapMACLen:]
+	h := hmac.New(sha256.New, snapKey)
+	h.Write(body)
+	if !hmac.Equal(h.Sum(nil), macGot) {
+		return nil, nil, nil, tamper("file MAC mismatch (at-rest tampering)")
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return nil, nil, nil, tamper("bad magic")
+	}
+	body = body[len(snapMagic):]
+	if v := binary.LittleEndian.Uint64(body[0:]); v != snapVersion {
+		return nil, nil, nil, tamper(fmt.Sprintf("unsupported version %d", v))
+	}
+	if s := binary.LittleEndian.Uint64(body[8:]); s != seq {
+		return nil, nil, nil, tamper(fmt.Sprintf("embedded seq %d does not match filename seq %d", s, seq))
+	}
+	n := binary.LittleEndian.Uint64(body[16:])
+	if n != uint64(shcfg.Shards) {
+		// The HMAC already verified, so this is an operator config
+		// mismatch, not tampering.
+		return nil, nil, nil, &shard.MismatchError{Field: "shards", Stream: n, Config: uint64(shcfg.Shards)}
+	}
+	body = body[24:]
+	if uint64(len(body)) < n*16 {
+		return nil, nil, nil, tamper("coverage table cut short")
+	}
+	covered := make([]uint64, n)
+	coveredWrites := make([]uint64, n)
+	for i := range covered {
+		covered[i] = binary.LittleEndian.Uint64(body[i*16:])
+		coveredWrites[i] = binary.LittleEndian.Uint64(body[i*16+8:])
+	}
+	sh, err := shard.Load(shcfg, bytes.NewReader(body[n*16:]))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("durable: snapshot %s: %w", path, err)
+	}
+	return sh, covered, coveredWrites, nil
+}
+
+// Checkpoint freezes writers, captures an atomic snapshot of the full
+// state, starts fresh WAL segments, and only then deletes the files of
+// prior epochs (the snapshot-before-truncate invariant). On return the WAL
+// is empty and everything acknowledged is durable regardless of policy.
+func (m *Memory) Checkpoint() error {
+	if m.closed.Load() {
+		return fmt.Errorf("durable: checkpoint after Close")
+	}
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+
+	// Freeze every shard: sync locks first, then append locks, matching
+	// syncTo's ordering.
+	for _, c := range m.commits {
+		c.syncMu.Lock()
+	}
+	for _, c := range m.commits {
+		c.mu.Lock()
+	}
+	defer func() {
+		for i := len(m.commits) - 1; i >= 0; i-- {
+			m.commits[i].mu.Unlock()
+		}
+		for i := len(m.commits) - 1; i >= 0; i-- {
+			m.commits[i].syncMu.Unlock()
+		}
+	}()
+
+	covered := make([]uint64, len(m.commits))
+	coveredWrites := make([]uint64, len(m.commits))
+	for i, c := range m.commits {
+		if !m.cfg.NoAudit {
+			if err := c.appendAuditLocked(m); err != nil {
+				return err
+			}
+		}
+		covered[i] = c.lsn
+		coveredWrites[i] = c.writes
+	}
+
+	oldSeq := m.seq.Load()
+	newSeq := oldSeq + 1
+
+	// New segments are created BEFORE the snapshot rename: a crash here
+	// leaves stale next-epoch segments that recovery deletes, while the
+	// reverse order could commit a snapshot whose epoch has unjournaled
+	// writers.
+	newLogs := make([]*wal.Log, len(m.commits))
+	master := m.shcfg.Mem.Key
+	for i := range m.commits {
+		nl, err := wal.Create(SegmentPath(m.cfg.Dir, newSeq, i), wal.Options{Key: walKey(master, i, newSeq)})
+		if err != nil {
+			for _, l := range newLogs[:i] {
+				_ = l.Close()
+				_ = os.Remove(l.Path())
+			}
+			return err
+		}
+		newLogs[i] = nl
+	}
+
+	if err := m.writeSnapshot(newSeq, covered, coveredWrites); err != nil {
+		for _, l := range newLogs {
+			_ = l.Close()
+			_ = os.Remove(l.Path())
+		}
+		return err
+	}
+
+	// The new epoch is committed: swap in the fresh segments, then retire
+	// the old epoch's files. Failures past this point must not unwind the
+	// epoch — old files are already-covered garbage, so removal errors are
+	// reported but the checkpoint stands.
+	var firstErr error
+	for i, c := range m.commits {
+		if err := c.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.log = newLogs[i]
+		c.synced = c.lsn
+	}
+	m.seq.Store(newSeq)
+	m.checkpoints.Add(1)
+	if err := m.removeEpochsBelow(newSeq); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// removeEpochsBelow deletes every snapshot and segment of epochs older than
+// keep, then fsyncs the directory.
+func (m *Memory) removeEpochsBelow(keep uint64) error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("durable: scan %s: %w", m.cfg.Dir, err)
+	}
+	var firstErr error
+	removed := false
+	for _, e := range entries {
+		seq, _, _, ok := parseSeq(e.Name())
+		if !ok || seq >= keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(m.cfg.Dir, e.Name())); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		removed = true
+	}
+	if removed {
+		if err := wal.SyncDir(m.cfg.Dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Open recovers (or bootstraps) a durable memory from cfg.Dir:
+//
+//  1. Delete leftover temp files; find the highest-numbered snapshot.
+//  2. Authenticate and load it (tampering → *secmem.IntegrityError).
+//  3. Replay each shard's WAL segment on top, truncating crash-torn tails
+//     (recorded as typed TornTailErrors in the RecoveryInfo) and failing
+//     closed on MAC or sequence violations.
+//  4. Re-read a sample of the replayed lines through the integrity tree,
+//     so tampered at-rest state surfaces as *secmem.IntegrityError now,
+//     not at first client read.
+//  5. Delete files from other epochs and reopen the segments for append.
+func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: scan %s: %w", cfg.Dir, err)
+	}
+	var bestSnap uint64
+	haveSnap := false
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A temp file is a snapshot whose write was cut by a crash
+			// before the atomic rename; it never became current.
+			if err := os.Remove(filepath.Join(cfg.Dir, name)); err != nil {
+				return nil, nil, fmt.Errorf("durable: remove stale %s: %w", name, err)
+			}
+			continue
+		}
+		if seq, _, isSnap, ok := parseSeq(name); ok && isSnap && (!haveSnap || seq > bestSnap) {
+			bestSnap, haveSnap = seq, true
+		}
+	}
+
+	m := &Memory{
+		cfg:     cfg,
+		shcfg:   shcfg,
+		snapKey: snapshotKey(shcfg.Mem.Key),
+	}
+	info := &RecoveryInfo{}
+
+	if !haveSnap {
+		// Fresh directory: bootstrap epoch 1 so recovery always starts
+		// from a snapshot.
+		sh, err := shard.New(shcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.sh = sh
+		m.seq.Store(1)
+		m.initCommitters(nil, nil)
+		if err := m.writeSnapshot(1, make([]uint64, shcfg.Shards), make([]uint64, shcfg.Shards)); err != nil {
+			return nil, nil, err
+		}
+		for i, c := range m.commits {
+			l, err := wal.Create(SegmentPath(cfg.Dir, 1, i), wal.Options{Key: walKey(shcfg.Mem.Key, i, 1)})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.log = l
+		}
+		if err := wal.SyncDir(cfg.Dir); err != nil {
+			return nil, nil, err
+		}
+		m.checkpoints.Add(1)
+		info.Fresh = true
+		info.SnapshotSeq = 1
+		info.CoveredLSN = make([]uint64, shcfg.Shards)
+		info.CoveredWrites = make([]uint64, shcfg.Shards)
+		info.AppliedLSN = make([]uint64, shcfg.Shards)
+		info.AppliedWrites = make([]uint64, shcfg.Shards)
+		info.TornTails = make([]*wal.TornTailError, shcfg.Shards)
+	} else {
+		sh, covered, coveredWrites, err := readSnapshot(SnapshotPath(cfg.Dir, bestSnap), bestSnap, m.snapKey, shcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.sh = sh
+		m.seq.Store(bestSnap)
+		m.initCommitters(covered, coveredWrites)
+		info.SnapshotSeq = bestSnap
+		info.CoveredLSN = append([]uint64(nil), covered...)
+		info.CoveredWrites = append([]uint64(nil), coveredWrites...)
+		info.TornTails = make([]*wal.TornTailError, shcfg.Shards)
+
+		var replayedAddrs []uint64
+		for i, c := range m.commits {
+			path := SegmentPath(cfg.Dir, bestSnap, i)
+			winfo, err := wal.Replay(path, wal.Options{Key: walKey(shcfg.Mem.Key, i, bestSnap)}, covered[i]+1, true, func(r wal.Record) error {
+				if r.Kind != wal.KindWrite {
+					return nil
+				}
+				j, _, err := sh.Locate(r.Addr)
+				if err != nil {
+					return &secmem.IntegrityError{Level: -1, Index: r.LSN,
+						Reason: fmt.Sprintf("wal record address %#x invalid: %v", r.Addr, err)}
+				}
+				if j != i {
+					return &secmem.IntegrityError{Level: -1, Index: r.LSN,
+						Reason: fmt.Sprintf("wal record for shard %d found in shard %d's segment", j, i)}
+				}
+				if err := sh.Write(r.Addr, r.Line); err != nil {
+					return err
+				}
+				c.writes++
+				replayedAddrs = append(replayedAddrs, r.Addr)
+				return nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.lsn = winfo.LastLSN
+			c.synced = winfo.LastLSN
+			// Audit baselines resume from the engine's replayed totals so
+			// post-recovery audits count only new events.
+			st := c.eng.Stats()
+			for _, v := range st.Overflows {
+				c.auditedOv += v
+			}
+			for _, v := range st.Rebases {
+				c.auditedRb += v
+			}
+			info.TornTails[i] = winfo.TornTail
+			info.ReplayedRecords += winfo.Records
+			info.ReplayedWrites += winfo.Writes
+		}
+		info.AppliedLSN = make([]uint64, len(m.commits))
+		info.AppliedWrites = make([]uint64, len(m.commits))
+		for i, c := range m.commits {
+			info.AppliedLSN[i] = c.lsn
+			info.AppliedWrites[i] = c.writes
+		}
+
+		// Sample-verify replayed lines through the integrity tree: every
+		// line read here re-verifies its whole MAC chain up to the
+		// on-chip root, so a consistent-looking but tampered snapshot or
+		// WAL fails closed before the memory serves a single request.
+		if k := cfg.VerifySample; k > 0 && len(replayedAddrs) > 0 {
+			step := 1
+			if len(replayedAddrs) > k {
+				step = len(replayedAddrs) / k
+			}
+			for i := 0; i < len(replayedAddrs) && info.SampleVerified < k; i += step {
+				if _, err := sh.Read(replayedAddrs[i]); err != nil {
+					return nil, nil, err
+				}
+				info.SampleVerified++
+			}
+		}
+		if cfg.VerifyAll {
+			if err := sh.VerifyAll(); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		// Retire every other epoch's files (stale next-epoch segments
+		// from a crash mid-checkpoint, prior epochs a crash mid-cleanup
+		// left behind), then reopen this epoch's segments for append.
+		if err := m.removeStaleEpochs(bestSnap); err != nil {
+			return nil, nil, err
+		}
+		for i, c := range m.commits {
+			l, err := wal.Open(SegmentPath(cfg.Dir, bestSnap, i), wal.Options{Key: walKey(shcfg.Mem.Key, i, bestSnap)})
+			if err != nil {
+				return nil, nil, err
+			}
+			c.log = l
+		}
+	}
+
+	if cfg.Sync == SyncInterval {
+		m.stopc = make(chan struct{})
+		m.wg.Add(1)
+		go m.flusher()
+	}
+	info.Elapsed = time.Since(start)
+	return m, info, nil
+}
+
+// initCommitters builds the per-shard committers (logs attached later).
+func (m *Memory) initCommitters(covered, coveredWrites []uint64) {
+	m.commits = make([]*committer, m.shcfg.Shards)
+	for i := range m.commits {
+		c := &committer{shard: i, eng: m.sh.Shard(i)}
+		if covered != nil {
+			c.lsn = covered[i]
+			c.synced = covered[i]
+		}
+		if coveredWrites != nil {
+			c.writes = coveredWrites[i]
+		}
+		m.commits[i] = c
+	}
+}
+
+// removeStaleEpochs deletes snapshot/segment files from any epoch other
+// than keep.
+func (m *Memory) removeStaleEpochs(keep uint64) error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("durable: scan %s: %w", m.cfg.Dir, err)
+	}
+	removed := false
+	for _, e := range entries {
+		seq, _, _, ok := parseSeq(e.Name())
+		if !ok || seq == keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(m.cfg.Dir, e.Name())); err != nil {
+			return fmt.Errorf("durable: remove stale %s: %w", e.Name(), err)
+		}
+		removed = true
+	}
+	if removed {
+		return wal.SyncDir(m.cfg.Dir)
+	}
+	return nil
+}

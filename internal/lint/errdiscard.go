@@ -8,12 +8,14 @@ import (
 )
 
 // ErrDiscard flags statements that silently discard an error returned by
-// the verification-bearing packages (counters, mac, secmem, bmt, aesctr).
+// the verification-bearing packages (counters, mac, secmem, bmt, aesctr)
+// or the durability-bearing ones (wal, durable).
 //
 // In this codebase an ignored error is an ignored integrity violation: a
 // dropped Decode error accepts an undecodable counter line, a dropped
 // Verify/Read error accepts tampered memory, a dropped Save error loses
-// persisted state. Calls whose error result is consumed by nothing — a bare
+// persisted state, and a dropped WAL Sync/Close or snapshot error
+// acknowledges a write that was never made durable. Calls whose error result is consumed by nothing — a bare
 // expression statement, or a call hidden behind go/defer — are reported.
 // An explicit `_ =` assignment remains available for the rare deliberate
 // discard, and stays visible in review.
@@ -24,7 +26,7 @@ var ErrDiscard = &analysis.Analyzer{
 }
 
 // watchedPkgs are the packages whose error returns must not be dropped.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr"}
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

@@ -15,7 +15,7 @@ func TestCryptoRand(t *testing.T) {
 }
 
 func TestErrDiscard(t *testing.T) {
-	analysistest.Run(t, "testdata", ErrDiscard, "secmem")
+	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal")
 }
 
 func TestPanicPolicy(t *testing.T) {

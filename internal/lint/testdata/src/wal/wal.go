@@ -1,0 +1,32 @@
+package wal
+
+type Log struct{}
+
+func (l *Log) Append(b []byte) error { return nil }
+
+func (l *Log) Sync() error { return nil }
+
+func (l *Log) Close() error { return nil }
+
+func Replay(path string) (int, error) { return 0, nil }
+
+func bad(l *Log) {
+	l.Append(nil)     // want "result of wal.Append includes an error that is discarded"
+	l.Sync()          // want "result of wal.Sync includes an error that is discarded"
+	defer l.Close()   // want "result of wal.Close includes an error that is discarded"
+	go l.Sync()       // want "result of wal.Sync includes an error that is discarded"
+	Replay("segment") // want "result of wal.Replay includes an error that is discarded"
+}
+
+func good(l *Log) error {
+	if err := l.Append(nil); err != nil {
+		return err
+	}
+	_ = l.Sync() // explicit discard stays visible in review
+	n, err := Replay("segment")
+	if err != nil {
+		return err
+	}
+	_ = n
+	return l.Close()
+}

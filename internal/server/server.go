@@ -1,7 +1,9 @@
 // Package server is morphserve's TCP front: one goroutine per connection
-// speaking the wire protocol against a shard.Sharded engine, with a
+// speaking the wire protocol against a secure-memory engine, with a
 // connection cap, per-frame read/write deadlines, and graceful shutdown
-// driven by a context.
+// driven by a context. The engine is an interface so the same server runs
+// over a bare shard.Sharded or a durable.Memory; when the engine supports
+// checkpoints the server can also cut them on a timer and on request.
 //
 // The server is deliberately fail-closed and crash-free: every malformed
 // frame, unknown opcode, or engine error becomes a typed response frame
@@ -21,9 +23,36 @@ import (
 	"sync"
 	"time"
 
-	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/wire"
 )
+
+// Engine is the secure-memory surface the server requires. Both
+// *shard.Sharded (volatile) and *durable.Memory (crash-consistent)
+// implement it.
+type Engine interface {
+	Read(addr uint64) ([]byte, error)
+	Write(addr uint64, line []byte) error
+	VerifyAll() error
+	Stats() secmem.Stats
+	Save(w io.Writer) error
+	FlipDataBit(addr uint64, byteOff int, bit uint) bool
+}
+
+// Checkpointer is the optional engine surface behind OpCheckpoint and the
+// SnapshotEvery ticker: cutting a durable snapshot and reporting its
+// sequence number. *durable.Memory implements it; *shard.Sharded does not,
+// and checkpoint requests against it fail with a StatusError.
+type Checkpointer interface {
+	Checkpoint() error
+	Seq() uint64
+}
+
+// Flusher is the optional engine surface for graceful shutdown: forcing
+// buffered WAL appends to stable storage after the last connection drains.
+type Flusher interface {
+	Flush() error
+}
 
 // Config tunes the listener's limits.
 type Config struct {
@@ -38,6 +67,13 @@ type Config struct {
 	// AllowTamper enables the OpTamper adversary op. Off by default;
 	// only demos and tests that show fail-closed detection turn it on.
 	AllowTamper bool
+	// SnapshotEvery, when nonzero and the engine is a Checkpointer,
+	// cuts a background checkpoint at that period for the lifetime of
+	// Serve, bounding recovery replay work to one period's writes.
+	SnapshotEvery time.Duration
+	// Logf, when set, receives background-activity reports (periodic
+	// checkpoints, shutdown flush failures). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -53,21 +89,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves wire-protocol requests against a sharded secure memory.
+// Server serves wire-protocol requests against a secure-memory engine.
 type Server struct {
-	shards *shard.Sharded
-	cfg    Config
+	eng Engine
+	cfg Config
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 }
 
-// New constructs a server over a sharded engine.
-func New(sh *shard.Sharded, cfg Config) *Server {
+// New constructs a server over an engine (a *shard.Sharded or a
+// *durable.Memory).
+func New(eng Engine, cfg Config) *Server {
 	return &Server{
-		shards: sh,
-		cfg:    cfg.withDefaults(),
-		conns:  make(map[net.Conn]struct{}),
+		eng:   eng,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// logf reports background activity through Config.Logf, if set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
 	}
 }
 
@@ -88,6 +132,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		_ = ln.Close()
 		s.closeAll()
 	}()
+
+	if ck, ok := s.eng.(Checkpointer); ok && s.cfg.SnapshotEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.snapshotLoop(ctx, stop, ck)
+		}()
+	}
 
 	var serveErr error
 	for {
@@ -113,7 +165,38 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	close(stop)
 	wg.Wait()
+	// Every connection has drained; if the engine buffers WAL appends,
+	// push them to stable storage so a graceful shutdown loses nothing.
+	if fl, ok := s.eng.(Flusher); ok {
+		if err := fl.Flush(); err != nil {
+			s.logf("server: shutdown flush: %v", err)
+			return errors.Join(serveErr, fmt.Errorf("server: shutdown flush: %w", err))
+		}
+	}
 	return serveErr
+}
+
+// snapshotLoop cuts periodic checkpoints until shutdown. A failing
+// checkpoint is reported and retried next period: the WAL still holds
+// every acknowledged write, so durability is not at risk, only replay
+// length.
+func (s *Server) snapshotLoop(ctx context.Context, stop <-chan struct{}, ck Checkpointer) {
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		case <-t.C:
+			if err := ck.Checkpoint(); err != nil {
+				s.logf("server: periodic checkpoint: %v", err)
+				continue
+			}
+			s.logf("server: checkpoint cut, snapshot seq %d", ck.Seq())
+		}
+	}
 }
 
 // track registers a connection, enforcing MaxConns. It reports whether the
@@ -196,7 +279,7 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return wire.EncodeError(err)
 		}
-		line, err := s.shards.Read(addr)
+		line, err := s.eng.Read(addr)
 		if err != nil {
 			return wire.EncodeError(err)
 		}
@@ -207,19 +290,19 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return wire.EncodeError(err)
 		}
-		if err := s.shards.Write(addr, line); err != nil {
+		if err := s.eng.Write(addr, line); err != nil {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, nil
 
 	case wire.OpVerify:
-		if err := s.shards.VerifyAll(); err != nil {
+		if err := s.eng.VerifyAll(); err != nil {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, nil
 
 	case wire.OpStats:
-		body, err := wire.EncodeStats(s.shards.Stats())
+		body, err := wire.EncodeStats(s.eng.Stats())
 		if err != nil {
 			return wire.EncodeError(err)
 		}
@@ -227,7 +310,7 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 
 	case wire.OpSnapshot:
 		var buf bytes.Buffer
-		if err := s.shards.Save(&buf); err != nil {
+		if err := s.eng.Save(&buf); err != nil {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, buf.Bytes()
@@ -240,10 +323,20 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return wire.EncodeError(err)
 		}
-		if !s.shards.FlipDataBit(addr, 0, 1) {
+		if !s.eng.FlipDataBit(addr, 0, 1) {
 			return wire.StatusError, []byte("tamper target not present in store")
 		}
 		return wire.StatusOK, nil
+
+	case wire.OpCheckpoint:
+		ck, ok := s.eng.(Checkpointer)
+		if !ok {
+			return wire.StatusError, []byte("checkpoint: server has no durable store (start with -data-dir)")
+		}
+		if err := ck.Checkpoint(); err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, wire.EncodeAddr(ck.Seq())
 	}
 	return wire.StatusError, []byte(fmt.Sprintf("unknown opcode %#x", op))
 }

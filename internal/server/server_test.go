@@ -41,7 +41,7 @@ func testShards(t *testing.T, n int, memBytes uint64) *shard.Sharded {
 // startServer runs a server on a loopback listener and returns its address
 // plus a shutdown function that cancels the context and waits for Serve to
 // drain.
-func startServer(t *testing.T, sh *shard.Sharded, cfg Config) (string, func()) {
+func startServer(t *testing.T, sh Engine, cfg Config) (string, func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -88,9 +88,14 @@ func deriveKey(master []byte, i int) ([]byte, error) {
 	return mac.Sum(nil)[:len(master)], nil
 }
 
-// locate maps a line-aligned global address to (shard, local address).
+// Locate maps a line-aligned global address to (shard, local address).
 // Interleaving is round-robin at line granularity: global line d lives in
 // shard d % N at local line d / N, so sequential traffic spreads evenly.
+// The durability layer uses it to route journal records to per-shard WALs.
+func (s *Sharded) Locate(addr uint64) (int, uint64, error) {
+	return s.locate(addr)
+}
+
 func (s *Sharded) locate(addr uint64) (int, uint64, error) {
 	if addr%LineBytes != 0 {
 		return 0, 0, fmt.Errorf("shard: address %#x is not line-aligned", addr)
@@ -186,6 +191,26 @@ const (
 	saveVersion = 1
 )
 
+// MismatchError reports a Save stream whose embedded layout disagrees with
+// the Config passed to Load. Loading such a stream anyway would deal lines
+// to the wrong shards (every address maps through d % Shards), so the
+// mismatch is rejected with this typed error before any state is built;
+// callers distinguish operator misconfiguration from stream corruption.
+type MismatchError struct {
+	// Field names the disagreeing layout parameter: "version", "shards",
+	// or "capacity".
+	Field string
+	// Stream is the value embedded in the Save stream.
+	Stream uint64
+	// Config is the value the caller's Config describes.
+	Config uint64
+}
+
+// Error implements error.
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("shard: load: stream %s %d does not match config %s %d", e.Field, e.Stream, e.Field, e.Config)
+}
+
 // Save serializes every shard's state (via secmem's persistence format,
 // each blob length-prefixed so streams stay delimited) plus the shard
 // layout, for the wire SNAPSHOT op.
@@ -231,13 +256,13 @@ func Load(cfg Config, r io.Reader) (*Sharded, error) {
 		return nil, fmt.Errorf("shard: load: %w", err)
 	}
 	if v := binary.LittleEndian.Uint64(hdr[0:]); v != saveVersion {
-		return nil, fmt.Errorf("shard: load: unsupported version %d", v)
+		return nil, &MismatchError{Field: "version", Stream: v, Config: saveVersion}
 	}
 	if n := binary.LittleEndian.Uint64(hdr[8:]); n != uint64(cfg.Shards) {
-		return nil, fmt.Errorf("shard: load: %d shards, config has %d", n, cfg.Shards)
+		return nil, &MismatchError{Field: "shards", Stream: n, Config: uint64(cfg.Shards)}
 	}
 	if mb := binary.LittleEndian.Uint64(hdr[16:]); mb != cfg.Mem.MemoryBytes {
-		return nil, fmt.Errorf("shard: load: capacity %d, config has %d", mb, cfg.Mem.MemoryBytes)
+		return nil, &MismatchError{Field: "capacity", Stream: mb, Config: cfg.Mem.MemoryBytes}
 	}
 	s := &Sharded{cfg: cfg, shards: make([]*secmem.Memory, cfg.Shards)}
 	for i := range s.shards {

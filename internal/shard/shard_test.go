@@ -240,6 +240,57 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadLayoutMismatchIsTyped is the regression test for shard count /
+// capacity disagreement between a Save stream and the Load config: the
+// stream must be rejected with a *MismatchError naming the field, never
+// loaded with lines dealt to the wrong shards.
+func TestLoadLayoutMismatchIsTyped(t *testing.T) {
+	cfg := testConfig(t, 4, 1<<14, "morph128")
+	s := mustNew(t, cfg)
+	for i := 0; i < 32; i++ {
+		if err := s.Write(uint64(i)*LineBytes, fill(uint64(i), 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+		stream uint64
+		config uint64
+	}{
+		{"shards", func(c *Config) { c.Shards = 2 }, "shards", 4, 2},
+		{"capacity", func(c *Config) { c.Mem.MemoryBytes = 1 << 13 }, "capacity", 1 << 14, 1 << 13},
+	}
+	for _, tc := range cases {
+		bad := cfg
+		tc.mutate(&bad)
+		_, err := Load(bad, bytes.NewReader(buf.Bytes()))
+		var me *MismatchError
+		if !errors.As(err, &me) {
+			t.Fatalf("%s: Load returned %v, want *MismatchError", tc.name, err)
+		}
+		if me.Field != tc.field || me.Stream != tc.stream || me.Config != tc.config {
+			t.Fatalf("%s: mismatch = %+v, want field %q stream %d config %d", tc.name, me, tc.field, tc.stream, tc.config)
+		}
+	}
+
+	// A tampered version field is typed the same way.
+	raw := buf.Bytes()
+	bad := append([]byte{}, raw...)
+	binary.LittleEndian.PutUint64(bad[len(saveMagic):], 99)
+	_, err := Load(cfg, bytes.NewReader(bad))
+	var me *MismatchError
+	if !errors.As(err, &me) || me.Field != "version" {
+		t.Fatalf("tampered version: Load returned %v, want *MismatchError{Field: version}", err)
+	}
+}
+
 // TestConcurrentClients drives every shard from parallel goroutines; under
 // -race this is the core claim that independent lines proceed in parallel
 // safely.

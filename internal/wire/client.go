@@ -113,6 +113,21 @@ func (c *Client) Snapshot() ([]byte, error) {
 	return c.roundTrip(OpSnapshot, nil)
 }
 
+// Checkpoint forces the server to cut a durable checkpoint (atomic
+// snapshot + WAL truncation) and returns the new snapshot sequence
+// number. Servers running without a data directory answer *RemoteError.
+func (c *Client) Checkpoint() (uint64, error) {
+	body, err := c.roundTrip(OpCheckpoint, nil)
+	if err != nil {
+		return 0, err
+	}
+	seq, err := DecodeAddr(body)
+	if err != nil {
+		return 0, fmt.Errorf("wire: checkpoint response: %w", err)
+	}
+	return seq, nil
+}
+
 // Tamper asks the server to flip a stored ciphertext bit at an address —
 // honored only by servers started with tampering enabled.
 func (c *Client) Tamper(addr uint64) error {

@@ -38,6 +38,12 @@ const (
 	// interface; servers only honor it when started with tampering
 	// enabled). Used to demonstrate fail-closed detection end to end.
 	OpTamper byte = 0x06
+	// OpCheckpoint forces the server to cut a durable checkpoint: an
+	// atomic on-disk snapshot that truncates the write-ahead log. Only
+	// servers started with a data directory honor it; others answer
+	// StatusError. The OK response carries the new u64 snapshot sequence
+	// number.
+	OpCheckpoint byte = 0x07
 )
 
 // Response status bytes.
