@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke chaos-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,16 @@ bin/morphcrash: $(shell find cmd/morphcrash internal/durable internal/wal intern
 # defaults; this keeps CI fast.
 crash-smoke: bin/morphcrash
 	bin/morphcrash -points 9 -writes 300 -out BENCH_durable.json
+
+bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server internal/shard internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -race -o bin/morphchaos ./cmd/morphchaos
+
+# Reduced seeded fault matrix under the race detector: client-proxy-server
+# through cuts, stalls, and admission sheds, asserting zero lost
+# acknowledged writes and zero spurious integrity errors. The full matrix
+# is `bin/morphchaos` with defaults; this keeps CI fast.
+chaos-smoke: bin/morphchaos
+	bin/morphchaos -smoke -out BENCH_fault.json
 
 verify: build vet morphlint morphdebug race
 

@@ -2,9 +2,17 @@
 // client goroutines drive concurrent READ/WRITE traffic over the wire
 // protocol, each verifying its own read-back contents against what it
 // wrote, and the run ends with a report of throughput, latency
-// percentiles, verified-integrity counts, and the server's aggregated
-// engine stats (the paper's overflow / rebase / re-encryption metrics),
-// written to a JSON file.
+// percentiles, verified-integrity counts, resilience counters (retries,
+// reconnects, sheds absorbed), and the server's aggregated engine stats
+// (the paper's overflow / rebase / re-encryption metrics), written to a
+// JSON file.
+//
+// Clients are wire.ResilientClients: transient faults — resets, stalls,
+// BUSY sheds from admission control — are retried with backoff instead
+// of killing the closed loop, and a write whose outcome a fault left
+// unknown is tracked as indeterminate so read-back verification accepts
+// either the old or the possibly-applied value rather than reporting a
+// false mismatch.
 //
 // Usage:
 //
@@ -13,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -39,6 +48,7 @@ type clientResult struct {
 	otherErrors     uint64
 	latencies       []time.Duration
 	firstErr        error
+	net             wire.ResilientStats
 }
 
 // report is the BENCH_serve.json schema.
@@ -62,6 +72,12 @@ type report struct {
 	OtherErrors     uint64 `json:"other_errors"`
 	VerifyOK        bool   `json:"verify_ok"`
 
+	// Resilience counters summed over all clients: how much transient
+	// trouble the closed loop absorbed without dying.
+	Retries    uint64 `json:"retries"`
+	Reconnects uint64 `json:"reconnects"`
+	Sheds      uint64 `json:"sheds"`
+
 	TamperAttempted bool `json:"tamper_attempted"`
 	TamperDetected  bool `json:"tamper_detected"`
 
@@ -75,7 +91,9 @@ func main() {
 	span := flag.Uint64("span", 1<<20, "address span to exercise (must fit the server's -mem)")
 	writeFrac := flag.Float64("writes", 0.5, "fraction of ops that are writes")
 	seed := flag.Int64("seed", 1, "per-client RNG seed base")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-op deadline")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt deadline")
+	retries := flag.Int("retries", 8, "attempts per op before giving up (resilient client)")
+	retryWrites := flag.Bool("retry-writes", true, "retry writes whose outcome a transport fault left unknown (safe here: retries rewrite identical content)")
 	tamper := flag.Bool("tamper", false, "after the load phase, inject a tamper via the wire TAMPER op and require an IntegrityError (server must run with -tamper)")
 	out := flag.String("out", "BENCH_serve.json", "report file")
 	flag.Parse()
@@ -94,7 +112,15 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c] = runClient(*addr, *timeout, deadline, rand.New(rand.NewSource(*seed+int64(c))),
+			cl := wire.NewResilient(wire.ResilientConfig{
+				Addr:        *addr,
+				Timeout:     *timeout,
+				MaxAttempts: *retries,
+				RetryWrites: *retryWrites,
+				Seed:        *seed + int64(c),
+			})
+			defer cl.Close()
+			results[c] = runClient(cl, deadline, rand.New(rand.NewSource(*seed+int64(c))),
 				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac)
 		}(c)
 	}
@@ -117,6 +143,9 @@ func main() {
 		rep.Mismatches += r.mismatches
 		rep.IntegrityErrors += r.integrityErrors
 		rep.OtherErrors += r.otherErrors
+		rep.Retries += r.net.Retries
+		rep.Reconnects += r.net.Reconnects
+		rep.Sheds += r.net.Sheds
 		all = append(all, r.latencies...)
 		if r.firstErr != nil {
 			log.Printf("morphload: client %d: first error: %v", c, r.firstErr)
@@ -133,10 +162,9 @@ func main() {
 	}
 
 	// Control connection: server-side full verification and final stats.
-	ctl, err := wire.Dial(*addr, *timeout)
-	if err != nil {
-		log.Fatalf("morphload: control connection: %v", err)
-	}
+	ctl := wire.NewResilient(wire.ResilientConfig{
+		Addr: *addr, Timeout: *timeout, MaxAttempts: *retries, Seed: *seed - 1,
+	})
 	defer ctl.Close()
 	if err := ctl.Verify(); err != nil {
 		log.Printf("morphload: VERIFY failed: %v", err)
@@ -158,9 +186,9 @@ func main() {
 	if err := writeReport(*out, rep); err != nil {
 		log.Fatalf("morphload: %v", err)
 	}
-	fmt.Printf("morphload: %d ops in %.1fs (%.0f ops/s), p50=%.0fus p99=%.0fus; %d verified reads, %d mismatches, %d integrity errors, verify_ok=%v",
+	fmt.Printf("morphload: %d ops in %.1fs (%.0f ops/s), p50=%.0fus p99=%.0fus; %d verified reads, %d mismatches, %d integrity errors, %d retries, %d reconnects, %d sheds, verify_ok=%v",
 		rep.Ops, rep.DurationSec, rep.ThroughputOps, rep.LatencyUS["p50"], rep.LatencyUS["p99"],
-		rep.VerifiedReads, rep.Mismatches, rep.IntegrityErrors, rep.VerifyOK)
+		rep.VerifiedReads, rep.Mismatches, rep.IntegrityErrors, rep.Retries, rep.Reconnects, rep.Sheds, rep.VerifyOK)
 	if rep.TamperAttempted {
 		fmt.Printf(", tamper_detected=%v", rep.TamperDetected)
 	}
@@ -172,27 +200,45 @@ func main() {
 }
 
 // runClient is one closed-loop worker: pick a random owned line, write a
-// deterministic pattern or read back and verify, until the deadline.
-func runClient(addr string, timeout time.Duration, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64) clientResult {
+// deterministic pattern or read back and verify, until the deadline. The
+// resilient client absorbs transient faults; an op that still fails
+// after its retry budget is counted and the loop keeps going.
+func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64) clientResult {
 	var res clientResult
-	cl, err := wire.Dial(addr, timeout)
-	if err != nil {
-		res.firstErr = err
-		res.otherErrors++
-		return res
-	}
-	defer cl.Close()
+	// seqs holds the last sequence number acknowledged per address; maybe
+	// holds every sequence a finally-failed write may or may not have
+	// applied (no request IDs, so such a request can even be a zombie that
+	// lands later). A line with indeterminate writes is quarantined — only
+	// read from then on — and reads accept the acked value or any
+	// indeterminate one.
 	seqs := make(map[uint64]uint64, lines)
+	maybe := make(map[uint64][]uint64, 4)
+	acceptable := func(got []byte, a uint64) bool {
+		if s, ok := seqs[a]; ok {
+			if bytes.Equal(got, fill(a, s)) {
+				return true
+			}
+		} else if bytes.Equal(got, make([]byte, lineBytes)) {
+			return true
+		}
+		for _, m := range maybe[a] {
+			if bytes.Equal(got, fill(a, m)) {
+				return true
+			}
+		}
+		return false
+	}
 	var ie *secmem.IntegrityError
 	for time.Now().Before(deadline) {
 		a := base + uint64(rng.Int63n(int64(lines)))*lineBytes
-		if rng.Float64() < writeFrac {
+		if rng.Float64() < writeFrac && len(maybe[a]) == 0 {
 			seq := seqs[a] + 1
 			start := time.Now()
 			err := cl.Write(a, fill(a, seq))
 			res.latencies = append(res.latencies, time.Since(start))
 			if err != nil {
 				recordErr(&res, err, &ie)
+				maybe[a] = append(maybe[a], seq)
 				continue
 			}
 			seqs[a] = seq
@@ -206,19 +252,14 @@ func runClient(addr string, timeout time.Duration, deadline time.Time, rng *rand
 				continue
 			}
 			res.reads++
-			var want []byte
-			if seq, ok := seqs[a]; ok {
-				want = fill(a, seq)
-			} else {
-				want = make([]byte, lineBytes) // never written: zeros
-			}
-			if string(got) == string(want) {
+			if acceptable(got, a) {
 				res.verifiedReads++
 			} else {
 				res.mismatches++
 			}
 		}
 	}
+	res.net = cl.Counters()
 	return res
 }
 
@@ -237,7 +278,7 @@ func recordErr(res *clientResult, err error, ie **secmem.IntegrityError) {
 // wire TAMPER op, and requires the following read to fail closed with a
 // typed IntegrityError. It runs after VERIFY so the report's verify_ok
 // reflects the untampered memory.
-func injectTamper(ctl *wire.Client) bool {
+func injectTamper(ctl *wire.ResilientClient) bool {
 	const victim = 0
 	if err := ctl.Write(victim, fill(victim, 0xA11CE)); err != nil {
 		log.Printf("morphload: tamper setup write: %v", err)

@@ -45,8 +45,11 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
 	mem := flag.Uint64("mem", 4<<20, "total protected capacity in bytes")
 	keyHex := flag.String("key", "", "AES master key in hex (16/24/32 bytes; default is a fixed demo key)")
-	maxConns := flag.Int("max-conns", 256, "concurrent connection cap")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-frame read/write deadline")
+	maxConns := flag.Int("max-conns", 256, "concurrent connection cap (excess sheds with BUSY)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently executing request cap (0 = 4x GOMAXPROCS); excess sheds with BUSY")
+	shedWait := flag.Duration("shed-wait", 10*time.Millisecond, "how long a request may wait for an in-flight slot before being shed")
+	timeout := flag.Duration("timeout", 30*time.Second, "idle read / response write deadline")
+	frameTimeout := flag.Duration("frame-timeout", 5*time.Second, "slow-loris bound: a started request frame must complete within this")
 	tamper := flag.Bool("tamper", false, "enable the wire-level TAMPER op (adversary interface, demos only)")
 	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
@@ -131,7 +134,10 @@ func main() {
 		*org, n, *mem>>20, ln.Addr(), *tamper, durability)
 	cfg := server.Config{
 		MaxConns:     *maxConns,
+		MaxInflight:  *maxInflight,
+		ShedWait:     *shedWait,
 		ReadTimeout:  *timeout,
+		FrameTimeout: *frameTimeout,
 		WriteTimeout: *timeout,
 		AllowTamper:  *tamper,
 		Logf:         log.Printf,
@@ -160,4 +166,7 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("morphserve: served %d reads, %d writes, %d verified fetches; overflows %v, rebases %v, re-encryptions %d\n",
 		st.Reads, st.Writes, st.VerifiedFetches, st.Overflows, st.Rebases, st.Reencryptions)
+	ns := srv.NetStats()
+	fmt.Printf("morphserve: admission: %d conns accepted, %d rejected at the cap, %d requests shed, %d pings, %d slow-loris drops\n",
+		ns.Accepted, ns.Rejected, ns.Shed, ns.Pings, ns.SlowLoris)
 }

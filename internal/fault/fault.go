@@ -1,0 +1,259 @@
+// Package fault is a deterministic, seeded network fault-injection layer
+// for the serving stack: net.Conn and net.Listener wrappers plus an
+// in-process chaos proxy (proxy.go) that sit between a wire client and a
+// morphserve server and inject the failures real networks produce —
+// added latency and jitter, partial writes, read stalls, connection
+// resets, and mid-frame drops at chosen byte offsets.
+//
+// Everything is driven by explicit per-connection plans derived from a
+// Profile's seed, never from ambient randomness, so a failing fault
+// schedule replays exactly from its seed. The package injects only
+// failures an unreliable-but-honest network can produce: bytes are
+// delayed, split, or cut — never altered — so any IntegrityError observed
+// under injection is by construction spurious.
+package fault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Event kinds reported to a Conn's observer as faults fire.
+const (
+	// EventCut is an injected connection reset (mid-stream sever).
+	EventCut = "cut"
+	// EventStall is an injected read stall.
+	EventStall = "stall"
+)
+
+// ErrInjected is the error a Conn returns once its cut budget is spent.
+// It implements net.Error (non-timeout), like the ECONNRESET it stands
+// in for.
+var ErrInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string   { return "fault: injected connection reset" }
+func (*injectedError) Timeout() bool   { return false }
+func (*injectedError) Temporary() bool { return true }
+
+// ConnPlan is one connection's fault schedule. Byte offsets are absolute
+// positions in that direction's stream; a negative offset disables the
+// fault. The zero value (with offsets left 0) cuts immediately, so plans
+// should come from PassPlan or Profile.Plan rather than a bare literal.
+type ConnPlan struct {
+	// ReadLatency / WriteLatency delay each Read / Write call; Jitter
+	// adds a uniform random extra in [0, Jitter) from the plan's seeded
+	// RNG.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	Jitter       time.Duration
+	// ChunkBytes caps how many bytes a single Write pushes to the
+	// underlying connection at once (0 = unlimited). Each chunk pays the
+	// write latency separately, so a frame crosses the wire as several
+	// delayed partial writes.
+	ChunkBytes int
+	// CutReadAfter severs the connection once this many bytes have been
+	// read (mid-frame drop / reset as seen by the peer still writing).
+	// Negative disables.
+	CutReadAfter int64
+	// CutWriteAfter severs the connection once this many bytes have been
+	// written. Negative disables.
+	CutWriteAfter int64
+	// StallReadAfter freezes the first Read at or past this byte offset
+	// for StallFor, then severs the connection. The withheld bytes are
+	// never delivered: by the time a real network unfreezes, the peer has
+	// timed out and its reset has killed the flow — late delivery would
+	// instead resurrect abandoned requests as zombies that a protocol
+	// without request IDs cannot defend against. Negative disables.
+	StallReadAfter int64
+	StallFor       time.Duration
+	// Seed drives the plan's private jitter RNG.
+	Seed int64
+}
+
+// PassPlan is the no-fault plan: traffic flows untouched.
+func PassPlan() ConnPlan {
+	return ConnPlan{CutReadAfter: -1, CutWriteAfter: -1, StallReadAfter: -1}
+}
+
+// Conn wraps a net.Conn and applies a ConnPlan to its Read/Write paths.
+// It is safe for the usual one-reader/one-writer connection usage.
+type Conn struct {
+	net.Conn
+	plan    ConnPlan
+	onEvent func(kind string)
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	readN   int64
+	writeN  int64
+	stalled bool
+	cut     bool
+}
+
+// WrapConn applies plan to conn. onEvent, if non-nil, observes injected
+// faults (EventCut, EventStall); it must be safe for concurrent use.
+func WrapConn(conn net.Conn, plan ConnPlan, onEvent func(kind string)) *Conn {
+	return &Conn{
+		Conn:    conn,
+		plan:    plan,
+		onEvent: onEvent,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Counts returns how many bytes have passed in each direction.
+func (c *Conn) Counts() (read, written int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readN, c.writeN
+}
+
+func (c *Conn) event(kind string) {
+	if c.onEvent != nil {
+		c.onEvent(kind)
+	}
+}
+
+// delay sleeps base plus seeded jitter.
+func (c *Conn) delay(base time.Duration) {
+	var extra time.Duration
+	if c.plan.Jitter > 0 {
+		c.mu.Lock()
+		extra = time.Duration(c.rng.Int63n(int64(c.plan.Jitter)))
+		c.mu.Unlock()
+	}
+	if d := base + extra; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// abort severs the underlying connection like a reset: TCP connections
+// get SO_LINGER 0 so the peer sees an RST rather than an orderly FIN.
+// Idempotent; only the first call reports EventCut.
+func (c *Conn) abort() {
+	c.mu.Lock()
+	already := c.cut
+	c.cut = true
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Conn.Close()
+	c.event(EventCut)
+}
+
+// Read applies latency, the one-shot stall, and the read-side cut budget,
+// then reads at most up-to-the-budget bytes from the wrapped connection.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.delay(c.plan.ReadLatency)
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if c.plan.StallReadAfter >= 0 && !c.stalled && c.readN >= c.plan.StallReadAfter {
+		c.stalled = true
+		c.mu.Unlock()
+		c.event(EventStall)
+		time.Sleep(c.plan.StallFor)
+		c.abort() // a frozen flow dies; it never delivers what it withheld
+		return 0, ErrInjected
+	}
+	if cut := c.plan.CutReadAfter; cut >= 0 {
+		rem := cut - c.readN
+		if rem <= 0 {
+			c.mu.Unlock()
+			c.abort()
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > rem {
+			p = p[:rem]
+		}
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.readN += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write applies latency and chunking, never pushing more than ChunkBytes
+// at once, and severs the connection when the write-side cut budget is
+// spent — possibly mid-frame, after a partial write of the prefix.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if c.plan.ChunkBytes > 0 && len(chunk) > c.plan.ChunkBytes {
+			chunk = chunk[:c.plan.ChunkBytes]
+		}
+		c.delay(c.plan.WriteLatency)
+		c.mu.Lock()
+		if c.cut {
+			c.mu.Unlock()
+			return total, ErrInjected
+		}
+		if cut := c.plan.CutWriteAfter; cut >= 0 {
+			rem := cut - c.writeN
+			if rem <= 0 {
+				c.mu.Unlock()
+				c.abort()
+				return total, ErrInjected
+			}
+			if int64(len(chunk)) > rem {
+				chunk = chunk[:rem]
+			}
+		}
+		c.mu.Unlock()
+		n, err := c.Conn.Write(chunk)
+		c.mu.Lock()
+		c.writeN += int64(n)
+		c.mu.Unlock()
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Listener wraps a net.Listener, applying a Profile-derived plan to the
+// i-th accepted connection. Accept order therefore fully determines the
+// fault schedule for a given seed.
+type Listener struct {
+	net.Listener
+	prof    Profile
+	onEvent func(kind string)
+
+	mu  sync.Mutex
+	idx int
+}
+
+// WrapListener wraps ln so every accepted connection carries prof's plan
+// for its accept index. onEvent observes injected faults across all
+// connections (may be nil).
+func WrapListener(ln net.Listener, prof Profile, onEvent func(kind string)) *Listener {
+	return &Listener{Listener: ln, prof: prof, onEvent: onEvent}
+}
+
+// Accept accepts the next connection and wraps it with its plan.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.idx
+	l.idx++
+	l.mu.Unlock()
+	return WrapConn(conn, l.prof.Plan(i), l.onEvent), nil
+}

@@ -1,0 +1,263 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Profile generates the per-connection fault plans of a whole run from
+// one seed. Plan(i) is a pure function of (Profile, i): replaying a
+// workload against the same profile replays the identical fault
+// schedule.
+type Profile struct {
+	// Seed drives every derived plan's jitter RNG.
+	Seed int64
+	// Latency/Jitter/ChunkBytes apply to every connection (see ConnPlan).
+	Latency    time.Duration
+	Jitter     time.Duration
+	ChunkBytes int
+	// CutEvery, when > 0, severs every CutEvery-th accepted connection
+	// (1-based). The k-th severed connection is cut after
+	// CutBase + (k mod CutCycle) bytes; the direction alternates every
+	// full cycle (client-to-server first), so 2*CutCycle severed
+	// connections deterministically sweep every intra-frame byte offset
+	// in both directions.
+	CutEvery int
+	CutBase  int64
+	CutCycle int64
+	// StallEvery, when > 0, freezes every StallEvery-th connection's
+	// client-to-server direction for StallFor once StallAfter bytes have
+	// passed, then severs it — the response the client is waiting on
+	// never comes, its deadline fires, and the frozen flow dies without
+	// delivering the withheld request.
+	StallEvery int
+	StallAfter int64
+	StallFor   time.Duration
+}
+
+// Plan derives the fault plan of the i-th (0-based) accepted connection.
+func (p Profile) Plan(i int) ConnPlan {
+	plan := PassPlan()
+	plan.ReadLatency = p.Latency
+	plan.WriteLatency = p.Latency
+	plan.Jitter = p.Jitter
+	plan.ChunkBytes = p.ChunkBytes
+	// Per-connection seed: mix the profile seed with the index through a
+	// 64-bit odd multiplier so adjacent connections get unrelated jitter.
+	plan.Seed = int64(uint64(p.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0x2545f4914f6cdd1d + 1)
+	if p.CutEvery > 0 && (i+1)%p.CutEvery == 0 {
+		k := (i+1)/p.CutEvery - 1
+		cycle := p.CutCycle
+		if cycle <= 0 {
+			cycle = 1
+		}
+		off := p.CutBase + int64(k)%cycle
+		if (int64(k)/cycle)%2 == 0 {
+			plan.CutReadAfter = off
+		} else {
+			plan.CutWriteAfter = off
+		}
+	}
+	if p.StallEvery > 0 && (i+1)%p.StallEvery == 0 {
+		plan.StallReadAfter = p.StallAfter
+		plan.StallFor = p.StallFor
+	}
+	return plan
+}
+
+// ProxyStats counts what a proxy run injected and carried.
+type ProxyStats struct {
+	Conns    uint64 `json:"conns"`
+	Cuts     uint64 `json:"cuts"`
+	Stalls   uint64 `json:"stalls"`
+	BytesC2S uint64 `json:"bytes_c2s"`
+	BytesS2C uint64 `json:"bytes_s2c"`
+}
+
+// Proxy is the in-process chaos proxy: it accepts client connections,
+// dials the backend for each, and pipes bytes through a fault-injecting
+// Conn, so neither end needs any test hooks to experience a hostile
+// network. The client-facing half carries the plan: its Read side is the
+// client-to-server direction, its Write side the responses.
+type Proxy struct {
+	ln      net.Listener
+	backend string
+	prof    Profile
+
+	mu    sync.Mutex
+	idx   int
+	conns map[net.Conn]struct{}
+	stats ProxyStats
+}
+
+// NewProxy builds a chaos proxy in front of backend, accepting on ln.
+func NewProxy(ln net.Listener, backend string, prof Profile) *Proxy {
+	return &Proxy{
+		ln:      ln,
+		backend: backend,
+		prof:    prof,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Addr is the proxy's client-facing address.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Proxy) onEvent(kind string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch kind {
+	case EventCut:
+		p.stats.Cuts++
+	case EventStall:
+		p.stats.Stalls++
+	}
+}
+
+// Serve proxies until ctx is canceled, then closes the listener and every
+// live connection pair and waits for the pipes to drain. Like
+// server.Serve it always returns a non-nil error: ctx.Err() on shutdown,
+// or the accept failure.
+func (p *Proxy) Serve(ctx context.Context) error {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		_ = p.ln.Close()
+		p.closeAll()
+	}()
+
+	var serveErr error
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				serveErr = ctx.Err()
+			} else {
+				serveErr = fmt.Errorf("fault: proxy accept: %w", err)
+			}
+			break
+		}
+		p.mu.Lock()
+		i := p.idx
+		p.idx++
+		p.stats.Conns++
+		p.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.pipe(conn, p.prof.Plan(i))
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	return serveErr
+}
+
+// pipe connects one client connection to a fresh backend connection and
+// copies both directions through the fault wrapper until either side
+// dies. An unreachable backend just drops the client — exactly what a
+// dead server looks like from outside.
+func (p *Proxy) pipe(client net.Conn, plan ConnPlan) {
+	faulty := WrapConn(client, plan, p.onEvent)
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	p.track(client)
+	p.track(backend)
+	defer p.untrack(client)
+	defer p.untrack(backend)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = io.Copy(backend, faulty) // client -> server
+		// The client is done sending (or was cut): finish the backend's
+		// view so its read loop ends too.
+		closeWrite(backend)
+	}()
+	go func() {
+		defer wg.Done()
+		_, _ = io.Copy(faulty, backend) // server -> client
+		closeWrite(client)
+	}()
+	wg.Wait()
+	read, written := faulty.Counts()
+	p.mu.Lock()
+	p.stats.BytesC2S += uint64(read)
+	p.stats.BytesS2C += uint64(written)
+	p.mu.Unlock()
+}
+
+// closeWrite half-closes a TCP connection, or fully closes anything else.
+func closeWrite(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+		return
+	}
+	_ = conn.Close()
+}
+
+func (p *Proxy) track(conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns[conn] = struct{}{}
+}
+
+func (p *Proxy) untrack(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (p *Proxy) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for conn := range p.conns {
+		_ = conn.Close()
+	}
+}
+
+// Start is the test-friendly wrapper: listen on a loopback ephemeral
+// port, run Serve in a goroutine, and return the proxy plus a shutdown
+// function that stops it and waits for the pipes to drain.
+func Start(backend string, prof Profile) (*Proxy, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: proxy listen: %w", err)
+	}
+	p := NewProxy(ln, backend, prof)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Serve(ctx) }()
+	return p, func() {
+		cancel()
+		err := <-done
+		if err != nil && !errors.Is(err, context.Canceled) {
+			// Serve only fails this way if the listener broke underneath
+			// us; nothing a caller can do at shutdown.
+			_ = err
+		}
+	}, nil
+}

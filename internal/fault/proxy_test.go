@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes until closed. Returns
+// its address and a stop function.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		wg.Wait()
+	}
+}
+
+// TestProxyPassThrough: with a zero profile the proxy is a faithful pipe.
+func TestProxyPassThrough(t *testing.T) {
+	backend, stopEcho := echoServer(t)
+	defer stopEcho()
+	p, stop, err := Start(backend, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	cl, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	msg := []byte("through the chaos proxy, untouched")
+	if _, err := cl.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	_ = cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(cl, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo through proxy = %q, want %q", got, msg)
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.Cuts != 0 || st.Stalls != 0 {
+		t.Fatalf("pass-through stats = %+v", st)
+	}
+}
+
+// TestProxyCutsConnections: every connection is severed after CutBase
+// bytes; the client observes the reset and the stats count it.
+func TestProxyCutsConnections(t *testing.T) {
+	backend, stopEcho := echoServer(t)
+	defer stopEcho()
+	p, stop, err := Start(backend, Profile{CutEvery: 1, CutBase: 8, CutCycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	for i := 0; i < 3; i++ {
+		cl, err := net.Dial("tcp", p.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = cl.SetDeadline(time.Now().Add(5 * time.Second))
+		// 16 bytes out; the c2s or s2c direction dies after 8.
+		_, _ = cl.Write(make([]byte, 16))
+		got, _ := io.ReadAll(cl)
+		if len(got) >= 16 {
+			t.Fatalf("conn %d survived a planned cut (echoed %d bytes)", i, len(got))
+		}
+		_ = cl.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Cuts < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v, want 3 cuts", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := p.Stats(); st.Conns != 3 {
+		t.Fatalf("stats = %+v, want 3 conns", st)
+	}
+}
+
+// TestProxyBackendDown: an unreachable backend drops the client without
+// wedging the proxy.
+func TestProxyBackendDown(t *testing.T) {
+	// Grab an address with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	p, stop, err := Start(dead, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cl, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_ = cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := cl.Read(buf); err == nil {
+		t.Fatal("read from proxied dead backend succeeded")
+	} else if errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

@@ -8,17 +8,20 @@ import (
 )
 
 // ErrDiscard flags statements that silently discard an error returned by
-// the verification-bearing packages (counters, mac, secmem, bmt, aesctr)
-// or the durability-bearing ones (wal, durable).
+// the verification-bearing packages (counters, mac, secmem, bmt, aesctr),
+// the durability-bearing ones (wal, durable), or the fault-injection
+// layer (fault).
 //
 // In this codebase an ignored error is an ignored integrity violation: a
 // dropped Decode error accepts an undecodable counter line, a dropped
 // Verify/Read error accepts tampered memory, a dropped Save error loses
-// persisted state, and a dropped WAL Sync/Close or snapshot error
-// acknowledges a write that was never made durable. Calls whose error result is consumed by nothing — a bare
-// expression statement, or a call hidden behind go/defer — are reported.
-// An explicit `_ =` assignment remains available for the rare deliberate
-// discard, and stays visible in review.
+// persisted state, a dropped WAL Sync/Close or snapshot error
+// acknowledges a write that was never made durable, and a dropped fault
+// setup error runs a chaos scenario with no faults injected — a harness
+// that silently proves nothing. Calls whose error result is consumed by
+// nothing — a bare expression statement, or a call hidden behind
+// go/defer — are reported. An explicit `_ =` assignment remains available
+// for the rare deliberate discard, and stays visible in review.
 var ErrDiscard = &analysis.Analyzer{
 	Name: "errdiscard",
 	Doc:  "flag discarded error results from codec, MAC and secure-memory persistence calls",
@@ -26,7 +29,7 @@ var ErrDiscard = &analysis.Analyzer{
 }
 
 // watchedPkgs are the packages whose error returns must not be dropped.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable"}
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

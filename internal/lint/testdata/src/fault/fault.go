@@ -1,0 +1,31 @@
+package fault
+
+import "context"
+
+// The fixture mirrors the fault-injection layer's surface: a chaos run
+// whose proxy failed to start, serve, or stop injects nothing, so its
+// "no lost writes" verdict is vacuous. Discarding these errors must be
+// loud.
+
+type Proxy struct{}
+
+func (p *Proxy) Serve(ctx context.Context) error { return nil }
+
+func (p *Proxy) Close() error { return nil }
+
+func Start(backend string) (*Proxy, error) { return nil, nil }
+
+func bad(ctx context.Context, p *Proxy) {
+	Start("127.0.0.1:0") // want "result of fault.Start includes an error that is discarded"
+	go p.Serve(ctx)      // want "result of fault.Serve includes an error that is discarded"
+	defer p.Close()      // want "result of fault.Close includes an error that is discarded"
+}
+
+func good(ctx context.Context, p *Proxy) error {
+	q, err := Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = q.Serve(ctx) }() // explicit discard stays visible in review
+	return p.Close()
+}

@@ -1,0 +1,64 @@
+package limiter
+
+import "sync"
+
+// The fixture mirrors the serving layer's admission limiter and the
+// resilient client: immutable configuration before mu, shed/retry
+// counters and connection state after it. Exported methods are entry
+// points and must take the lock; unexported ones are assumed called with
+// it held.
+
+type Limiter struct {
+	max int // immutable cap, set once before serving
+
+	mu       sync.Mutex
+	inflight int
+	shed     uint64
+}
+
+// Max reads only immutable pre-mu configuration: no lock needed.
+func (l *Limiter) Max() int { return l.max }
+
+// TryAcquire mutates the admission state under the lock.
+func (l *Limiter) TryAcquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight >= l.max {
+		l.shed++
+		return false
+	}
+	l.inflight++
+	return true
+}
+
+func (l *Limiter) Shed() uint64 {
+	return l.shed // want "Limiter.Shed accesses mutex-protected field shed"
+}
+
+// release is unexported: assumed called with mu already held.
+func (l *Limiter) release() { l.inflight-- }
+
+// Client mirrors the resilient client's layout: redial config before mu,
+// the poisonable connection and retry counters after it.
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    *Limiter
+	retries uint64
+}
+
+// Addr is immutable dial configuration.
+func (c *Client) Addr() string { return c.addr }
+
+// Reconnect swaps the connection and bumps the counter under the lock.
+func (c *Client) Reconnect(next *Limiter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn = next
+	c.retries++
+}
+
+func (c *Client) Conn() *Limiter {
+	return c.conn // want "Client.Conn accesses mutex-protected field conn"
+}

@@ -1,9 +1,12 @@
 // Package server is morphserve's TCP front: one goroutine per connection
 // speaking the wire protocol against a secure-memory engine, with a
-// connection cap, per-frame read/write deadlines, and graceful shutdown
-// driven by a context. The engine is an interface so the same server runs
-// over a bare shard.Sharded or a durable.Memory; when the engine supports
-// checkpoints the server can also cut them on a timer and on request.
+// connection cap, an in-flight admission gate that sheds overload with
+// typed StatusBusy answers, per-frame read/write deadlines with
+// slow-loris hardening, a gate-bypassing PING health check, and graceful
+// shutdown driven by a context. The engine is an interface so the same
+// server runs over a bare shard.Sharded or a durable.Memory; when the
+// engine supports checkpoints the server can also cut them on a timer
+// and on request.
 //
 // The server is deliberately fail-closed and crash-free: every malformed
 // frame, unknown opcode, or engine error becomes a typed response frame
@@ -20,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/securemem/morphtree/internal/secmem"
@@ -57,11 +62,29 @@ type Flusher interface {
 // Config tunes the listener's limits.
 type Config struct {
 	// MaxConns caps concurrent connections (default 64). Excess
-	// connections receive a StatusError frame and are closed.
+	// connections receive a StatusBusy frame and are closed — a shed,
+	// not a failure, so resilient clients back off and redial.
 	MaxConns int
+	// MaxInflight caps requests executing against the engine at once
+	// (default 4x GOMAXPROCS). Connections beyond it are admitted — they
+	// only cost memory — but their requests wait at the admission gate
+	// and are shed with StatusBusy when the wait exceeds ShedWait. That
+	// keeps overload an explicit, typed, retryable answer instead of
+	// unbounded queueing and timeouts.
+	MaxInflight int
+	// ShedWait is how long a request may wait for an admission slot
+	// before being shed (default 10ms; negative sheds immediately). A
+	// small wait absorbs bursts without letting queues build.
+	ShedWait time.Duration
 	// ReadTimeout bounds waiting for the next request frame on a
 	// connection (default 30s); an idle peer is disconnected.
 	ReadTimeout time.Duration
+	// FrameTimeout bounds reading the remainder of a request frame once
+	// its first byte has arrived (default 5s). This is the slow-loris
+	// defense: an idle connection may sit for ReadTimeout, but a peer
+	// trickling one byte at a time cannot hold a goroutine beyond
+	// FrameTimeout per frame.
+	FrameTimeout time.Duration
 	// WriteTimeout bounds writing one response frame (default 30s).
 	WriteTimeout time.Duration
 	// AllowTamper enables the OpTamper adversary op. Off by default;
@@ -80,8 +103,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxConns <= 0 {
 		c.MaxConns = 64
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.ShedWait == 0 {
+		c.ShedWait = 10 * time.Millisecond
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = 5 * time.Second
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 30 * time.Second
@@ -89,10 +121,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// NetStats counts the server's admission-control activity.
+type NetStats struct {
+	// Accepted and Rejected count connections (Rejected = over MaxConns).
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	// Shed counts requests answered StatusBusy at the admission gate.
+	Shed uint64 `json:"shed"`
+	// Pings counts health checks answered.
+	Pings uint64 `json:"pings"`
+	// SlowLoris counts connections dropped for trickling a frame slower
+	// than FrameTimeout.
+	SlowLoris uint64 `json:"slow_loris"`
+}
+
 // Server serves wire-protocol requests against a secure-memory engine.
 type Server struct {
 	eng Engine
 	cfg Config
+	// sem is the admission gate: one slot per concurrently executing
+	// engine request.
+	sem chan struct{}
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	shed      atomic.Uint64
+	pings     atomic.Uint64
+	slowLoris atomic.Uint64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -101,10 +156,23 @@ type Server struct {
 // New constructs a server over an engine (a *shard.Sharded or a
 // *durable.Memory).
 func New(eng Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	return &Server{
 		eng:   eng,
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
 		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// NetStats returns a snapshot of the admission-control counters.
+func (s *Server) NetStats() NetStats {
+	return NetStats{
+		Accepted:  s.accepted.Load(),
+		Rejected:  s.rejected.Load(),
+		Shed:      s.shed.Load(),
+		Pings:     s.pings.Load(),
+		SlowLoris: s.slowLoris.Load(),
 	}
 }
 
@@ -153,9 +221,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			break
 		}
 		if !s.track(conn) {
+			s.rejected.Add(1)
 			s.reject(conn)
 			continue
 		}
+		s.accepted.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -226,20 +296,37 @@ func (s *Server) closeAll() {
 	}
 }
 
-// reject tells an over-limit peer why it is being dropped.
+// reject sheds an over-limit peer with a typed, retryable answer: a
+// StatusBusy frame promises nothing was executed, so resilient clients
+// back off and redial instead of treating the cap as a hard failure.
 func (s *Server) reject(conn net.Conn) {
 	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	_ = wire.WriteFrame(conn, wire.StatusError, []byte("connection limit reached"))
+	_ = wire.WriteFrame(conn, wire.StatusBusy, []byte("connection limit reached; retry with backoff"))
 	_ = conn.Close()
 }
 
 // serveConn runs one connection's request loop until the peer closes, a
 // deadline fires, or the stream turns unframeable.
+//
+// Two read deadlines guard the loop: an idle peer may sit for
+// ReadTimeout between requests, but once a request's first byte arrives
+// the whole frame must follow within FrameTimeout. Without the split, a
+// slow-loris peer trickling one byte per ReadTimeout holds a goroutine
+// and a connection slot indefinitely while never completing a request.
 func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		if _, err := br.Peek(1); err != nil {
+			// Clean close, idle timeout, or a dead conn before any byte
+			// of the next request: nothing useful to report.
+			return
+		}
+		frameStart := time.Now()
+		if err := conn.SetReadDeadline(frameStart.Add(s.cfg.FrameTimeout)); err != nil {
 			return
 		}
 		op, payload, err := wire.ReadFrame(br)
@@ -250,13 +337,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Length prefix was unreadable, oversized, or the body was
 			// cut off: the stream cannot be trusted to be framed
 			// anymore. Report (best effort) and drop the connection.
+			if errors.Is(err, wire.ErrTruncated) && time.Since(frameStart) >= s.cfg.FrameTimeout {
+				s.slowLoris.Add(1)
+			}
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			status, body := wire.EncodeError(err)
 			_ = wire.WriteFrame(bw, status, body)
 			_ = bw.Flush()
 			return
 		}
-		status, body := s.handle(op, payload)
+		status, body := s.dispatch(op, payload)
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
@@ -267,6 +357,36 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatch applies admission control and routes to handle. Pings bypass
+// the gate: liveness must be observable while the server sheds load, or
+// health checks would report a busy server as dead. Everything else
+// waits up to ShedWait for an in-flight slot and is shed with StatusBusy
+// — a promise that the request was not executed — when none frees.
+func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
+	if op == wire.OpPing {
+		s.pings.Add(1)
+		return wire.StatusOK, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.cfg.ShedWait <= 0 {
+			s.shed.Add(1)
+			return wire.StatusBusy, []byte("server at capacity; retry with backoff")
+		}
+		t := time.NewTimer(s.cfg.ShedWait)
+		select {
+		case s.sem <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			s.shed.Add(1)
+			return wire.StatusBusy, []byte("server at capacity; retry with backoff")
+		}
+	}
+	defer func() { <-s.sem }()
+	return s.handle(op, payload)
 }
 
 // handle dispatches one request. Every path returns a response; unknown

@@ -326,12 +326,15 @@ func TestConnectionLimit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("over-limit connection: expected rejection frame, got %v", err)
 	}
-	if status != wire.StatusError {
-		t.Fatalf("over-limit connection: status %#x, want StatusError", status)
+	if status != wire.StatusBusy {
+		t.Fatalf("over-limit connection: status %#x, want StatusBusy (a shed, not a failure)", status)
 	}
-	var re *wire.RemoteError
-	if !errors.As(wire.DecodeError(status, body), &re) {
+	var be *wire.BusyError
+	if !errors.As(wire.DecodeError(status, body), &be) {
 		t.Fatalf("rejection not typed: %q", body)
+	}
+	if !wire.IsRetryable(wire.DecodeError(status, body)) {
+		t.Fatal("connection-cap shed must classify as retryable")
 	}
 	// Admitted connections still serve.
 	if _, err := c1.Read(0); err != nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -9,6 +10,15 @@ import (
 
 	"github.com/securemem/morphtree/internal/secmem"
 )
+
+// ErrClientPoisoned reports a Client whose connection suffered a
+// transport error earlier (deadline, reset, truncated frame). The stream
+// may have stopped mid-frame, so the reader's next bytes could be the
+// tail of an old response; parsing them as a frame header would
+// silently desynchronize the protocol. A poisoned client fails every
+// subsequent call fast — the only recovery is a new connection
+// (ResilientClient does this automatically).
+var ErrClientPoisoned = errors.New("wire: connection poisoned by earlier transport error")
 
 // Client speaks the morphserve protocol over one connection, one request
 // in flight at a time (the closed-loop model morphload measures).
@@ -19,6 +29,9 @@ type Client struct {
 	mu sync.Mutex
 	bw *bufio.Writer
 	br *bufio.Reader
+	// poisoned records the first transport error; once set, the stream's
+	// framing can no longer be trusted and every call fails fast.
+	poisoned error
 }
 
 // Dial connects to a morphserve address. timeout, if nonzero, bounds the
@@ -44,26 +57,56 @@ func NewClient(conn net.Conn, timeout time.Duration) *Client {
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Poisoned reports whether an earlier transport error made this client
+// refuse further use of its connection.
+func (c *Client) Poisoned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.poisoned != nil
+}
+
+// poison marks the connection unusable and returns err. Must be called
+// with c.mu held. The connection is closed eagerly so a server-side slot
+// frees immediately instead of waiting for the peer's idle deadline.
+func (c *Client) poison(err error) error {
+	c.poisoned = err
+	_ = c.conn.Close()
+	return err
+}
+
 // roundTrip sends one request and decodes the response, surfacing
-// StatusIntegrity as *secmem.IntegrityError and StatusError as
-// *RemoteError.
+// StatusIntegrity as *secmem.IntegrityError, StatusBusy as *BusyError,
+// and StatusError as *RemoteError.
+//
+// Any transport failure — deadline, short write, reset, truncated or
+// garbled response frame — poisons the client: the stream may have died
+// mid-frame, so leftover bytes must never be parsed as the next frame
+// header. Response-level errors (non-OK statuses, payload decode
+// failures) leave the connection healthy: framing stayed intact.
 func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.poisoned != nil {
+		return nil, fmt.Errorf("%w (cause: %v)", ErrClientPoisoned, c.poisoned)
+	}
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("wire: set deadline: %w", err)
+			return nil, c.poison(fmt.Errorf("wire: set deadline: %w", err))
 		}
 	}
 	if err := WriteFrame(c.bw, op, payload); err != nil {
-		return nil, err
+		if errors.Is(err, ErrOversized) {
+			// Local validation failure: nothing touched the wire.
+			return nil, err
+		}
+		return nil, c.poison(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("wire: flush: %w", err)
+		return nil, c.poison(fmt.Errorf("wire: flush: %w", err))
 	}
 	status, body, err := ReadFrame(c.br)
 	if err != nil {
-		return nil, err
+		return nil, c.poison(err)
 	}
 	if status != StatusOK {
 		return nil, DecodeError(status, body)
@@ -126,6 +169,13 @@ func (c *Client) Checkpoint() (uint64, error) {
 		return 0, fmt.Errorf("wire: checkpoint response: %w", err)
 	}
 	return seq, nil
+}
+
+// Ping checks the server is alive. The server answers it even while
+// shedding load, so Ping succeeding says nothing about capacity.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(OpPing, nil)
+	return err
 }
 
 // Tamper asks the server to flip a stored ciphertext bit at an address —

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// TestClientPoisonedAfterMidFrameTimeout is the regression test for the
+// framing-desync bug: a response that stalls mid-frame times out the
+// round trip, and the *next* call must fail fast with ErrClientPoisoned —
+// the pre-fix client would read the late-arriving leftover bytes and
+// parse them as a fresh frame header, silently desynchronizing the
+// protocol.
+func TestClientPoisonedAfterMidFrameTimeout(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := NewClient(cli, 100*time.Millisecond)
+
+	// Serve the first request with half a response frame, then stall past
+	// the client's deadline before delivering the rest.
+	rest := make(chan struct{})
+	go func() {
+		if _, _, err := ReadFrame(srv); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		// A full OK response to OpRead would be 4+1+64 bytes; send 10.
+		full := make([]byte, 0, 69)
+		full = append(full, 0, 0, 0, 65, StatusOK)
+		full = append(full, make([]byte, secmem.LineBytes)...)
+		if _, err := srv.Write(full[:10]); err != nil {
+			t.Errorf("server partial write: %v", err)
+			return
+		}
+		<-rest
+		// Too late: the client timed out long ago. These bytes are the
+		// garbage a desynced reader would misparse as a frame header.
+		_, _ = srv.Write(full[10:])
+	}()
+
+	_, err := c.Read(0)
+	var ne net.Error
+	if !errors.As(err, &ne) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-frame stall returned %v, want a deadline/truncation error", err)
+	}
+	if !c.Poisoned() {
+		t.Fatal("client not poisoned after a mid-frame timeout")
+	}
+	close(rest)
+	time.Sleep(20 * time.Millisecond) // let the leftover bytes arrive
+
+	// The next call must refuse the connection, not decode garbage.
+	_, err = c.Read(64)
+	if !errors.Is(err, ErrClientPoisoned) {
+		t.Fatalf("call on poisoned client returned %v, want ErrClientPoisoned", err)
+	}
+	// And it must classify as retryable transport-class for the
+	// resilient layer.
+	if !IsRetryable(err) || !IsTransport(err) {
+		t.Fatal("poisoned-client error must be retryable transport class")
+	}
+}
+
+// TestClientPoisonedAfterReset: a connection closed mid-frame poisons the
+// client the same way a deadline does.
+func TestClientPoisonedAfterReset(t *testing.T) {
+	cli, srv := net.Pipe()
+	c := NewClient(cli, time.Second)
+	go func() {
+		_, _, _ = ReadFrame(srv)
+		_, _ = srv.Write([]byte{0, 0, 0, 65, StatusOK}) // header + status only
+		_ = srv.Close()                                 // dies mid-body
+	}()
+	_, err := c.Read(0)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("reset mid-frame returned %v, want ErrTruncated", err)
+	}
+	if _, err := c.Stats(); !errors.Is(err, ErrClientPoisoned) {
+		t.Fatalf("next call returned %v, want ErrClientPoisoned", err)
+	}
+}
+
+// TestResponseErrorsDoNotPoison: a StatusError (and a busy shed) keeps
+// framing intact, so the connection stays usable.
+func TestResponseErrorsDoNotPoison(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := NewClient(cli, time.Second)
+	go func() {
+		for i := 0; i < 3; i++ {
+			op, _, err := ReadFrame(srv)
+			if err != nil {
+				return
+			}
+			switch i {
+			case 0:
+				_ = WriteFrame(srv, StatusError, []byte("unaligned address"))
+			case 1:
+				_ = WriteFrame(srv, StatusBusy, []byte("at capacity"))
+			default:
+				if op != OpPing {
+					t.Errorf("op %#x, want OpPing", op)
+				}
+				_ = WriteFrame(srv, StatusOK, nil)
+			}
+		}
+	}()
+	var re *RemoteError
+	if _, err := c.Read(13); !errors.As(err, &re) {
+		t.Fatalf("want *RemoteError, got %v", err)
+	}
+	var be *BusyError
+	if _, err := c.Read(0); !errors.As(err, &be) {
+		t.Fatalf("want *BusyError, got %v", err)
+	}
+	if c.Poisoned() {
+		t.Fatal("response-level errors must not poison the connection")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection unusable after response-level errors: %v", err)
+	}
+}
+
+// TestIsRetryableTaxonomy pins the retryable-vs-fatal classification the
+// resilient client is built on.
+func TestIsRetryableTaxonomy(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+		transport bool
+	}{
+		{"busy", &BusyError{Msg: "shed"}, true, false},
+		{"integrity", &secmem.IntegrityError{Level: 1, Index: 2, Reason: "MAC"}, false, false},
+		{"remote", &RemoteError{Msg: "bad request"}, false, false},
+		{"truncated", ErrTruncated, true, true},
+		{"poisoned", ErrClientPoisoned, true, true},
+		{"netclosed", net.ErrClosed, true, true},
+		{"timeout", &net.OpError{Op: "read", Err: &timeoutErr{}}, true, true},
+		{"nil", nil, false, false},
+		{"plain", errors.New("whatever"), false, false},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.retryable {
+			t.Errorf("IsRetryable(%s) = %v, want %v", tc.name, got, tc.retryable)
+		}
+		if got := IsTransport(tc.err); got != tc.transport {
+			t.Errorf("IsTransport(%s) = %v, want %v", tc.name, got, tc.transport)
+		}
+	}
+	// A wrapped integrity error stays fatal even if delivered over a
+	// dying connection path.
+	wrapped := &secmem.IntegrityError{Level: 0, Index: 9, Reason: "ctr"}
+	if IsRetryable(errWrap{wrapped}) {
+		t.Error("wrapped IntegrityError classified retryable")
+	}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string   { return "i/o timeout" }
+func (*timeoutErr) Timeout() bool   { return true }
+func (*timeoutErr) Temporary() bool { return true }
+
+type errWrap struct{ inner error }
+
+func (e errWrap) Error() string { return "shard 3: " + e.inner.Error() }
+func (e errWrap) Unwrap() error { return e.inner }

@@ -66,7 +66,8 @@ func DecodeStats(p []byte) (secmem.Stats, error) {
 
 // EncodeError turns any error into a response (status, payload) pair. An
 // *secmem.IntegrityError anywhere in the chain is encoded structurally so
-// it survives the trip; everything else collapses to a StatusError string.
+// it survives the trip, a *BusyError becomes StatusBusy, and everything
+// else collapses to a StatusError string.
 func EncodeError(err error) (byte, []byte) {
 	var ie *secmem.IntegrityError
 	if errors.As(err, &ie) {
@@ -74,6 +75,10 @@ func EncodeError(err error) (byte, []byte) {
 		binary.BigEndian.PutUint64(p, uint64(int64(ie.Level)))
 		binary.BigEndian.PutUint64(p[8:], ie.Index)
 		return StatusIntegrity, append(p, ie.Reason...)
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		return StatusBusy, []byte(be.Msg)
 	}
 	return StatusError, []byte(err.Error())
 }
@@ -93,6 +98,8 @@ func DecodeError(status byte, p []byte) error {
 		}
 	case StatusError:
 		return &RemoteError{Msg: string(p)}
+	case StatusBusy:
+		return &BusyError{Msg: string(p)}
 	}
 	return fmt.Errorf("wire: unknown response status %#x", status)
 }

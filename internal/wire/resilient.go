@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// ResilientConfig tunes a ResilientClient.
+type ResilientConfig struct {
+	// Addr is the morphserve (or chaos proxy) address to dial.
+	Addr string
+	// Timeout bounds each dial and each individual round trip
+	// (default 10s).
+	Timeout time.Duration
+	// MaxAttempts caps how many times one op is tried, first attempt
+	// included (default 8).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; each further retry
+	// doubles it up to MaxBackoff, and every sleep is jittered into
+	// [d/2, d) so a fleet of shed clients does not retry in lockstep
+	// (defaults 10ms / 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryWrites opts non-idempotent ops (Write, Tamper) into retrying
+	// after transport errors. The protocol has no request IDs, so a write
+	// whose connection died mid-round-trip may or may not have been
+	// applied; retrying re-applies it. That is only safe when the caller
+	// knows re-applying is harmless (morphload and morphchaos rewrite
+	// the same content, so it is). Busy sheds and failed dials are always
+	// retried — the server promises those requests had no effect.
+	RetryWrites bool
+	// Seed drives the backoff jitter RNG, keeping fault-matrix runs
+	// reproducible.
+	Seed int64
+	// Logf, when set, observes reconnects and retries (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	return c
+}
+
+// ResilientStats counts what resilience cost: how often ops were retried,
+// connections replaced, and requests shed by the server.
+type ResilientStats struct {
+	// Ops is the number of top-level calls; Failures those that returned
+	// an error after all retries (or a fatal verdict immediately).
+	Ops      uint64 `json:"ops"`
+	Failures uint64 `json:"failures"`
+	// Retries counts every extra attempt; Sheds the attempts answered
+	// StatusBusy; Reconnects the replacement dials after the first.
+	Retries    uint64 `json:"retries"`
+	Sheds      uint64 `json:"sheds"`
+	Reconnects uint64 `json:"reconnects"`
+}
+
+// ResilientClient wraps the single-connection Client with reconnection,
+// capped exponential backoff with jitter, and bounded retries governed by
+// the IsRetryable taxonomy: busy sheds retry always, transport errors
+// retry idempotent ops (and writes only with RetryWrites), integrity
+// violations and remote verdicts fail immediately. A poisoned connection
+// is discarded and redialed — never reused — so the framing-desync class
+// of bug cannot recur. Safe for concurrent use.
+type ResilientClient struct {
+	cfg ResilientConfig
+
+	mu        sync.Mutex
+	cl        *Client // nil when disconnected
+	connected bool    // a dial has succeeded at least once
+	rng       *rand.Rand
+	stats     ResilientStats
+}
+
+// NewResilient builds a resilient client; it does not dial until the
+// first op (or Ping).
+func NewResilient(cfg ResilientConfig) *ResilientClient {
+	cfg = cfg.withDefaults()
+	return &ResilientClient{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Counters returns a snapshot of the resilience counters.
+func (r *ResilientClient) Counters() ResilientStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close drops the current connection, if any. The client remains usable:
+// the next op redials.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	cl := r.cl
+	r.cl = nil
+	r.mu.Unlock()
+	if cl == nil {
+		return nil
+	}
+	return cl.Close()
+}
+
+// logf reports through cfg.Logf, if set.
+func (r *ResilientClient) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// conn returns the live connection, dialing a new one if needed.
+func (r *ResilientClient) conn() (*Client, error) {
+	r.mu.Lock()
+	if cl := r.cl; cl != nil {
+		r.mu.Unlock()
+		return cl, nil
+	}
+	reconnect := r.connected
+	r.mu.Unlock()
+	cl, err := Dial(r.cfg.Addr, r.cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.cl != nil {
+		// Another goroutine won the redial race; use its connection.
+		winner := r.cl
+		r.mu.Unlock()
+		_ = cl.Close()
+		return winner, nil
+	}
+	r.cl = cl
+	r.connected = true
+	if reconnect {
+		r.stats.Reconnects++
+	}
+	r.mu.Unlock()
+	if reconnect {
+		r.logf("wire: reconnected to %s", r.cfg.Addr)
+	}
+	return cl, nil
+}
+
+// discard retires a connection after a transport error (it is poisoned or
+// otherwise dead). Only the goroutine whose *Client is still current
+// clears it, so a concurrent op's fresh connection is never thrown away.
+func (r *ResilientClient) discard(cl *Client) {
+	r.mu.Lock()
+	if r.cl == cl {
+		r.cl = nil
+	}
+	r.mu.Unlock()
+	_ = cl.Close()
+}
+
+// backoff computes the jittered sleep before retry number n (1-based).
+func (r *ResilientClient) backoff(n int) time.Duration {
+	d := r.cfg.BaseBackoff << (n - 1)
+	if d <= 0 || d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d/2 + 1)))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// do runs one op through the retry loop. retryTransport says whether the
+// op may be retried after a transport error left its outcome unknown —
+// true for idempotent ops, RetryWrites for the rest.
+func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client) error) error {
+	r.mu.Lock()
+	r.stats.Ops++
+	r.mu.Unlock()
+	var last error
+	for attempt := 1; ; attempt++ {
+		cl, err := r.conn()
+		if err != nil {
+			// Dial failure: no request was sent, retrying is safe for
+			// every op.
+			last = err
+		} else {
+			err = f(cl)
+			if err == nil {
+				return nil
+			}
+			last = err
+			var be *BusyError
+			switch {
+			case errors.As(err, &be):
+				// Shed before execution: connection healthy, retry safe.
+				r.mu.Lock()
+				r.stats.Sheds++
+				r.mu.Unlock()
+			case !IsRetryable(err):
+				r.fail()
+				return err
+			default:
+				// Transport error: outcome unknown, connection dead.
+				r.discard(cl)
+				if !retryTransport {
+					r.fail()
+					return fmt.Errorf("wire: %s outcome unknown after transport error (not idempotent, RetryWrites off): %w", opName, err)
+				}
+			}
+		}
+		if attempt >= r.cfg.MaxAttempts {
+			r.fail()
+			return fmt.Errorf("wire: %s failed after %d attempts: %w", opName, attempt, last)
+		}
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+		sleep := r.backoff(attempt)
+		r.logf("wire: %s attempt %d/%d failed (%v); retrying in %v", opName, attempt, r.cfg.MaxAttempts, last, sleep)
+		time.Sleep(sleep)
+	}
+}
+
+func (r *ResilientClient) fail() {
+	r.mu.Lock()
+	r.stats.Failures++
+	r.mu.Unlock()
+}
+
+// Read fetches and verifies the line at a line-aligned address.
+// Idempotent: retried freely; an IntegrityError is surfaced immediately,
+// never retried into a false alarm.
+func (r *ResilientClient) Read(addr uint64) ([]byte, error) {
+	var line []byte
+	err := r.do(true, "READ", func(cl *Client) error {
+		var err error
+		line, err = cl.Read(addr)
+		return err
+	})
+	return line, err
+}
+
+// Write stores a 64-byte line. Transport-ambiguous retries only happen
+// with RetryWrites (see ResilientConfig); busy sheds always retry.
+func (r *ResilientClient) Write(addr uint64, line []byte) error {
+	return r.do(r.cfg.RetryWrites, "WRITE", func(cl *Client) error {
+		return cl.Write(addr, line)
+	})
+}
+
+// Verify asks the server to re-verify every written line. Idempotent.
+func (r *ResilientClient) Verify() error {
+	return r.do(true, "VERIFY", func(cl *Client) error { return cl.Verify() })
+}
+
+// Stats fetches the server's aggregated shard stats. Idempotent.
+func (r *ResilientClient) Stats() (secmem.Stats, error) {
+	var st secmem.Stats
+	err := r.do(true, "STATS", func(cl *Client) error {
+		var err error
+		st, err = cl.Stats()
+		return err
+	})
+	return st, err
+}
+
+// Ping checks liveness. Idempotent.
+func (r *ResilientClient) Ping() error {
+	return r.do(true, "PING", func(cl *Client) error { return cl.Ping() })
+}
+
+// Snapshot fetches the server's full persisted state. Idempotent.
+func (r *ResilientClient) Snapshot() ([]byte, error) {
+	var snap []byte
+	err := r.do(true, "SNAPSHOT", func(cl *Client) error {
+		var err error
+		snap, err = cl.Snapshot()
+		return err
+	})
+	return snap, err
+}
+
+// Checkpoint forces a durable checkpoint. Idempotent: cutting an extra
+// checkpoint after an ambiguous outcome only shortens replay.
+func (r *ResilientClient) Checkpoint() (uint64, error) {
+	var seq uint64
+	err := r.do(true, "CHECKPOINT", func(cl *Client) error {
+		var err error
+		seq, err = cl.Checkpoint()
+		return err
+	})
+	return seq, err
+}
+
+// Tamper flips a stored ciphertext bit (adversary interface). Not
+// idempotent — a double flip restores the bit — so transport retries
+// follow RetryWrites like Write does.
+func (r *ResilientClient) Tamper(addr uint64) error {
+	return r.do(r.cfg.RetryWrites, "TAMPER", func(cl *Client) error { return cl.Tamper(addr) })
+}

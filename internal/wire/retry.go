@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// This file is the client-side error taxonomy: which failures mean "the
+// request definitely did not happen" (BusyError), which mean "the
+// transport died and the outcome is unknown" (poisoned / truncated /
+// net errors), and which are verdicts that must never be retried
+// (IntegrityError, RemoteError). ResilientClient's retry policy is
+// built entirely on this classification.
+
+// BusyError is a StatusBusy response: the server shed the request under
+// overload before executing any of it. Always safe to retry after
+// backoff, writes included.
+type BusyError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *BusyError) Error() string { return "wire: server busy: " + e.Msg }
+
+// IsRetryable reports whether err is worth retrying at all. Three tiers:
+//
+//   - *BusyError: retryable for every op — the server promises the shed
+//     request had no effect.
+//   - Transport-class errors (poisoned client, truncated frame, closed
+//     or reset connection, deadline): retryable, but the outcome of an
+//     in-flight request is unknown, so non-idempotent ops must only be
+//     retried when the caller opted in (ResilientConfig.RetryWrites).
+//   - Everything else — integrity violations, remote verdicts
+//     (*RemoteError), codec errors — is a fact about the request or the
+//     memory, not the network. Retrying cannot change it and retrying an
+//     IntegrityError would convert a tamper detection into traffic.
+func IsRetryable(err error) bool {
+	var ie *secmem.IntegrityError
+	if errors.As(err, &ie) {
+		return false
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return IsTransport(err)
+}
+
+// IsTransport reports whether err means the connection is no longer
+// trustworthy (so the op's outcome is unknown and the connection must be
+// replaced before any retry).
+func IsTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrClientPoisoned) || errors.Is(err, ErrTruncated) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}

@@ -44,6 +44,11 @@ const (
 	// StatusError. The OK response carries the new u64 snapshot sequence
 	// number.
 	OpCheckpoint byte = 0x07
+	// OpPing is the health check: empty payload, empty OK response. The
+	// server answers it without taking an admission slot, so a loaded
+	// (shedding) server still proves it is alive — liveness and capacity
+	// are separate questions.
+	OpPing byte = 0x08
 )
 
 // Response status bytes.
@@ -56,6 +61,12 @@ const (
 	// StatusError carries a plain error string (bad request, limits,
 	// unknown opcode).
 	StatusError byte = 0x02
+	// StatusBusy carries a plain string and means the server shed this
+	// request before executing any of it: admission control was full, or
+	// the connection cap was reached. The promise is load-shedding, not
+	// failure — the request had no effect, so retrying it after backoff
+	// is always safe, writes included.
+	StatusBusy byte = 0x03
 )
 
 // MaxBody caps a frame's body length. Snapshots of large memories are the

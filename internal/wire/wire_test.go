@@ -199,6 +199,12 @@ func TestIntegrityErrorCrossesTheWire(t *testing.T) {
 	if st != StatusError || !errors.As(DecodeError(st, p), &re) || re.Msg != "nope" {
 		t.Fatalf("plain error round trip failed: %#x %v", st, DecodeError(st, p))
 	}
+	// Busy sheds round-trip as *BusyError.
+	st, p = EncodeError(&BusyError{Msg: "at capacity"})
+	var be *BusyError
+	if st != StatusBusy || !errors.As(DecodeError(st, p), &be) || be.Msg != "at capacity" {
+		t.Fatalf("busy round trip failed: %#x %v", st, DecodeError(st, p))
+	}
 	// Truncated integrity payloads must error, not panic.
 	if err := DecodeError(StatusIntegrity, []byte{1, 2}); err == nil {
 		t.Fatal("short integrity payload accepted")
