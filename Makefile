@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke chaos-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke chaos-smoke obs-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,25 @@ bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server inter
 # is `bin/morphchaos` with defaults; this keeps CI fast.
 chaos-smoke: bin/morphchaos
 	bin/morphchaos -smoke -out BENCH_fault.json
+
+bin/morphscope: $(shell find cmd/morphscope internal/obs internal/wire -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -o bin/morphscope ./cmd/morphscope
+
+# Observability smoke test: a race-built morphserve with the admin plane
+# on, morphload driving it (with live -report lines), morphscope polling
+# per-op quantiles and event rates into BENCH_obs.json, then a -check
+# probe asserting the telemetry is live (healthz, op samples, events).
+obs-smoke: bin/morphload bin/morphscope
+	$(GO) build -race -o bin/morphserve.race ./cmd/morphserve
+	bin/morphserve.race -addr 127.0.0.1:7543 -admin 127.0.0.1:7544 -shards 4 -org morph128 & \
+	SERVE_PID=$$!; sleep 1; \
+	bin/morphload -addr 127.0.0.1:7543 -clients 4 -duration 5s -report 2s -out BENCH_obs_load.json & \
+	LOAD_PID=$$!; sleep 1; \
+	bin/morphscope -admin 127.0.0.1:7544 -interval 1s -samples 3 -json BENCH_obs.json; \
+	SCOPE=$$?; wait $$LOAD_PID; LOAD=$$?; \
+	bin/morphscope -admin 127.0.0.1:7544 -check; CHECK=$$?; \
+	kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; \
+	exit $$(( SCOPE + LOAD + CHECK ))
 
 verify: build vet morphlint morphdebug race
 

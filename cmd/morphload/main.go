@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/wire"
 )
@@ -96,10 +97,20 @@ func main() {
 	retryWrites := flag.Bool("retry-writes", true, "retry writes whose outcome a transport fault left unknown (safe here: retries rewrite identical content)")
 	tamper := flag.Bool("tamper", false, "after the load phase, inject a tamper via the wire TAMPER op and require an IntegrityError (server must run with -tamper)")
 	out := flag.String("out", "BENCH_serve.json", "report file")
+	reportEvery := flag.Duration("report", 0, "periodic one-line progress interval during the load phase (0 disables): qps, p50/p99, retries, sheds from live obs counters")
 	flag.Parse()
 
 	if *clients < 1 || *span/lineBytes < uint64(*clients) {
 		log.Fatalf("morphload: need at least one line per client (span %d, clients %d)", *span, *clients)
+	}
+
+	// Live instruments shared by every client: op latencies plus the
+	// resilience counters the wire layer mirrors (wire.retries / sheds /
+	// reconnects). The -report ticker deltas them for interval rates.
+	reg := obs.NewRegistry()
+	ins := loadInstruments{
+		readLat:  reg.Histogram("load.read.latency"),
+		writeLat: reg.Histogram("load.write.latency"),
 	}
 
 	// Each client owns a disjoint contiguous range of lines, so it can
@@ -118,13 +129,25 @@ func main() {
 				MaxAttempts: *retries,
 				RetryWrites: *retryWrites,
 				Seed:        *seed + int64(c),
+				Obs:         reg,
 			})
 			defer cl.Close()
 			results[c] = runClient(cl, deadline, rand.New(rand.NewSource(*seed+int64(c))),
-				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac)
+				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac, ins)
 		}(c)
 	}
+	stopRep := make(chan struct{})
+	var repWG sync.WaitGroup
+	if *reportEvery > 0 {
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			progressReporter(reg, *reportEvery, stopRep)
+		}()
+	}
 	wg.Wait()
+	close(stopRep)
+	repWG.Wait()
 
 	rep := report{
 		Addr:          *addr,
@@ -199,11 +222,47 @@ func main() {
 	}
 }
 
+// loadInstruments are the shared live histograms every client records
+// into (histograms are multi-recorder safe).
+type loadInstruments struct {
+	readLat, writeLat *obs.Histogram
+}
+
+// progressReporter prints one line per tick with interval (not cumulative)
+// rates, computed by delta-ing registry snapshots.
+func progressReporter(reg *obs.Registry, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	start := time.Now()
+	prev := reg.Snapshot()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			cur := reg.Snapshot()
+			rd := cur.Histograms["load.read.latency"].Delta(prev.Histograms["load.read.latency"])
+			wd := cur.Histograms["load.write.latency"].Delta(prev.Histograms["load.write.latency"])
+			all := rd
+			all.Merge(wd)
+			secs := every.Seconds()
+			fmt.Printf("morphload: t=%4.0fs %7.0f ops/s (r %.0f/s, w %.0f/s)  p50=%s p99=%s  retries=%d sheds=%d reconnects=%d\n",
+				time.Since(start).Seconds(),
+				float64(all.Count)/secs, float64(rd.Count)/secs, float64(wd.Count)/secs,
+				time.Duration(all.P50).Round(time.Microsecond), time.Duration(all.P99).Round(time.Microsecond),
+				cur.Counters["wire.retries"]-prev.Counters["wire.retries"],
+				cur.Counters["wire.sheds"]-prev.Counters["wire.sheds"],
+				cur.Counters["wire.reconnects"]-prev.Counters["wire.reconnects"])
+			prev = cur
+		}
+	}
+}
+
 // runClient is one closed-loop worker: pick a random owned line, write a
 // deterministic pattern or read back and verify, until the deadline. The
 // resilient client absorbs transient faults; an op that still fails
 // after its retry budget is counted and the loop keeps going.
-func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64) clientResult {
+func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64, ins loadInstruments) clientResult {
 	var res clientResult
 	// seqs holds the last sequence number acknowledged per address; maybe
 	// holds every sequence a finally-failed write may or may not have
@@ -235,7 +294,9 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 			seq := seqs[a] + 1
 			start := time.Now()
 			err := cl.Write(a, fill(a, seq))
-			res.latencies = append(res.latencies, time.Since(start))
+			dur := time.Since(start)
+			ins.writeLat.Record(dur)
+			res.latencies = append(res.latencies, dur)
 			if err != nil {
 				recordErr(&res, err, &ie)
 				maybe[a] = append(maybe[a], seq)
@@ -246,7 +307,9 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 		} else {
 			start := time.Now()
 			got, err := cl.Read(a)
-			res.latencies = append(res.latencies, time.Since(start))
+			dur := time.Since(start)
+			ins.readLat.Record(dur)
+			res.latencies = append(res.latencies, dur)
 			if err != nil {
 				recordErr(&res, err, &ie)
 				continue

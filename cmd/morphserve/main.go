@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/securemem/morphtree/internal/durable"
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/server"
 	"github.com/securemem/morphtree/internal/shard"
@@ -54,6 +55,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
 	snapEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
+	admin := flag.String("admin", "", "admin telemetry listen address serving /metricz /tracez /healthz and pprof (empty = disabled; also enables the wire OBS op)")
+	traceBuf := flag.Int("trace-buf", 4096, "event trace ring capacity with -admin")
 	flag.Parse()
 
 	key := []byte("0123456789abcdef")
@@ -82,6 +85,17 @@ func main() {
 		},
 	}
 
+	// One registry + tracer instruments every layer when -admin is set; a
+	// nil registry keeps the whole stack on its uninstrumented fast path.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *admin != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(*traceBuf)
+		shcfg.Obs = reg
+		shcfg.Tracer = tracer
+	}
+
 	// eng is the serving surface; dm is non-nil only in durable mode.
 	var eng server.Engine
 	var dm *durable.Memory
@@ -90,13 +104,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("morphserve: %v", err)
 		}
+		sh.RegisterMetrics(reg)
 		eng = sh
 	} else {
 		sync, err := durable.ParseSyncPolicy(*fsyncMode)
 		if err != nil {
 			log.Fatalf("morphserve: -fsync: %v", err)
 		}
-		m, info, err := durable.Open(shcfg, durable.Config{Dir: *dataDir, Sync: sync})
+		m, info, err := durable.Open(shcfg, durable.Config{Dir: *dataDir, Sync: sync, Obs: reg, Tracer: tracer})
 		if err != nil {
 			// A recovery-time integrity error means the files were
 			// tampered with, not torn: refuse to serve.
@@ -109,6 +124,7 @@ func main() {
 				*dataDir, info.SnapshotSeq, info.ReplayedRecords, info.ReplayedWrites,
 				info.TornTailCount(), info.SampleVerified, info.Elapsed.Round(time.Millisecond))
 		}
+		m.RegisterMetrics(reg)
 		dm = m
 		eng = m
 	}
@@ -141,11 +157,25 @@ func main() {
 		WriteTimeout: *timeout,
 		AllowTamper:  *tamper,
 		Logf:         log.Printf,
+		Obs:          reg,
+		Tracer:       tracer,
 	}
 	if dm != nil {
 		cfg.SnapshotEvery = *snapEvery
 	}
 	srv := server.New(eng, cfg)
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("morphserve: admin listen: %v", err)
+		}
+		fmt.Printf("morphserve: admin telemetry on http://%s (/metricz /tracez /healthz /debug/pprof)\n", aln.Addr())
+		go func() {
+			if err := (&obs.Plane{Registry: reg, Tracer: tracer}).Serve(ctx, aln); err != nil {
+				log.Printf("morphserve: admin plane: %v", err)
+			}
+		}()
+	}
 	err = srv.Serve(ctx, ln)
 	if err != nil && ctx.Err() == nil {
 		log.Fatalf("morphserve: %v", err)

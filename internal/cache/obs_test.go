@@ -1,0 +1,54 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/obs"
+)
+
+// TestInstrument checks the pull-time collector mirrors Stats and that
+// evictions emit trace events carrying the victim address and dirty bit.
+func TestInstrument(t *testing.T) {
+	c := MustNew(1024, 2, 64) // 8 sets x 2 ways
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	c.Instrument("cache.meta", reg, tr)
+
+	// Fill one set (addresses congruent mod 8 lines) beyond capacity:
+	// the third fill evicts the first line, dirty.
+	c.Access(0, true)
+	c.Fill(0, true)
+	c.Access(8*64, false)
+	c.Fill(8*64, false)
+	c.Access(16*64, false)
+	c.Fill(16*64, false)
+
+	snap := reg.Snapshot()
+	if snap.Counters["cache.meta.misses"] != 3 {
+		t.Fatalf("misses = %d, want 3", snap.Counters["cache.meta.misses"])
+	}
+	if snap.Counters["cache.meta.evictions"] != 1 || snap.Counters["cache.meta.dirty_evictions"] != 1 {
+		t.Fatalf("evictions = %d dirty = %d, want 1/1",
+			snap.Counters["cache.meta.evictions"], snap.Counters["cache.meta.dirty_evictions"])
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("trace events = %d, want 1", len(evs))
+	}
+	if evs[0].Kind != obs.KindCacheEvict || evs[0].A != 0 || evs[0].B != 1 {
+		t.Fatalf("evict event = %+v, want victim addr 0 dirty", evs[0])
+	}
+}
+
+// TestInstrumentNil checks nil registry/tracer wiring stays inert.
+func TestInstrumentNil(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	c.Instrument("cache.meta", nil, nil)
+	c.Access(0, true)
+	c.Fill(0, true)
+	c.Fill(8*64, false)
+	c.Fill(16*64, false) // evicts without a tracer: must not panic
+	if c.Stats().Evictions != 1 {
+		t.Fatal("eviction accounting broke without instruments")
+	}
+}

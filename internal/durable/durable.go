@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/shard"
 	"github.com/securemem/morphtree/internal/wal"
@@ -110,6 +111,13 @@ type Config struct {
 	// journaled at each group-commit flush. Crash harnesses set it so WAL
 	// segments contain only fixed-size write frames.
 	NoAudit bool
+	// Obs, when non-nil, records wal.fsync.latency, wal.group_commit.batch
+	// (records made durable per fsync) and durable.checkpoint.latency
+	// histograms.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives WALFsync (per group commit) and
+	// Snapshot (per checkpoint) events.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +205,12 @@ type Memory struct {
 
 	snapKey []byte
 
+	// Observability instruments (nil-safe; immutable after Open).
+	fsyncLat  *obs.Histogram // wal.fsync.latency
+	batchHist *obs.Histogram // wal.group_commit.batch (records per fsync)
+	ckptLat   *obs.Histogram // durable.checkpoint.latency
+	tracer    *obs.Tracer
+
 	ckptMu sync.Mutex // serializes Checkpoint / Flush / Close
 	seq    atomic.Uint64
 
@@ -263,6 +277,21 @@ func (m *Memory) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
 	return m.sh.FlipDataBit(addr, byteOff, bit)
 }
 
+// RegisterMetrics registers pull-time collectors on reg: the underlying
+// engine's shard/secmem collector plus the durability counters
+// (durable.appends / fsyncs / audit_records / checkpoints and the current
+// snapshot epoch durable.seq). Nil registries are a no-op.
+func (m *Memory) RegisterMetrics(reg *obs.Registry) {
+	m.sh.RegisterMetrics(reg)
+	reg.RegisterCollector(func(emit func(string, uint64)) {
+		emit("durable.appends", m.appends.Load())
+		emit("durable.fsyncs", m.fsyncs.Load())
+		emit("durable.audit_records", m.auditRecords.Load())
+		emit("durable.checkpoints", m.checkpoints.Load())
+		emit("durable.seq", m.seq.Load())
+	})
+}
+
 // Durability returns the durability-layer activity counters.
 func (m *Memory) Durability() Stats {
 	return Stats{
@@ -314,32 +343,50 @@ func (m *Memory) Write(addr uint64, line []byte) error {
 // syncTo makes every record up to at least lsn durable. The first caller
 // in a burst becomes the group-commit leader: it flushes and fsyncs
 // everything appended so far, and concurrent callers whose LSN that batch
-// covered return without issuing their own fsync.
+// covered return without issuing their own fsync. Histogram records and
+// trace emission happen after both locks are released.
 func (c *committer) syncTo(m *Memory, lsn uint64) error {
+	batch, fsyncDur, err := c.sync(m, lsn)
+	if err != nil || batch == 0 {
+		return err
+	}
+	m.fsyncLat.Record(fsyncDur)
+	m.batchHist.RecordValue(int64(batch))
+	m.tracer.Emit(obs.KindWALFsync, int32(c.shard), batch, 0, fsyncDur)
+	return nil
+}
+
+// sync is syncTo's locked core; it returns how many records this fsync
+// made durable (0 when an earlier group commit already covered lsn) and
+// how long the fsync itself took.
+func (c *committer) sync(m *Memory, lsn uint64) (batch uint64, fsyncDur time.Duration, err error) {
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
 	if c.synced >= lsn {
-		return nil
+		return 0, 0, nil
 	}
 	c.mu.Lock()
 	if !m.cfg.NoAudit {
 		if err := c.appendAuditLocked(m); err != nil {
 			c.mu.Unlock()
-			return err
+			return 0, 0, err
 		}
 	}
 	target := c.lsn
-	err := c.log.Flush()
+	err = c.log.Flush()
 	c.mu.Unlock()
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
+	start := time.Now()
 	if err := c.log.Fsync(); err != nil {
-		return err
+		return 0, 0, err
 	}
+	fsyncDur = time.Since(start)
+	batch = target - c.synced
 	c.synced = target
 	m.fsyncs.Add(1)
-	return nil
+	return batch, fsyncDur, nil
 }
 
 // appendAuditLocked journals the overflow re-encryption and rebase events

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/shard"
 	"github.com/securemem/morphtree/internal/wal"
@@ -186,6 +187,7 @@ func (m *Memory) Checkpoint() error {
 	if m.closed.Load() {
 		return fmt.Errorf("durable: checkpoint after Close")
 	}
+	start := time.Now()
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
 
@@ -264,6 +266,9 @@ func (m *Memory) Checkpoint() error {
 	if err := m.removeEpochsBelow(newSeq); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	dur := time.Since(start)
+	m.ckptLat.Record(dur)
+	m.tracer.Emit(obs.KindSnapshot, -1, newSeq, 0, dur)
 	return firstErr
 }
 
@@ -336,6 +341,12 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 		cfg:     cfg,
 		shcfg:   shcfg,
 		snapKey: snapshotKey(shcfg.Mem.Key),
+		// Nil-safe: a nil registry hands out nil instruments whose
+		// methods no-op, so the uninstrumented path stays branch-free.
+		fsyncLat:  cfg.Obs.Histogram("wal.fsync.latency"),
+		batchHist: cfg.Obs.Histogram("wal.group_commit.batch"),
+		ckptLat:   cfg.Obs.Histogram("durable.checkpoint.latency"),
+		tracer:    cfg.Tracer,
 	}
 	info := &RecoveryInfo{}
 

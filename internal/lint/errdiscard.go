@@ -9,16 +9,17 @@ import (
 
 // ErrDiscard flags statements that silently discard an error returned by
 // the verification-bearing packages (counters, mac, secmem, bmt, aesctr),
-// the durability-bearing ones (wal, durable), or the fault-injection
-// layer (fault).
+// the durability-bearing ones (wal, durable), the fault-injection layer
+// (fault), or the observability plane (obs).
 //
 // In this codebase an ignored error is an ignored integrity violation: a
 // dropped Decode error accepts an undecodable counter line, a dropped
 // Verify/Read error accepts tampered memory, a dropped Save error loses
 // persisted state, a dropped WAL Sync/Close or snapshot error
-// acknowledges a write that was never made durable, and a dropped fault
+// acknowledges a write that was never made durable, a dropped fault
 // setup error runs a chaos scenario with no faults injected — a harness
-// that silently proves nothing. Calls whose error result is consumed by
+// that silently proves nothing — and a dropped obs Encode/Serve error is
+// a telemetry plane that died or served garbage without anyone noticing. Calls whose error result is consumed by
 // nothing — a bare expression statement, or a call hidden behind
 // go/defer — are reported. An explicit `_ =` assignment remains available
 // for the rare deliberate discard, and stays visible in review.
@@ -29,7 +30,7 @@ var ErrDiscard = &analysis.Analyzer{
 }
 
 // watchedPkgs are the packages whose error returns must not be dropped.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault"}
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

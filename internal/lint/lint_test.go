@@ -15,7 +15,7 @@ func TestCryptoRand(t *testing.T) {
 }
 
 func TestErrDiscard(t *testing.T) {
-	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault")
+	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs")
 }
 
 func TestPanicPolicy(t *testing.T) {
@@ -23,5 +23,5 @@ func TestPanicPolicy(t *testing.T) {
 }
 
 func TestLockHeld(t *testing.T) {
-	analysistest.Run(t, "testdata", LockHeld, "locked", "limiter")
+	analysistest.Run(t, "testdata", LockHeld, "locked", "limiter", "obsreg")
 }

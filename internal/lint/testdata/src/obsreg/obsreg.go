@@ -1,0 +1,54 @@
+package obsreg
+
+import "sync"
+
+// Registry mirrors the obs registry layout: instruments handed out at
+// construction are immutable pointers and sit before mu, so the hot path
+// reads them lock-free; the name→instrument maps after mu grow lazily and
+// must only be touched with the lock held.
+type Registry struct {
+	tracer *int
+	shard  int32
+
+	mu       sync.Mutex
+	counters map[string]*int
+	collects []func()
+}
+
+// Tracer reads only immutable pre-mu fields: the lock-free hot path.
+func (r *Registry) Tracer() (*int, int32) { return r.tracer, r.shard }
+
+// Counter locks around the lazy get-or-create, the correct pattern.
+func (r *Registry) Counter(name string) *int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(int)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot copies the instrument pointers under the lock before reading
+// values outside it.
+func (r *Registry) Snapshot() []*int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*int, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (r *Registry) Len() int {
+	return len(r.counters) // want "Registry.Len accesses mutex-protected field counters"
+}
+
+func (r *Registry) Collectors() []func() {
+	return r.collects // want "Registry.Collectors accesses mutex-protected field collects"
+}
+
+// snapshotLocked is unexported: assumed called with mu already held.
+func (r *Registry) snapshotLocked() int { return len(r.counters) }

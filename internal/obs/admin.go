@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Plane is the admin telemetry HTTP plane: a second, operator-facing
+// listener exposing the registry (/metricz), the tracer (/tracez), a
+// health probe (/healthz), and net/http/pprof. It is deliberately
+// separate from the wire protocol listener so telemetry scrapes never
+// compete with data-path admission control.
+type Plane struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Health reports serving health; nil means "healthy if reachable".
+	// A non-nil error turns /healthz into a 503 carrying the message.
+	Health func() error
+}
+
+// Handler returns the admin mux.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		body, err := p.Registry.Snapshot().Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, body)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		body, err := p.Tracer.Snapshot().Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, body)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if p.Health != nil {
+			if err := p.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve runs the admin plane on ln until ctx is cancelled, then shuts
+// down gracefully. It returns nil on clean shutdown.
+func (p *Plane) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	err := srv.Serve(ln)
+	<-done
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestPlane() (*Plane, *Registry, *Tracer) {
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	return &Plane{Registry: reg, Tracer: tr}, reg, tr
+}
+
+func TestMetricz(t *testing.T) {
+	p, reg, _ := newTestPlane()
+	reg.Counter("server.accepted").Add(9)
+	reg.Histogram("server.op.read.latency").Record(3 * time.Millisecond)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metricz")
+	if err != nil {
+		t.Fatalf("GET /metricz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	snap, err := DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["server.accepted"] != 9 {
+		t.Fatalf("counter missing: %v", snap.Counters)
+	}
+	if snap.Histograms["server.op.read.latency"].Count != 1 {
+		t.Fatalf("histogram missing: %v", snap.Histograms)
+	}
+}
+
+func TestTracez(t *testing.T) {
+	p, _, tr := newTestPlane()
+	tr.Emit(KindOverflow, 2, 1, 64, 0)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/tracez")
+	if err != nil {
+		t.Fatalf("GET /tracez: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	snap, err := DecodeTraceSnapshot(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Emitted != 1 || snap.Counts["overflow"] != 1 {
+		t.Fatalf("trace snapshot: %+v", snap)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	p, _, _ := newTestPlane()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy plane: status %d", resp.StatusCode)
+	}
+
+	p.Health = func() error { return errors.New("draining") }
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy plane: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestPprofExposed(t *testing.T) {
+	p, _, _ := newTestPlane()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeShutdown(t *testing.T) {
+	p, reg, _ := newTestPlane()
+	reg.Counter("x").Inc()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metricz")
+	if err != nil {
+		t.Fatalf("GET while serving: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+}

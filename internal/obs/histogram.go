@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram uses a fixed log-linear bucket layout: each power of two is
+// split into 2^subBits linear sub-buckets, giving a worst-case relative
+// bucket width of 1/2^subBits (~25% with subBits=2) across the full int64
+// range. The layout is identical for every histogram, so snapshots from
+// different shards or processes merge by element-wise bucket addition.
+const (
+	subBits = 2
+	subMask = (1 << subBits) - 1
+
+	// NumBuckets covers values 0..math.MaxInt64. Values 0..3 get exact
+	// buckets; orders 2..62 contribute 4 sub-buckets each, and the index
+	// formula (o-1)<<subBits+sub tops out at 61<<2|3 = 247.
+	NumBuckets = 62 << subBits
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	o := 63 - bits.LeadingZeros64(uint64(v)) // order: position of top bit, >= subBits
+	sub := int(v>>(uint(o)-subBits)) & subMask
+	return (o-1)<<subBits + sub
+}
+
+// BucketLower returns the inclusive lower bound of bucket i.
+func BucketLower(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	o := i>>subBits + 1
+	sub := i & subMask
+	return int64(1)<<uint(o) | int64(sub)<<uint(o-subBits)
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) int64 {
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return BucketLower(i+1) - 1
+}
+
+// histStripe is one writer stripe: a full bucket array plus count/sum/max,
+// padded so stripes land on distinct cache lines.
+type histStripe struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+	_       [56]byte
+}
+
+// Histogram is a striped, fixed-layout log-linear histogram of int64
+// samples (by convention nanoseconds). Record is a few atomic adds; there
+// are no locks anywhere on the record path. The zero value is not usable;
+// obtain histograms from a Registry. All methods are safe for concurrent
+// use and no-ops on a nil receiver.
+type Histogram struct {
+	stripes []histStripe
+	mask    uint32
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{stripes: make([]histStripe, numStripes), mask: uint32(numStripes - 1)}
+}
+
+// Record adds one duration sample. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	h.RecordValue(int64(d))
+}
+
+// RecordValue adds one raw sample (negative values clamp to zero).
+func (h *Histogram) RecordValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.stripes[stripe(h.mask)]
+	s.buckets[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(uint64(v))
+	for {
+		cur := s.max.Load()
+		if uint64(v) <= cur || s.max.CompareAndSwap(cur, uint64(v)) {
+			break
+		}
+	}
+}
+
+// Snapshot merges the stripes into a point-in-time view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	full := make([]uint64, NumBuckets)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+		if m := st.max.Load(); m > s.Max {
+			s.Max = m
+		}
+		for b := 0; b < NumBuckets; b++ {
+			full[b] += st.buckets[b].Load()
+		}
+	}
+	// Trim trailing zero buckets: JSON snapshots stay small and merges
+	// only walk the populated prefix.
+	last := -1
+	for b := NumBuckets - 1; b >= 0; b-- {
+		if full[b] != 0 {
+			last = b
+			break
+		}
+	}
+	s.Buckets = full[:last+1]
+	s.fillQuantiles()
+	return s
+}
+
+// HistSnapshot is a mergeable point-in-time histogram view. Buckets holds
+// the populated prefix of the fixed layout (trailing zeros trimmed).
+// P50/P90/P99 are precomputed for convenience; Quantile answers any q.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+func (s *HistSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the q*Count-th sample, clamped to the observed Max —
+// so the estimate is within one bucket width (~25%) of the exact value.
+// Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			hi := BucketUpper(b)
+			if s.Max < uint64(math.MaxInt64) && hi > int64(s.Max) {
+				hi = int64(s.Max)
+			}
+			return hi
+		}
+	}
+	if s.Max > uint64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(s.Max)
+}
+
+// Mean returns the arithmetic mean of the recorded samples, 0 if empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge folds other into s element-wise. Because every histogram shares
+// one fixed bucket layout, merge-of-snapshots is exactly the snapshot of
+// a merged recorder. Quantiles are recomputed.
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	if len(other.Buckets) > len(s.Buckets) {
+		grown := make([]uint64, len(other.Buckets))
+		copy(grown, s.Buckets)
+		s.Buckets = grown
+	}
+	for b, n := range other.Buckets {
+		s.Buckets[b] += n
+	}
+	s.fillQuantiles()
+}
+
+// Delta returns the interval view s minus prev (same histogram sampled
+// earlier). Counter-style fields subtract; Max is carried from s since a
+// per-interval max is not recoverable from cumulative snapshots.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	if s.Count < prev.Count {
+		// The histogram restarted; the current snapshot is the delta.
+		d = s
+		d.fillQuantiles()
+		return d
+	}
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	d.Max = s.Max
+	d.Buckets = make([]uint64, len(s.Buckets))
+	copy(d.Buckets, s.Buckets)
+	for b, n := range prev.Buckets {
+		if b < len(d.Buckets) {
+			d.Buckets[b] -= n
+		}
+	}
+	d.fillQuantiles()
+	return d
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketBounds(t *testing.T) {
+	// Every bucket's bounds must contain exactly the values that map to
+	// it, with no gaps or overlaps across the whole layout.
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lower %d > upper %d", i, lo, hi)
+		}
+		if bucketIndex(lo) != i {
+			t.Fatalf("bucket %d: lower bound %d maps to bucket %d", i, lo, bucketIndex(lo))
+		}
+		if bucketIndex(hi) != i {
+			t.Fatalf("bucket %d: upper bound %d maps to bucket %d", i, hi, bucketIndex(hi))
+		}
+		if i > 0 && BucketUpper(i-1) != lo-1 {
+			t.Fatalf("gap between bucket %d and %d: %d vs %d", i-1, i, BucketUpper(i-1), lo)
+		}
+	}
+	if bucketIndex(0) != 0 {
+		t.Fatal("zero must land in bucket 0")
+	}
+	if got := bucketIndex(math.MaxInt64); got != NumBuckets-1 {
+		t.Fatalf("MaxInt64 maps to bucket %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// Above the linear region the relative bucket width must stay ≤ 1/4
+	// (subBits=2), which bounds the quantile estimation error.
+	for i := 1 << subBits; i < NumBuckets-1; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		width := float64(hi-lo+1) / float64(lo)
+		if width > 0.25+1e-9 {
+			t.Fatalf("bucket %d [%d,%d]: relative width %.3f > 0.25", i, lo, hi, width)
+		}
+	}
+}
+
+// exactQuantile computes the true q-quantile of samples by sorting.
+func exactQuantile(samples []int64, q float64) int64 {
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// quantileWithinOneBucket checks the histogram estimate for q lands in
+// the same bucket as (or within one bucket of) the exact value.
+func quantileWithinOneBucket(t *testing.T, samples []int64, q float64) {
+	t.Helper()
+	h := newHistogram()
+	for _, v := range samples {
+		h.RecordValue(v)
+	}
+	est := h.Snapshot().Quantile(q)
+	exact := exactQuantile(samples, q)
+	bEst, bExact := bucketIndex(est), bucketIndex(exact)
+	if d := bEst - bExact; d < -1 || d > 1 {
+		t.Fatalf("q=%.2f over %d samples: estimate %d (bucket %d) vs exact %d (bucket %d)",
+			q, len(samples), est, bEst, exact, bExact)
+	}
+}
+
+func TestQuantileWithinOneBucketQuick(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(5)),
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(2000)
+			samples := make([]int64, n)
+			switch r.Intn(3) {
+			case 0: // uniform small latencies
+				for i := range samples {
+					samples[i] = int64(r.Intn(1_000_000))
+				}
+			case 1: // log-spread across 9 orders of magnitude
+				for i := range samples {
+					samples[i] = int64(1) << uint(r.Intn(30))
+				}
+			default: // heavy-tailed: mostly fast, occasional stalls
+				for i := range samples {
+					if r.Intn(100) == 0 {
+						samples[i] = int64(10_000_000 + r.Intn(1_000_000_000))
+					} else {
+						samples[i] = int64(100 + r.Intn(10_000))
+					}
+				}
+			}
+			args[0] = reflect.ValueOf(samples)
+		},
+	}
+	fn := func(samples []int64) bool {
+		for _, q := range []float64{0.50, 0.90, 0.99, 1.0} {
+			quantileWithinOneBucket(t, samples, q)
+		}
+		return true
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEquivalence(t *testing.T) {
+	// merge-of-snapshots must equal snapshot-of-merged: record the same
+	// sample stream into (h1, h2) split across concurrent goroutines and
+	// into h3 whole, then compare Merge(snap(h1), snap(h2)) with snap(h3).
+	h1, h2, h3 := newHistogram(), newHistogram(), newHistogram()
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = int64(rng.Intn(50_000_000))
+	}
+	var wg sync.WaitGroup
+	for part := 0; part < 2; part++ {
+		h := h1
+		if part == 1 {
+			h = h2
+		}
+		lo, hi := part*n/2, (part+1)*n/2
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(h *Histogram, chunk []int64) {
+				defer wg.Done()
+				for _, v := range chunk {
+					h.RecordValue(v)
+				}
+			}(h, samples[lo+(hi-lo)*w/4:lo+(hi-lo)*(w+1)/4])
+		}
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(chunk []int64) {
+			defer wg.Done()
+			for _, v := range chunk {
+				h3.RecordValue(v)
+			}
+		}(samples[n*w/4 : n*(w+1)/4])
+	}
+	wg.Wait()
+
+	merged := h1.Snapshot()
+	merged.Merge(h2.Snapshot())
+	whole := h3.Snapshot()
+	if merged.Count != whole.Count || merged.Sum != whole.Sum || merged.Max != whole.Max {
+		t.Fatalf("scalar mismatch: merged {%d %d %d} vs whole {%d %d %d}",
+			merged.Count, merged.Sum, merged.Max, whole.Count, whole.Sum, whole.Max)
+	}
+	if len(merged.Buckets) != len(whole.Buckets) {
+		t.Fatalf("bucket length mismatch: %d vs %d", len(merged.Buckets), len(whole.Buckets))
+	}
+	for b := range merged.Buckets {
+		if merged.Buckets[b] != whole.Buckets[b] {
+			t.Fatalf("bucket %d: merged %d vs whole %d", b, merged.Buckets[b], whole.Buckets[b])
+		}
+	}
+	if merged.P50 != whole.P50 || merged.P90 != whole.P90 || merged.P99 != whole.P99 {
+		t.Fatalf("quantile mismatch: merged {%d %d %d} vs whole {%d %d %d}",
+			merged.P50, merged.P90, merged.P99, whole.P50, whole.P90, whole.P99)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.RecordValue(10)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.RecordValue(1000)
+	}
+	d := h.Snapshot().Delta(prev)
+	if d.Count != 50 {
+		t.Fatalf("delta count = %d, want 50", d.Count)
+	}
+	if d.Sum != 50*1000 {
+		t.Fatalf("delta sum = %d, want 50000", d.Sum)
+	}
+	// All 50 interval samples were 1000ns, so every quantile lands in
+	// 1000's bucket.
+	if bucketIndex(d.P50) != bucketIndex(1000) || bucketIndex(d.P99) != bucketIndex(1000) {
+		t.Fatalf("delta quantiles p50=%d p99=%d, want near 1000", d.P50, d.P99)
+	}
+	// A restarted histogram (count went backwards) yields the current
+	// snapshot rather than underflowing.
+	fresh := newHistogram()
+	fresh.RecordValue(5)
+	d2 := fresh.Snapshot().Delta(prev)
+	if d2.Count != 1 {
+		t.Fatalf("restart delta count = %d, want 1", d2.Count)
+	}
+}
+
+func TestRecordClampsNegative(t *testing.T) {
+	h := newHistogram()
+	h.Record(-5 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative record: count=%d max=%d, want 1, 0", s.Count, s.Max)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	s := newHistogram().Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	var empty HistSnapshot
+	empty.Merge(s)
+	if empty.Count != 0 {
+		t.Fatal("merging empties produced samples")
+	}
+}

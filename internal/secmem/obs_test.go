@@ -1,0 +1,172 @@
+package secmem
+
+import (
+	"testing"
+
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/obs"
+)
+
+// instrumented builds a memory wired to a fresh registry and tracer.
+func instrumented(t *testing.T, cfg Config) (*Memory, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	m := mustNew(t, cfg)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1024)
+	m.Instrument(Instrumentation{
+		WriteLatency: reg.Histogram("secmem.write.latency"),
+		ReadLatency:  reg.Histogram("secmem.read.latency"),
+		LockWait:     reg.Histogram("secmem.lock_wait"),
+		Tracer:       tr,
+		Shard:        3,
+	})
+	return m, reg, tr
+}
+
+// TestInstrumentedLatencies checks the write/read paths feed the latency
+// histograms and that the lock-wait histogram sees every acquisition.
+func TestInstrumentedLatencies(t *testing.T) {
+	m, reg, _ := instrumented(t, Config{
+		MemoryBytes: 1 << 14,
+		Enc:         counters.MorphSpec(true),
+		Tree:        []counters.Spec{counters.MorphSpec(true)},
+		Key:         testKey,
+	})
+	line := make([]byte, LineBytes)
+	const writes, reads = 20, 10
+	for i := 0; i < writes; i++ {
+		if err := m.Write(uint64(i)*LineBytes, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		if _, err := m.Read(uint64(i) * LineBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["secmem.write.latency"].Count; got != writes {
+		t.Fatalf("write latency samples = %d, want %d", got, writes)
+	}
+	if got := snap.Histograms["secmem.read.latency"].Count; got != reads {
+		t.Fatalf("read latency samples = %d, want %d", got, reads)
+	}
+	if got := snap.Histograms["secmem.lock_wait"].Count; got != writes+reads {
+		t.Fatalf("lock wait samples = %d, want %d", got, writes+reads)
+	}
+	if snap.Histograms["secmem.write.latency"].P50 == 0 {
+		t.Fatal("write p50 is zero; timing not recorded")
+	}
+}
+
+// TestOverflowTracing drives an SC-128 memory (3-bit minors overflow after
+// 8 increments of one slot) and checks the stats split and trace events
+// agree: SC full-line resets are Overflows with no SetResets.
+func TestOverflowTracing(t *testing.T) {
+	m, _, tr := instrumented(t, Config{
+		MemoryBytes: 1 << 14,
+		Enc:         counters.SplitSpec(128),
+		Tree:        []counters.Spec{counters.SplitSpec(64)},
+		Key:         testKey,
+	})
+	line := make([]byte, LineBytes)
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		if err := m.Write(0, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.Overflows[0] == 0 {
+		t.Fatal("expected level-0 overflows after hammering one line")
+	}
+	if s.SetResets[0] != 0 {
+		t.Fatalf("SC-128 cannot set-reset, got %d", s.SetResets[0])
+	}
+	rows := s.OverflowsByLevel()
+	if rows[0].FullResets != s.Overflows[0] {
+		t.Fatalf("full resets = %d, want all %d overflows", rows[0].FullResets, s.Overflows[0])
+	}
+	var total uint64
+	for _, v := range s.Overflows {
+		total += v
+	}
+	if got := tr.Count(obs.KindOverflow); got != total {
+		t.Fatalf("traced overflows = %d, stats say %d", got, total)
+	}
+	// Every traced overflow carries this engine's shard tag and the
+	// re-encryption fan-out.
+	for _, ev := range tr.Events() {
+		if ev.Kind != obs.KindOverflow {
+			continue
+		}
+		if ev.Shard != 3 {
+			t.Fatalf("overflow event shard = %d, want 3", ev.Shard)
+		}
+		if ev.B != 128 {
+			t.Fatalf("overflow reencrypt fan-out = %d, want full arity 128", ev.B)
+		}
+	}
+	// Tree-walk events fire on verified fetches from untrusted storage,
+	// so force a cold metadata cache and re-read.
+	m.FlushMetadataCache()
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count(obs.KindTreeWalk) == 0 {
+		t.Fatal("no tree-walk events traced after cold-cache read")
+	}
+}
+
+// TestMorphSetResetTracing forces the MorphCtr MCR format (65 distinct
+// lines leave ZCC) and then hammers one line until its set resets: the
+// cheap per-set overflow must show up in SetResets, and rebases and format
+// switches must be traced.
+func TestMorphSetResetTracing(t *testing.T) {
+	m, _, tr := instrumented(t, Config{
+		MemoryBytes: 1 << 14,
+		Enc:         counters.MorphSpec(true),
+		Tree:        []counters.Spec{counters.MorphSpec(true)},
+		Key:         testKey,
+	})
+	line := make([]byte, LineBytes)
+	// 65 distinct lines within one 128-arity counter block: ZCC width
+	// reorganizations and then the ZCC->MCR switch.
+	for i := 0; i < 65; i++ {
+		if err := m.Write(uint64(i)*LineBytes, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		if err := m.Write(0, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.FormatSwitches[0] == 0 {
+		t.Fatal("expected format switches while growing the ZCC population")
+	}
+	if s.Rebases[0] == 0 {
+		t.Fatal("expected MCR rebases while hammering one line")
+	}
+	if s.SetResets[0] == 0 {
+		t.Fatal("expected at least one per-set reset")
+	}
+	if s.SetResets[0] > s.Overflows[0] {
+		t.Fatalf("set resets %d exceed overflows %d", s.SetResets[0], s.Overflows[0])
+	}
+	if tr.Count(obs.KindRebase) == 0 || tr.Count(obs.KindFormatSwitch) == 0 {
+		t.Fatal("rebase/format-switch events not traced")
+	}
+	// Set resets re-encrypt only the 64-counter set: at least one traced
+	// overflow must carry the cheap fan-out.
+	var sawSet bool
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindOverflow && ev.B == 64 {
+			sawSet = true
+		}
+	}
+	if !sawSet {
+		t.Fatal("no per-set (fan-out 64) overflow event in ring")
+	}
+}

@@ -15,10 +15,12 @@ package secmem
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/securemem/morphtree/internal/aesctr"
 	"github.com/securemem/morphtree/internal/counters"
 	"github.com/securemem/morphtree/internal/mac"
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/tree"
 )
 
@@ -74,11 +76,75 @@ type Stats struct {
 	Increments []uint64
 	Overflows  []uint64
 	Rebases    []uint64
+	// SetResets counts, per level, the subset of Overflows that reset
+	// only one MCR counter set (re-encrypting the set size, 64 children)
+	// rather than the whole line. Overflows[l] - SetResets[l] is the
+	// full-reset count, giving the paper's Fig. 7-style breakdown of
+	// cheap vs expensive overflows.
+	SetResets []uint64
+	// FormatSwitches counts, per level, ZCC<->uniform/MCR representation
+	// changes (free re-encodings, no memory traffic).
+	FormatSwitches []uint64
 	// Reencryptions counts child lines rewritten due to overflows.
 	Reencryptions uint64
 	// VerifiedFetches counts counter lines fetched from untrusted
 	// storage and MAC-verified (the tree-traversal work).
 	VerifiedFetches uint64
+}
+
+// LevelOverflow is one row of the per-level overflow breakdown.
+type LevelOverflow struct {
+	// Level is the counter level (0 = encryption counters).
+	Level int
+	// FullResets overflowed the whole line (arity children rewritten).
+	FullResets uint64
+	// SetResets overflowed one MCR counter set (64 children rewritten).
+	SetResets uint64
+	// Rebases absorbed a would-be overflow with no extra traffic.
+	Rebases uint64
+	// FormatSwitches re-encoded the line's representation for free.
+	FormatSwitches uint64
+}
+
+// OverflowsByLevel splits the overflow counts into the paper's Fig. 7
+// categories, one row per counter level that saw any activity.
+func (s Stats) OverflowsByLevel() []LevelOverflow {
+	levels := len(s.Overflows)
+	out := make([]LevelOverflow, 0, levels)
+	for l := 0; l < levels; l++ {
+		row := LevelOverflow{Level: l, FullResets: s.Overflows[l]}
+		if l < len(s.SetResets) {
+			row.SetResets = s.SetResets[l]
+			row.FullResets -= row.SetResets
+		}
+		if l < len(s.Rebases) {
+			row.Rebases = s.Rebases[l]
+		}
+		if l < len(s.FormatSwitches) {
+			row.FormatSwitches = s.FormatSwitches[l]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Instrumentation wires optional obs instruments into an engine. Every
+// field may be nil (obs instruments are nil-safe), so partial wiring is
+// fine. Latency histograms are recorded outside the engine lock; trace
+// events are emitted from inside it, which the tracer's never-blocking
+// Emit makes safe.
+type Instrumentation struct {
+	// WriteLatency and ReadLatency observe full Write/Read durations,
+	// including lock wait.
+	WriteLatency *obs.Histogram
+	ReadLatency  *obs.Histogram
+	// LockWait observes time spent queueing on the engine lock — the
+	// contention signal for the sharding layer.
+	LockWait *obs.Histogram
+	// Tracer receives TreeWalk/Overflow/Rebase/FormatSwitch events.
+	Tracer *obs.Tracer
+	// Shard tags this engine's trace events (-1 when unsharded).
+	Shard int32
 }
 
 // Memory is a functional secure memory. All methods are safe for
@@ -92,10 +158,23 @@ type Memory struct {
 	keyer  *mac.Keyer
 	store  *Store
 
+	// ins must be set (via Instrument) before any concurrent use; after
+	// that it is read-only, so it lives outside the lock's shadow.
+	ins          Instrumentation
+	instrumented bool
+
 	mu      sync.Mutex
 	trusted []map[uint64]counters.Block // per level below root
 	root    counters.Block
 	stats   Stats
+}
+
+// Instrument attaches obs instruments to the engine. It must be called
+// before the memory is shared between goroutines.
+func (m *Memory) Instrument(ins Instrumentation) {
+	m.ins = ins
+	m.instrumented = ins.WriteLatency != nil || ins.ReadLatency != nil ||
+		ins.LockWait != nil || ins.Tracer != nil
 }
 
 // New constructs a secure memory. All counters start at zero and all lines
@@ -140,6 +219,9 @@ func New(cfg Config) (*Memory, error) {
 	m.stats.Increments = make([]uint64, levels)
 	m.stats.Overflows = make([]uint64, levels)
 	m.stats.Rebases = make([]uint64, levels)
+	m.stats.SetResets = make([]uint64, levels)
+	m.stats.FormatSwitches = make([]uint64, levels)
+	m.ins.Shard = -1
 	return m, nil
 }
 
@@ -168,6 +250,8 @@ func (s Stats) Clone() Stats {
 	s.Increments = append([]uint64(nil), s.Increments...)
 	s.Overflows = append([]uint64(nil), s.Overflows...)
 	s.Rebases = append([]uint64(nil), s.Rebases...)
+	s.SetResets = append([]uint64(nil), s.SetResets...)
+	s.FormatSwitches = append([]uint64(nil), s.FormatSwitches...)
 	return s
 }
 
@@ -182,6 +266,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Increments = mergeLevels(s.Increments, other.Increments)
 	s.Overflows = mergeLevels(s.Overflows, other.Overflows)
 	s.Rebases = mergeLevels(s.Rebases, other.Rebases)
+	s.SetResets = mergeLevels(s.SetResets, other.SetResets)
+	s.FormatSwitches = mergeLevels(s.FormatSwitches, other.FormatSwitches)
 }
 
 func mergeLevels(dst, src []uint64) []uint64 {
@@ -245,9 +331,31 @@ func (m *Memory) checkAddr(addr uint64) error {
 // Write encrypts and stores a 64-byte line at a line-aligned address,
 // incrementing its counter and updating the integrity tree to the root.
 func (m *Memory) Write(addr uint64, line []byte) error {
+	if !m.instrumented {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.write(addr, line)
+	}
+	start := time.Now()
+	wait := m.lockTimed(start)
+	err := m.write(addr, line)
+	m.mu.Unlock()
+	// Histogram records stay off the lock hold path: only the hot
+	// section between Lock and Unlock serializes other writers.
+	m.ins.LockWait.Record(wait)
+	m.ins.WriteLatency.Record(time.Since(start))
+	return err
+}
+
+// lockTimed acquires the engine lock and returns the time spent waiting
+// for it. The uncontended TryLock fast path avoids a clock read, keeping
+// the instrumentation overhead on the hot path to two timestamps per op.
+func (m *Memory) lockTimed(start time.Time) time.Duration {
+	if m.mu.TryLock() {
+		return 0
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.write(addr, line)
+	return time.Since(start)
 }
 
 func (m *Memory) write(addr uint64, line []byte) error {
@@ -282,9 +390,18 @@ func (m *Memory) write(addr uint64, line []byte) error {
 // stored {data, MAC, counters} and the protected state returns an
 // *IntegrityError.
 func (m *Memory) Read(addr uint64) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.read(addr)
+	if !m.instrumented {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.read(addr)
+	}
+	start := time.Now()
+	wait := m.lockTimed(start)
+	line, err := m.read(addr)
+	m.mu.Unlock()
+	m.ins.LockWait.Record(wait)
+	m.ins.ReadLatency.Record(time.Since(start))
+	return line, err
 }
 
 func (m *Memory) read(addr uint64) ([]byte, error) {
@@ -334,9 +451,18 @@ func (m *Memory) bump(level int, idx uint64, slot int) error {
 	m.stats.Increments[level]++
 	if ev.Overflow {
 		m.stats.Overflows[level]++
+		if ev.Reencrypt < blk.Arity() {
+			m.stats.SetResets[level]++
+		}
+		m.ins.Tracer.Emit(obs.KindOverflow, m.ins.Shard, uint64(level), uint64(ev.Reencrypt), 0)
 	}
 	if ev.Rebased {
 		m.stats.Rebases[level]++
+		m.ins.Tracer.Emit(obs.KindRebase, m.ins.Shard, uint64(level), idx, 0)
+	}
+	if ev.FormatSwitch {
+		m.stats.FormatSwitches[level]++
+		m.ins.Tracer.Emit(obs.KindFormatSwitch, m.ins.Shard, uint64(level), idx, 0)
 	}
 	if level < m.geom.RootLevel() {
 		parent, pslot := m.geom.ParentSlot(level, idx)
@@ -461,6 +587,7 @@ func (m *Memory) trustedBlock(level int, idx uint64) (counters.Block, error) {
 	}
 	m.trusted[level][idx] = blk
 	m.stats.VerifiedFetches++
+	m.ins.Tracer.Emit(obs.KindTreeWalk, m.ins.Shard, uint64(level), idx, 0)
 	return blk, nil
 }
 

@@ -35,6 +35,8 @@ func TestStatsDeepCopy(t *testing.T) {
 		snap.Increments[i] = ^uint64(0)
 		snap.Overflows[i] = ^uint64(0)
 		snap.Rebases[i] = ^uint64(0)
+		snap.SetResets[i] = ^uint64(0)
+		snap.FormatSwitches[i] = ^uint64(0)
 	}
 	fresh := m.Stats()
 	if fresh.Increments[0] != want {
@@ -94,8 +96,8 @@ func TestStatsConcurrentReaders(t *testing.T) {
 }
 
 func TestStatsMerge(t *testing.T) {
-	a := Stats{Reads: 1, Writes: 2, Reencryptions: 3, VerifiedFetches: 4, Increments: []uint64{1, 2}, Overflows: []uint64{1}, Rebases: []uint64{5}}
-	b := Stats{Reads: 10, Writes: 20, Reencryptions: 30, VerifiedFetches: 40, Increments: []uint64{1, 2, 3}, Overflows: []uint64{1, 1}, Rebases: []uint64{1}}
+	a := Stats{Reads: 1, Writes: 2, Reencryptions: 3, VerifiedFetches: 4, Increments: []uint64{1, 2}, Overflows: []uint64{1}, Rebases: []uint64{5}, SetResets: []uint64{1}, FormatSwitches: []uint64{2}}
+	b := Stats{Reads: 10, Writes: 20, Reencryptions: 30, VerifiedFetches: 40, Increments: []uint64{1, 2, 3}, Overflows: []uint64{1, 1}, Rebases: []uint64{1}, SetResets: []uint64{0, 3}, FormatSwitches: []uint64{1, 1, 1}}
 	a.Merge(b)
 	if a.Reads != 11 || a.Writes != 22 || a.Reencryptions != 33 || a.VerifiedFetches != 44 {
 		t.Fatalf("scalar merge wrong: %+v", a)
@@ -108,5 +110,31 @@ func TestStatsMerge(t *testing.T) {
 	}
 	if a.Overflows[0] != 2 || a.Overflows[1] != 1 || a.Rebases[0] != 6 {
 		t.Fatalf("level merge wrong: %+v", a)
+	}
+	if a.SetResets[0] != 1 || a.SetResets[1] != 3 {
+		t.Fatalf("SetResets merge wrong: %v", a.SetResets)
+	}
+	if a.FormatSwitches[0] != 3 || a.FormatSwitches[1] != 1 || a.FormatSwitches[2] != 1 {
+		t.Fatalf("FormatSwitches merge wrong: %v", a.FormatSwitches)
+	}
+}
+
+func TestOverflowsByLevel(t *testing.T) {
+	s := Stats{
+		Overflows:      []uint64{10, 4},
+		SetResets:      []uint64{7, 0},
+		Rebases:        []uint64{2, 1},
+		FormatSwitches: []uint64{5, 0},
+	}
+	rows := s.OverflowsByLevel()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Level 0: 10 overflows of which 7 were per-set resets -> 3 full.
+	if rows[0] != (LevelOverflow{Level: 0, FullResets: 3, SetResets: 7, Rebases: 2, FormatSwitches: 5}) {
+		t.Fatalf("level 0 row = %+v", rows[0])
+	}
+	if rows[1] != (LevelOverflow{Level: 1, FullResets: 4, SetResets: 0, Rebases: 1, FormatSwitches: 0}) {
+		t.Fatalf("level 1 row = %+v", rows[1])
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/wire"
 )
@@ -97,6 +98,13 @@ type Config struct {
 	// Logf, when set, receives background-activity reports (periodic
 	// checkpoints, shutdown flush failures). Nil discards them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, turns on request instrumentation: per-op latency
+	// histograms (server.op.<name>.latency), a server.inflight gauge, a
+	// pull-time collector for the admission counters, and the OpObs
+	// protocol endpoint serving the registry's snapshot.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives ReqStart/ReqEnd/Shed events.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +150,12 @@ type Server struct {
 	// sem is the admission gate: one slot per concurrently executing
 	// engine request.
 	sem chan struct{}
+	// opLat holds the per-opcode latency histogram for every opcode the
+	// protocol defines; all nil when Config.Obs is nil. Indexed by the
+	// opcode byte so dispatch never takes a map lookup or lock.
+	opLat [256]*obs.Histogram
+	// inflight mirrors the admission gate's occupancy as a gauge.
+	inflight *obs.Gauge
 
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
@@ -157,12 +171,30 @@ type Server struct {
 // *durable.Memory).
 func New(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		eng:   eng,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if cfg.Obs != nil {
+		for _, op := range []byte{
+			wire.OpRead, wire.OpWrite, wire.OpVerify, wire.OpStats,
+			wire.OpSnapshot, wire.OpTamper, wire.OpCheckpoint, wire.OpObs,
+		} {
+			s.opLat[op] = cfg.Obs.Histogram("server.op." + wire.OpName(op) + ".latency")
+		}
+		s.inflight = cfg.Obs.Gauge("server.inflight")
+		cfg.Obs.RegisterCollector(func(emit func(string, uint64)) {
+			ns := s.NetStats()
+			emit("server.accepted", ns.Accepted)
+			emit("server.rejected", ns.Rejected)
+			emit("server.shed", ns.Shed)
+			emit("server.pings", ns.Pings)
+			emit("server.slow_loris", ns.SlowLoris)
+		})
+	}
+	return s
 }
 
 // NetStats returns a snapshot of the admission-control counters.
@@ -373,20 +405,37 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 	case s.sem <- struct{}{}:
 	default:
 		if s.cfg.ShedWait <= 0 {
-			s.shed.Add(1)
-			return wire.StatusBusy, []byte("server at capacity; retry with backoff")
+			return s.shedReply(op)
 		}
 		t := time.NewTimer(s.cfg.ShedWait)
 		select {
 		case s.sem <- struct{}{}:
 			t.Stop()
 		case <-t.C:
-			s.shed.Add(1)
-			return wire.StatusBusy, []byte("server at capacity; retry with backoff")
+			return s.shedReply(op)
 		}
 	}
 	defer func() { <-s.sem }()
-	return s.handle(op, payload)
+	if s.cfg.Obs == nil && s.cfg.Tracer == nil {
+		return s.handle(op, payload)
+	}
+	s.inflight.Add(1)
+	s.cfg.Tracer.Emit(obs.KindReqStart, -1, uint64(op), 0, 0)
+	start := time.Now()
+	status, body := s.handle(op, payload)
+	dur := time.Since(start)
+	s.inflight.Add(-1)
+	s.opLat[op].Record(dur)
+	s.cfg.Tracer.Emit(obs.KindReqEnd, -1, uint64(op), uint64(status), dur)
+	return status, body
+}
+
+// shedReply counts and traces an admission-gate shed and builds the typed
+// StatusBusy answer.
+func (s *Server) shedReply(op byte) (byte, []byte) {
+	s.shed.Add(1)
+	s.cfg.Tracer.Emit(obs.KindShed, -1, uint64(op), 0, 0)
+	return wire.StatusBusy, []byte("server at capacity; retry with backoff")
 }
 
 // handle dispatches one request. Every path returns a response; unknown
@@ -457,6 +506,16 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, wire.EncodeAddr(ck.Seq())
+
+	case wire.OpObs:
+		if s.cfg.Obs == nil {
+			return wire.StatusError, []byte("obs: server has no metrics registry (start with -admin)")
+		}
+		body, err := s.cfg.Obs.Snapshot().Encode()
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, body
 	}
 	return wire.StatusError, []byte(fmt.Sprintf("unknown opcode %#x", op))
 }

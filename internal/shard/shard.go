@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 )
 
@@ -35,6 +36,14 @@ type Config struct {
 	// whole cachelines; Key is the master key each shard's sub-key is
 	// derived from.
 	Mem secmem.Config
+	// Obs, when non-nil, instruments every engine: all shards record into
+	// shared secmem.write.latency / secmem.read.latency / secmem.lock_wait
+	// histograms (histograms merge across recorders, so one stream covers
+	// the fleet while trace events stay shard-tagged).
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives each engine's tree-walk, overflow,
+	// rebase and format-switch events tagged with its shard index.
+	Tracer *obs.Tracer
 }
 
 // Sharded interleaves line addresses across independent secmem engines.
@@ -70,9 +79,24 @@ func New(cfg Config) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		cfg.instrument(m, i)
 		s.shards[i] = m
 	}
 	return s, nil
+}
+
+// instrument wires engine i into the shared obs instruments, if any.
+func (c Config) instrument(m *secmem.Memory, i int) {
+	if c.Obs == nil && c.Tracer == nil {
+		return
+	}
+	m.Instrument(secmem.Instrumentation{
+		WriteLatency: c.Obs.Histogram("secmem.write.latency"),
+		ReadLatency:  c.Obs.Histogram("secmem.read.latency"),
+		LockWait:     c.Obs.Histogram("secmem.lock_wait"),
+		Tracer:       c.Tracer,
+		Shard:        int32(i),
+	})
 }
 
 // deriveKey derives shard i's sub-key from the master key, preserving the
@@ -162,6 +186,43 @@ func (s *Sharded) ShardStats() []secmem.Stats {
 		out[i] = m.Stats()
 	}
 	return out
+}
+
+// RegisterMetrics registers a pull-time collector exposing engine stats as
+// counters: fleet-wide totals (secmem.*), the per-level overflow breakdown
+// (secmem.l<level>.*, the paper's Fig. 7 categories), and per-shard write
+// counts (shard.<i>.writes) for spotting load imbalance. One ShardStats
+// pass per scrape; nil registries are a no-op.
+func (s *Sharded) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(emit func(string, uint64)) {
+		per := s.ShardStats()
+		var agg secmem.Stats
+		for i := range per {
+			agg.Merge(per[i])
+			emit(fmt.Sprintf("shard.%d.writes", i), per[i].Writes)
+			emit(fmt.Sprintf("shard.%d.reads", i), per[i].Reads)
+		}
+		emit("secmem.reads", agg.Reads)
+		emit("secmem.writes", agg.Writes)
+		emit("secmem.reencryptions", agg.Reencryptions)
+		emit("secmem.verified_fetches", agg.VerifiedFetches)
+		var overflows, rebases, setResets, switches uint64
+		for _, row := range agg.OverflowsByLevel() {
+			prefix := fmt.Sprintf("secmem.l%d.", row.Level)
+			emit(prefix+"full_resets", row.FullResets)
+			emit(prefix+"set_resets", row.SetResets)
+			emit(prefix+"rebases", row.Rebases)
+			emit(prefix+"format_switches", row.FormatSwitches)
+			overflows += row.FullResets + row.SetResets
+			rebases += row.Rebases
+			setResets += row.SetResets
+			switches += row.FormatSwitches
+		}
+		emit("secmem.overflows", overflows)
+		emit("secmem.set_resets", setResets)
+		emit("secmem.rebases", rebases)
+		emit("secmem.format_switches", switches)
+	})
 }
 
 // VerifyAll re-verifies every written line in every shard from a cold
@@ -285,6 +346,7 @@ func Load(cfg Config, r io.Reader) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		cfg.instrument(m, i)
 		s.shards[i] = m
 	}
 	return s, nil

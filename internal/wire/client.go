@@ -178,6 +178,13 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Obs fetches the server's obs registry snapshot as raw JSON (the same
+// body /metricz serves; decode with obs.DecodeSnapshot). Servers running
+// without a registry answer *RemoteError.
+func (c *Client) Obs() ([]byte, error) {
+	return c.roundTrip(OpObs, nil)
+}
+
 // Tamper asks the server to flip a stored ciphertext bit at an address —
 // honored only by servers started with tampering enabled.
 func (c *Client) Tamper(addr uint64) error {

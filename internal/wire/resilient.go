@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 )
 
@@ -39,6 +40,12 @@ type ResilientConfig struct {
 	Seed int64
 	// Logf, when set, observes reconnects and retries (nil discards).
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, mirrors the resilience counters into live
+	// wire.retries / wire.sheds / wire.reconnects / wire.failures
+	// counters (Counters() remains the end-of-run snapshot).
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives Reconnect and Retry events.
+	Tracer *obs.Tracer
 }
 
 func (c ResilientConfig) withDefaults() ResilientConfig {
@@ -80,6 +87,8 @@ type ResilientStats struct {
 // of bug cannot recur. Safe for concurrent use.
 type ResilientClient struct {
 	cfg ResilientConfig
+	// Live obs counters mirroring stats (nil-safe; set at construction).
+	cOps, cRetries, cSheds, cReconnects, cFailures *obs.Counter
 
 	mu        sync.Mutex
 	cl        *Client // nil when disconnected
@@ -93,8 +102,13 @@ type ResilientClient struct {
 func NewResilient(cfg ResilientConfig) *ResilientClient {
 	cfg = cfg.withDefaults()
 	return &ResilientClient{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		cOps:        cfg.Obs.Counter("wire.ops"),
+		cRetries:    cfg.Obs.Counter("wire.retries"),
+		cSheds:      cfg.Obs.Counter("wire.sheds"),
+		cReconnects: cfg.Obs.Counter("wire.reconnects"),
+		cFailures:   cfg.Obs.Counter("wire.failures"),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -153,6 +167,8 @@ func (r *ResilientClient) conn() (*Client, error) {
 	}
 	r.mu.Unlock()
 	if reconnect {
+		r.cReconnects.Inc()
+		r.cfg.Tracer.Emit(obs.KindReconnect, -1, 0, 0, 0)
 		r.logf("wire: reconnected to %s", r.cfg.Addr)
 	}
 	return cl, nil
@@ -189,6 +205,7 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 	r.mu.Lock()
 	r.stats.Ops++
 	r.mu.Unlock()
+	r.cOps.Inc()
 	var last error
 	for attempt := 1; ; attempt++ {
 		cl, err := r.conn()
@@ -209,6 +226,7 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 				r.mu.Lock()
 				r.stats.Sheds++
 				r.mu.Unlock()
+				r.cSheds.Inc()
 			case !IsRetryable(err):
 				r.fail()
 				return err
@@ -228,6 +246,13 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 		r.mu.Lock()
 		r.stats.Retries++
 		r.mu.Unlock()
+		r.cRetries.Inc()
+		var shedBit uint64
+		var be *BusyError
+		if errors.As(last, &be) {
+			shedBit = 1
+		}
+		r.cfg.Tracer.Emit(obs.KindRetry, -1, uint64(attempt), shedBit, 0)
 		sleep := r.backoff(attempt)
 		r.logf("wire: %s attempt %d/%d failed (%v); retrying in %v", opName, attempt, r.cfg.MaxAttempts, last, sleep)
 		time.Sleep(sleep)
@@ -238,6 +263,7 @@ func (r *ResilientClient) fail() {
 	r.mu.Lock()
 	r.stats.Failures++
 	r.mu.Unlock()
+	r.cFailures.Inc()
 }
 
 // Read fetches and verifies the line at a line-aligned address.
@@ -310,4 +336,15 @@ func (r *ResilientClient) Checkpoint() (uint64, error) {
 // follow RetryWrites like Write does.
 func (r *ResilientClient) Tamper(addr uint64) error {
 	return r.do(r.cfg.RetryWrites, "TAMPER", func(cl *Client) error { return cl.Tamper(addr) })
+}
+
+// Obs fetches the server's obs registry snapshot as raw JSON. Idempotent.
+func (r *ResilientClient) Obs() ([]byte, error) {
+	var body []byte
+	err := r.do(true, "OBS", func(cl *Client) error {
+		var err error
+		body, err = cl.Obs()
+		return err
+	})
+	return body, err
 }

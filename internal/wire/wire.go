@@ -49,7 +49,35 @@ const (
 	// (shedding) server still proves it is alive — liveness and capacity
 	// are separate questions.
 	OpPing byte = 0x08
+	// OpObs returns the server's obs registry snapshot as JSON (the same
+	// body /metricz serves), so protocol-only deployments can pull live
+	// telemetry without the admin HTTP plane. Servers without a registry
+	// answer StatusError.
+	OpObs byte = 0x09
 )
+
+// opNames maps opcodes to the names used in per-op metric keys
+// (server.op.<name>.latency) and human-readable output.
+var opNames = map[byte]string{
+	OpRead:       "read",
+	OpWrite:      "write",
+	OpVerify:     "verify",
+	OpStats:      "stats",
+	OpSnapshot:   "snapshot",
+	OpTamper:     "tamper",
+	OpCheckpoint: "checkpoint",
+	OpPing:       "ping",
+	OpObs:        "obs",
+}
+
+// OpName returns the lowercase name of an opcode, or "op_%02x" for
+// opcodes this build does not know.
+func OpName(op byte) string {
+	if name, ok := opNames[op]; ok {
+		return name
+	}
+	return fmt.Sprintf("op_%02x", op)
+}
 
 // Response status bytes.
 const (
