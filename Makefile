@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint bench serve-smoke crash-smoke chaos-smoke obs-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,15 @@ vet:
 bin/morphlint: $(shell find cmd/morphlint internal/analysis internal/lint -name '*.go' -not -path '*/testdata/*' 2>/dev/null)
 	$(GO) build -o bin/morphlint ./cmd/morphlint
 
+# Full eight-analyzer suite with the checked-in baseline enforced: new
+# findings fail, baselined ones are reported as suppressed.
 morphlint: bin/morphlint
-	$(GO) vet -vettool=bin/morphlint ./...
+	bin/morphlint -baseline lint.baseline ./...
+
+# Refresh lint.baseline from the current findings. Every entry kept here
+# must be justified in DESIGN.md section 13.
+lint-baseline: bin/morphlint
+	bin/morphlint -baseline lint.baseline -write-baseline ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

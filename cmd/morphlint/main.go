@@ -1,6 +1,8 @@
-// Command morphlint is the repository's static-analysis suite: five
+// Command morphlint is the repository's static-analysis suite: eight
 // analyzers enforcing secure-memory invariants the compiler cannot see
-// (see DESIGN.md "Checked invariants").
+// (see DESIGN.md "Checked invariants" and §13), three of them
+// interprocedural — facts about key material, allocation behavior and
+// lock acquisition flow between packages through the vet fact channel.
 //
 // Usage:
 //
@@ -8,15 +10,22 @@
 //	go build -o morphlint ./cmd/morphlint
 //	go vet -vettool=./morphlint ./...            # as a vet tool
 //
+//	morphlint -json ./...                        # diagnostics as JSON on stdout
+//	morphlint -baseline lint.baseline ./...      # suppress known findings
+//	morphlint -baseline lint.baseline -write-baseline ./...  # regenerate
+//
 // morphlint speaks the `go vet -vettool` protocol (see
 // internal/analysis/unitchecker.go), so the go command handles package
-// loading, export data and caching; results are identical either way.
+// loading, export data, fact-file plumbing and caching; results are
+// identical either way. The -json/-baseline flags are handled in the
+// standalone parent process only — vet callback units never see them.
 // Findings are suppressed line-by-line with a justified directive:
 //
 //	//morphlint:allow <analyzer> -- reason
 package main
 
 import (
+	"fmt"
 	"os"
 	"strings"
 
@@ -41,6 +50,31 @@ func main() {
 		}
 	}
 
-	// Direct invocation: let go vet drive this same binary.
-	os.Exit(analysis.RunStandalone(args))
+	// Direct invocation: parse morphlint's own flags, then let go vet
+	// drive this same binary.
+	var opts analysis.StandaloneOptions
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		arg := args[0]
+		args = args[1:]
+		switch {
+		case arg == "-json":
+			opts.JSON = true
+		case arg == "-write-baseline":
+			opts.WriteBaseline = true
+		case arg == "-baseline":
+			if len(args) == 0 {
+				fmt.Fprintln(os.Stderr, "morphlint: -baseline requires a file argument")
+				os.Exit(1)
+			}
+			opts.BaselinePath = args[0]
+			args = args[1:]
+		case strings.HasPrefix(arg, "-baseline="):
+			opts.BaselinePath = strings.TrimPrefix(arg, "-baseline=")
+		default:
+			fmt.Fprintf(os.Stderr, "morphlint: unknown flag %s\n", arg)
+			os.Exit(1)
+		}
+	}
+	opts.Patterns = args
+	os.Exit(analysis.RunStandalone(opts))
 }

@@ -146,8 +146,8 @@ func main() {
 	if dm != nil {
 		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", *dataDir, *fsyncMode, *snapEvery)
 	}
-	fmt.Printf("morphserve: %s, %d shards, %d MiB, listening on %s (tamper=%v, %s)\n",
-		*org, n, *mem>>20, ln.Addr(), *tamper, durability)
+	fmt.Printf("morphserve: %s, %d shards, %d MiB, key %s, listening on %s (tamper=%v, %s)\n",
+		*org, n, *mem>>20, obs.KeyDesc(key), ln.Addr(), *tamper, durability)
 	cfg := server.Config{
 		MaxConns:     *maxConns,
 		MaxInflight:  *maxInflight,

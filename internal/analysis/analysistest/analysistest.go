@@ -35,6 +35,13 @@ import (
 
 // Run applies the analyzer to each fixture package and reports mismatches
 // between diagnostics and want comments through t.
+//
+// Cross-package facts work the way the unitchecker makes them work in
+// production: before the target package is analyzed, the analyzer runs —
+// diagnostics suppressed — over every fixture package loaded so far, in
+// load order. Loading is recursive, so a target's fixture dependencies are
+// always loaded (and analyzed) before it, and their exported facts are
+// visible through a session shared across the run.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	ld := newLoader(filepath.Join(dir, "src"))
@@ -45,7 +52,17 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 			if err != nil {
 				t.Fatalf("loading fixture %s: %v", pkgpath, err)
 			}
-			diags, err := analysis.Run([]*analysis.Analyzer{a}, ld.fset, lp.files, lp.pkg, lp.info)
+			sess := analysis.NewSession()
+			for _, dep := range ld.order {
+				if dep == pkgpath {
+					continue
+				}
+				dlp := ld.cache[dep]
+				if _, err := sess.Run([]*analysis.Analyzer{a}, ld.fset, dlp.files, dlp.pkg, dlp.info, false); err != nil {
+					t.Fatalf("running %s on fixture dep %s: %v", a.Name, dep, err)
+				}
+			}
+			diags, err := sess.Run([]*analysis.Analyzer{a}, ld.fset, lp.files, lp.pkg, lp.info, true)
 			if err != nil {
 				t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
 			}
@@ -67,7 +84,11 @@ type loader struct {
 	srcRoot string
 	fset    *token.FileSet
 	cache   map[string]*loadedPkg
-	stdlib  types.Importer
+	// order records fixture package paths in the order their loads
+	// completed — dependencies first, since loading recurses through
+	// imports — giving Run a topological analysis order for facts.
+	order  []string
+	stdlib types.Importer
 }
 
 func newLoader(srcRoot string) *loader {
@@ -138,6 +159,7 @@ func (l *loader) load(pkgpath string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{files: files, pkg: pkg, info: info}
 	l.cache[pkgpath] = lp
+	l.order = append(l.order, pkgpath)
 	return lp, nil
 }
 

@@ -1,0 +1,295 @@
+package analysis
+
+// This file is the interprocedural layer of the framework: a fact store
+// mirroring golang.org/x/tools/go/analysis facts. A fact is a typed datum
+// an analyzer attaches to a types.Object (a function, field, or variable)
+// or to a whole package while analyzing the package that declares it;
+// analyzers running later on importing packages read those facts back, so
+// results propagate across package boundaries without whole-program
+// loading.
+//
+// Transport matches the unitchecker protocol: the go command hands every
+// unit the fact files (vetx) of its dependencies and a path to write its
+// own. Facts are gob-encoded; objects are named by a miniature object path
+// (package-scope object, method of a named type, or field of a named
+// struct) resolved against the importer's view of the declaring package.
+// Facts on objects that do not exist in export data (unexported
+// package-scope functions, for example) are skipped by importers — such
+// objects cannot be referenced across packages anyway, and the declaring
+// package already consumed their facts in-process.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// A Fact is an analyzer-defined datum attached to an object or package.
+// Implementations must be pointers to gob-encodable structs and are
+// registered via Analyzer.FactTypes.
+type Fact interface {
+	// AFact marks the type as a fact; it is never called.
+	AFact()
+}
+
+// FactStore holds the facts visible to one analysis session: everything
+// imported from dependency units plus everything exported while the
+// session runs. Objects are keyed canonically, which both the unitchecker
+// (one importer per unit) and analysistest (one shared loader) guarantee.
+type FactStore struct {
+	obj map[types.Object]map[reflect.Type]Fact
+	pkg map[*types.Package]map[reflect.Type]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		obj: make(map[types.Object]map[reflect.Type]Fact),
+		pkg: make(map[*types.Package]map[reflect.Type]Fact),
+	}
+}
+
+// addObject records a fact, replacing any previous fact of the same type.
+func (s *FactStore) addObject(obj types.Object, f Fact) {
+	m := s.obj[obj]
+	if m == nil {
+		m = make(map[reflect.Type]Fact)
+		s.obj[obj] = m
+	}
+	m[reflect.TypeOf(f)] = f
+}
+
+// getObject copies a stored fact of ptr's type into ptr, reporting whether
+// one existed.
+func (s *FactStore) getObject(obj types.Object, ptr Fact) bool {
+	f, ok := s.obj[obj][reflect.TypeOf(ptr)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// addPackage records a package-level fact.
+func (s *FactStore) addPackage(pkg *types.Package, f Fact) {
+	m := s.pkg[pkg]
+	if m == nil {
+		m = make(map[reflect.Type]Fact)
+		s.pkg[pkg] = m
+	}
+	m[reflect.TypeOf(f)] = f
+}
+
+// getPackage copies a stored package fact of ptr's type into ptr.
+func (s *FactStore) getPackage(pkg *types.Package, ptr Fact) bool {
+	f, ok := s.pkg[pkg][reflect.TypeOf(ptr)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// Object path encoding. Three shapes cover every fact site the analyzers
+// produce:
+//
+//	O.Name           package-scope object (func, var, type, const)
+//	M.Type.Name      method of a package-scope named type
+//	F.Type.Name      field of a package-scope named struct type
+const (
+	pathScope  = "O"
+	pathMethod = "M"
+	pathField  = "F"
+)
+
+// PathOf encodes obj as a path within its package, or ok=false if the
+// object has none of the supported shapes (e.g. a local variable).
+func PathOf(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return pathScope + "." + obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return "", false
+		}
+		named := namedOf(sig.Recv().Type())
+		if named == nil {
+			return "", false
+		}
+		return pathMethod + "." + named.Obj().Name() + "." + fn.Name(), true
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Find the package-scope named struct declaring this field.
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return pathField + "." + name + "." + v.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// ResolvePath finds the object a path names within pkg, or nil.
+func ResolvePath(pkg *types.Package, path string) types.Object {
+	parts := strings.SplitN(path, ".", 3)
+	switch parts[0] {
+	case pathScope:
+		if len(parts) == 2 {
+			return pkg.Scope().Lookup(parts[1])
+		}
+	case pathMethod:
+		if len(parts) != 3 {
+			return nil
+		}
+		tn, ok := pkg.Scope().Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == parts[2] {
+				return m
+			}
+		}
+	case pathField:
+		if len(parts) != 3 {
+			return nil
+		}
+		tn, ok := pkg.Scope().Lookup(parts[1]).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == parts[2] {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// namedOf strips pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// wireFact is the serialized form of one fact.
+type wireFact struct {
+	// PkgPath is the declaring package's import path.
+	PkgPath string
+	// Object is the object path within the package; empty for a
+	// package-level fact.
+	Object string
+	// Fact is the fact value itself (concrete types gob-registered via
+	// Analyzer.FactTypes).
+	Fact Fact
+}
+
+// RegisterFactTypes registers every analyzer's fact types with gob so the
+// wire encoding round-trips their concrete types. Idempotent.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode serializes the full store — imported facts included, so every
+// unit re-exports its dependencies' facts and importers only need their
+// direct dependencies' files.
+func (s *FactStore) Encode() ([]byte, error) {
+	var out []wireFact
+	for obj, byType := range s.obj {
+		path, ok := PathOf(obj)
+		if !ok {
+			continue
+		}
+		for _, f := range byType {
+			out = append(out, wireFact{PkgPath: obj.Pkg().Path(), Object: path, Fact: f})
+		}
+	}
+	for pkg, byType := range s.pkg {
+		for _, f := range byType {
+			out = append(out, wireFact{PkgPath: pkg.Path(), Fact: f})
+		}
+	}
+	// Deterministic order keeps vetx bytes (and so the go command's cache)
+	// stable across runs.
+	sortWireFacts(out)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, fmt.Errorf("analysis: encode facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func sortWireFacts(fs []wireFact) {
+	key := func(f wireFact) string {
+		return f.PkgPath + "\x00" + f.Object + "\x00" + reflect.TypeOf(f.Fact).String()
+	}
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && key(fs[j]) < key(fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// Decode merges a serialized fact file into the store. find maps an import
+// path to the importer's *types.Package; facts whose package or object
+// cannot be resolved (unexported objects absent from export data, packages
+// outside this unit's import graph) are skipped — they cannot be referenced
+// by the code under analysis. Empty input is a valid empty fact set.
+func (s *FactStore) Decode(data []byte, find func(path string) *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&in); err != nil {
+		return fmt.Errorf("analysis: decode facts: %w", err)
+	}
+	for _, wf := range in {
+		pkg := find(wf.PkgPath)
+		if pkg == nil || wf.Fact == nil {
+			continue
+		}
+		if wf.Object == "" {
+			s.addPackage(pkg, wf.Fact)
+			continue
+		}
+		if obj := ResolvePath(pkg, wf.Object); obj != nil {
+			s.addObject(obj, wf.Fact)
+		}
+	}
+	return nil
+}

@@ -1,38 +1,241 @@
 package analysis
 
+// Standalone invocation (`morphlint ./...`): the tool re-executes itself
+// through `go vet -vettool=<self>`, letting the go command do package
+// loading, export-data compilation, fact-file plumbing and caching, then
+// post-processes the captured diagnostics in this parent process:
+//
+//   - baseline filtering (-baseline): known findings listed in a checked-in
+//     file are suppressed so pre-existing debt burns down without blocking
+//     CI, while anything new still fails the run;
+//   - machine-readable output (-json): diagnostics as a JSON array on
+//     stdout for editor and CI integration;
+//   - baseline (re)generation (-write-baseline).
+//
+// Doing the filtering here — rather than inside the per-unit vet callback —
+// keeps unit processes byte-identical regardless of flags, so the go
+// command's vet result cache stays valid across flag changes.
+
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
 )
 
-// RunStandalone handles direct invocation (`morphlint ./...`) by
-// re-executing the tool through `go vet -vettool=<self>`. The go command is
-// the package loader: it computes build metadata, compiles dependency
-// export data, and calls back into this binary once per package unit with a
-// vet.cfg file (see unitchecker.go). This is the same trick the upstream
-// unitchecker documentation recommends, and it keeps standalone runs and
-// vet runs byte-for-byte identical.
-func RunStandalone(patterns []string) int {
+// StandaloneOptions configures a direct (non-vet-callback) run.
+type StandaloneOptions struct {
+	// Patterns are package patterns for go vet; defaults to ./...
+	Patterns []string
+	// JSON emits diagnostics as a JSON array on stdout instead of
+	// file:line:col lines on stderr.
+	JSON bool
+	// BaselinePath names a baseline file of known findings to suppress.
+	// Empty means no baseline. A missing file is treated as empty.
+	BaselinePath string
+	// WriteBaseline rewrites BaselinePath with the current findings
+	// (exit 0) instead of reporting them.
+	WriteBaseline bool
+}
+
+// JSONDiagnostic is the machine-readable form of one finding.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// diagLine matches the unitchecker's stderr format:
+// path:line:col: message [analyzer]
+var diagLine = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.+) \[([A-Za-z0-9_]+)\]$`)
+
+// RunStandalone handles direct invocation by re-executing the tool through
+// `go vet -vettool=<self>` and post-processing its diagnostics. Returns a
+// process exit code: 0 clean, 1 tool/build failure, 2 findings remain
+// after baseline filtering.
+func RunStandalone(opts StandaloneOptions) int {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "morphlint: cannot locate own executable: %v\n", err)
 		return 1
 	}
+	patterns := opts.Patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{"vet", "-vettool=" + self}, patterns...)
 	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
 	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	diags, other := parseVetOutput(stderr.String())
+
+	// Lines that are not diagnostics are build/tool failures (typecheck
+	// errors, bad patterns). Surface them verbatim and fail hard — a run
+	// that could not analyze everything must not look clean.
+	if len(other) > 0 {
+		for _, line := range other {
+			fmt.Fprintln(os.Stderr, line)
 		}
-		fmt.Fprintf(os.Stderr, "morphlint: go vet: %v\n", err)
 		return 1
 	}
+	if runErr != nil {
+		if ee, ok := runErr.(*exec.ExitError); ok && len(diags) > 0 {
+			_ = ee // findings produced the non-zero exit; handled below
+		} else {
+			fmt.Fprintf(os.Stderr, "morphlint: go vet: %v\n", runErr)
+			return 1
+		}
+	}
+
+	if opts.WriteBaseline {
+		if opts.BaselinePath == "" {
+			fmt.Fprintln(os.Stderr, "morphlint: -write-baseline requires -baseline <file>")
+			return 1
+		}
+		if err := writeBaseline(opts.BaselinePath, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "morphlint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "morphlint: wrote %d baseline entries to %s\n", len(diags), opts.BaselinePath)
+		return 0
+	}
+
+	if opts.BaselinePath != "" {
+		baseline, err := readBaseline(opts.BaselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morphlint: %v\n", err)
+			return 1
+		}
+		diags = filterBaselined(diags, baseline)
+	}
+
+	if opts.JSON {
+		out, err := json.MarshalIndent(diags, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "morphlint: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
 	return 0
+}
+
+// parseVetOutput splits go vet stderr into parsed diagnostics and
+// everything else. Package group headers ("# pkg") are dropped: they only
+// annotate the diagnostics that follow.
+func parseVetOutput(out string) (diags []JSONDiagnostic, other []string) {
+	cwd, _ := os.Getwd()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			other = append(other, line)
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		file := m[1]
+		if cwd != "" && filepath.IsAbs(file) {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		diags = append(diags, JSONDiagnostic{
+			File:     file,
+			Line:     lineNo,
+			Col:      colNo,
+			Message:  m[4],
+			Analyzer: m[5],
+		})
+	}
+	return diags, other
+}
+
+// Baseline format: one entry per line, `file<TAB>message [analyzer]`.
+// Entries deliberately omit line/column numbers so unrelated edits higher
+// in a file do not invalidate them; an entry suppresses every identical
+// (file, message) finding.
+
+// baselineKey is the identity of a finding for baseline matching.
+func baselineKey(d JSONDiagnostic) string {
+	return d.File + "\t" + d.Message + " [" + d.Analyzer + "]"
+}
+
+// readBaseline loads baseline entries; a missing file is an empty baseline.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	entries := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		entries[line] = true
+	}
+	return entries, nil
+}
+
+// filterBaselined drops diagnostics whose key appears in the baseline.
+func filterBaselined(diags []JSONDiagnostic, baseline map[string]bool) []JSONDiagnostic {
+	var out []JSONDiagnostic
+	for _, d := range diags {
+		if baseline[baselineKey(d)] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// writeBaseline rewrites the baseline file from the current findings,
+// sorted and deduplicated.
+func writeBaseline(path string, diags []JSONDiagnostic) error {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, d := range diags {
+		k := baselineKey(d)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# morphlint baseline: known findings suppressed by -baseline.\n")
+	buf.WriteString("# Format: file<TAB>message [analyzer]; line numbers omitted on purpose.\n")
+	buf.WriteString("# Regenerate with: bin/morphlint -baseline <this file> -write-baseline ./...\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -15,11 +15,14 @@ package analysis
 //     the package's files and the export data of its dependencies.
 //
 // Diagnostics go to stderr as file:line:col: message lines; exit status 2
-// signals findings. The tool must also write the (possibly empty) facts
-// file named by VetxOutput: the go command caches it and feeds it back for
-// dependency packages. morphlint's analyzers are fact-free, so units with
-// VetxOnly=true (dependencies analyzed only for their facts) short-circuit
-// without even parsing.
+// signals findings. The tool must also write the facts file named by
+// VetxOutput: the go command caches it and feeds the files back through
+// PackageVetx when an importing unit runs. That is the interprocedural
+// channel — dependency units run first (VetxOnly=true, diagnostics
+// suppressed), export facts about their objects, and importing units see
+// them. Standard-library units are skipped with an empty facts file: the
+// analyzers define no facts about the stdlib, and type-checking all of it
+// would dominate the run time.
 
 import (
 	"crypto/sha256"
@@ -33,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // vetConfig mirrors cmd/go/internal/work.vetConfig.
@@ -102,16 +106,22 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		return 1, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
 
-	// Always produce the facts file the go command expects to cache, even
-	// though morphlint's analyzers define no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return 1, err
+	// writeVetx produces the facts file the go command expects to cache.
+	// It must exist on every exit path that reports success, empty or not.
+	writeVetx := func(facts []byte) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		return os.WriteFile(cfg.VetxOutput, facts, 0o666)
 	}
-	if cfg.VetxOnly {
-		// Dependency unit: only facts were wanted. Nothing to do.
-		return 0, nil
+
+	// Standard-library units carry no morphlint facts; skip the (large)
+	// type-check and hand back an empty fact set. The cfg's Standard map
+	// only classifies the unit's *imports*, so the unit itself is detected
+	// by path shape: stdlib import paths have no dot in their first
+	// segment, module paths always do (they start with a host name).
+	if isStandardImportPath(cfg.ImportPath) {
+		return 0, writeVetx(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -120,7 +130,7 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0, nil
+				return 0, writeVetx(nil)
 			}
 			return 1, err
 		}
@@ -156,15 +166,56 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0, nil
+			return 0, writeVetx(nil)
 		}
 		return 1, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := Run(analyzers, fset, files, pkg, info)
+	// Seed a session with the facts of every dependency unit. The find
+	// hook resolves declaring packages through the same importer the
+	// type-checker used, so fact objects are canonical with the ones the
+	// analyzers see. Packages outside this unit's import graph resolve to
+	// nil and their facts are skipped.
+	session := NewSession()
+	RegisterFactTypes(analyzers)
+	find := func(path string) *types.Package {
+		if path == cfg.ImportPath {
+			return pkg
+		}
+		dep, err := compilerImporter.Import(path)
+		if err != nil {
+			return nil
+		}
+		return dep
+	}
+	for depPath, vetxFile := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetxFile)
+		if err != nil {
+			return 1, fmt.Errorf("reading facts of %s: %v", depPath, err)
+		}
+		if err := session.Facts().Decode(raw, find); err != nil {
+			return 1, fmt.Errorf("facts of %s: %v", depPath, err)
+		}
+	}
+
+	// VetxOnly units (dependencies of the packages named on the command
+	// line) are analyzed for their facts alone; their diagnostics belong
+	// to the run that names them directly.
+	diags, err := session.Run(analyzers, fset, files, pkg, info, !cfg.VetxOnly)
 	if err != nil {
 		return 1, err
 	}
+
+	// Re-encode the whole store — imported facts included — so importers
+	// see transitive facts through their direct dependencies' files.
+	facts, err := session.Facts().Encode()
+	if err != nil {
+		return 1, err
+	}
+	if err := writeVetx(facts); err != nil {
+		return 1, err
+	}
+
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
@@ -172,6 +223,18 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// isStandardImportPath reports whether path names a standard-library
+// package, using the same rule as cmd/go/internal/search: the first path
+// element of a module path is a domain name and therefore contains a dot,
+// stdlib paths ("fmt", "go/types", "internal/abi") never do.
+func isStandardImportPath(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
 }
 
 // newTypesInfo allocates the full set of type-checker result maps.

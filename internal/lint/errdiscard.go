@@ -30,7 +30,11 @@ var ErrDiscard = &analysis.Analyzer{
 }
 
 // watchedPkgs are the packages whose error returns must not be dropped.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs"}
+// server and shard joined the list with the morphflow PR: a dropped shard
+// Read/Write/Verify error accepts tampered memory at the routing layer,
+// and a dropped server response-write error acknowledges an op the client
+// never heard about.
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

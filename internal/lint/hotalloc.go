@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// HotAlloc enforces the zero-allocation contract on `//morph:hotpath`
+// functions.
+//
+// The paper's low-overhead claim (§7: <1% slowdown vs ~7% for SGX-style
+// trees) survives in software only if the per-access path — the secmem
+// verify walk, shard dispatch, wire frame encode/decode — does no heap
+// work. ROADMAP item 1 targets B/op→0 on that path; benchmarks catch
+// regressions after the fact, this analyzer blocks them at vet time.
+//
+// Inside an annotated function the analyzer flags every potential heap
+// allocation: make/new, slice, map and &struct literals (plain value
+// literals like Event{...} stay on the stack and pass), closures, string
+// concatenation, string<->[]byte conversions, fmt calls, interface boxing
+// at call arguments (error-typed parameters excluded — errors are the
+// cold path by construction), and calls to functions known — via an
+// AllocFact computed bottom-up over the call graph and carried between
+// packages as a fact — to allocate.
+//
+// Blocks that terminate by returning a non-nil error or panicking are
+// cold paths and exempt: the contract covers the success path that runs
+// per memory access, not failure reporting. append() is deliberately not
+// flagged — appends into pre-sized buffers are the idiomatic in-place
+// write and stay on the owner's allocation; -benchmem remains the runtime
+// backstop for growth bugs. Stdlib calls outside fmt are assumed
+// alloc-free; where that assumption is wrong the benchmark gate catches
+// it. Suppress single sites with `//morphlint:allow hotalloc -- reason`.
+var HotAlloc = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "//morph:hotpath functions must not allocate: no escaping literals, boxing, string concat, fmt, or closures",
+	FactTypes: []analysis.Fact{(*AllocFact)(nil)},
+	Run:       runHotAlloc,
+}
+
+// AllocFact marks a function that may allocate on its success path.
+type AllocFact struct{}
+
+// AFact implements analysis.Fact.
+func (*AllocFact) AFact() {}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	computeAllocFacts(pass)
+	pass.Inspect(func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fn.Body == nil || !pass.FuncDirective(fn, "hotpath") {
+			return false
+		}
+		walkHot(pass, fn.Body, func(pos ast.Node, what string) {
+			pass.Reportf(pos.Pos(), "hot path (//morph:hotpath %s) %s", fn.Name.Name, what)
+		})
+		return false
+	})
+	return nil
+}
+
+// computeAllocFacts exports an AllocFact for every package function whose
+// success path may allocate, iterating to a fixpoint so call chains
+// resolve regardless of declaration order. Hotpath-annotated functions
+// never get the fact: they are checked directly, and marking them would
+// flag every caller twice.
+func computeAllocFacts(pass *analysis.Pass) {
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		pass.Inspect(func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fn.Body == nil || pass.FuncDirective(fn, "hotpath") {
+				return false
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			if obj == nil || pass.ImportObjectFact(obj, &AllocFact{}) {
+				return false
+			}
+			allocates := false
+			walkHot(pass, fn.Body, func(ast.Node, string) { allocates = true })
+			if allocates {
+				pass.ExportObjectFact(obj, &AllocFact{})
+				changed = true
+			}
+			return false
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// walkHot walks body in source order, skipping cold blocks, and calls
+// report for every allocation site.
+func walkHot(pass *analysis.Pass, body *ast.BlockStmt, report func(ast.Node, string)) {
+	cold := coldBlocks(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil && cold[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "allocates a closure")
+			return false
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				report(n, "allocates a slice literal")
+			case *types.Map:
+				report(n, "allocates a map literal")
+			}
+			// Value struct/array literals stay on the stack; &T{} is
+			// caught at the UnaryExpr below.
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "heap-allocates &composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass, n) {
+				report(n, "concatenates strings (allocates)")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass, n.Lhs[0]) {
+				report(n, "concatenates strings (allocates)")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, report)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot region.
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, report func(ast.Node, string)) {
+	// Conversions: string([]byte) and []byte(string) copy.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, pass.TypesInfo.Types[call.Args[0]].Type
+		if to != nil && from != nil {
+			if isString(to) && isByteSlice(from) {
+				report(call, "converts []byte to string (allocates a copy)")
+			}
+			if isByteSlice(to) && isString(from) {
+				report(call, "converts string to []byte (allocates a copy)")
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				report(call, "calls make (allocates)")
+			case "new":
+				report(call, "calls new (allocates)")
+			}
+			return
+		}
+	}
+	callee := calleeObject(pass, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Name() == "fmt" {
+		report(call, "calls fmt."+callee.Name()+" (allocates and boxes)")
+		return
+	}
+	if callee != nil && pass.ImportObjectFact(callee, &AllocFact{}) {
+		report(call, "calls "+calleeName(callee)+", which allocates")
+	}
+	// Interface boxing at arguments.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !types.IsInterface(pt) || isErrorType(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		report(arg, "boxes "+at.String()+" into interface argument (allocates)")
+	}
+}
+
+// coldBlocks marks every block whose final statement returns a non-nil
+// error or panics: failure paths, exempt from the zero-alloc contract.
+func coldBlocks(pass *analysis.Pass, body *ast.BlockStmt) map[ast.Node]bool {
+	cold := make(map[ast.Node]bool)
+	mark := func(list []ast.Stmt, node ast.Node) {
+		if len(list) == 0 {
+			return
+		}
+		switch last := list[len(list)-1].(type) {
+		case *ast.ReturnStmt:
+			for _, r := range last.Results {
+				t := pass.TypesInfo.Types[r].Type
+				if t != nil && isErrorType(t) && !isUntypedNil(pass, r) {
+					cold[node] = true
+					return
+				}
+				// Typed error structs returned by value paths.
+				if t != nil && implementsError(t) && !isUntypedNil(pass, r) {
+					cold[node] = true
+					return
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					cold[node] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			mark(n.Body.List, n.Body)
+			if els, ok := n.Else.(*ast.BlockStmt); ok {
+				mark(els.List, els)
+			}
+		case *ast.CaseClause:
+			mark(n.Body, n)
+		}
+		return true
+	})
+	return cold
+}
+
+// callSignature resolves the signature of call's callee, if any.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type parameter position i receives, unrolling the
+// variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if i < n-1 || (!sig.Variadic() && i < n) {
+		return sig.Params().At(i).Type()
+	}
+	if !sig.Variadic() {
+		return nil
+	}
+	if sl, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isStringType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	return t != nil && isString(t)
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}

@@ -1,0 +1,606 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"github.com/securemem/morphtree/internal/analysis"
+)
+
+// KeyTaint tracks key material interprocedurally and reports flows into
+// observable sinks.
+//
+// The paper's threat model (§2) trusts only the on-chip secure region; a
+// derived counter-encryption or MAC key that reaches a log line, an error
+// string, an obs trace/metric payload, or an unsealed writer is key
+// material exported to the adversary — SecDDR's forgery surface
+// (PAPERS.md). The compiler cannot see this; the type of a leaked key is
+// just []byte.
+//
+// Sources are declared, not inferred: fields, package variables and
+// derivation functions annotated `//morph:secret`. Whether HMAC output is
+// key material or a public MAC is a design fact, so the annotation IS the
+// taint source, and analysis tracks where those bytes flow. Taint is
+// value-oriented (see internal/analysis/flow.go): it follows the raw
+// bytes through assignments, slicing, conversions, append/copy, the byte
+// manipulation stdlib (bytes, strings, encoding/hex, encoding/base64) and
+// fmt formatting — but a struct holding a key is not itself tainted, so
+// handles like secmem.Memory stay printable.
+//
+// Cross-function flow uses per-function summaries exported as facts: which
+// parameters reach which results, which results carry annotated secrets,
+// and which parameters leak to a sink inside the callee (reported at the
+// call site). Facts travel between packages through the vet fact channel.
+//
+// Sinks: fmt calls, errors.New, any call into package obs, and Write /
+// WriteString methods. The escape hatch is `//morph:sealed` — on the
+// enclosing function, the offending line, or (as an exported fact) the
+// callee — declaring the path sealed by design (e.g. obs redaction
+// helpers that reduce keys to fingerprints before anything escapes).
+var KeyTaint = &analysis.Analyzer{
+	Name: "keytaint",
+	Doc:  "key material (//morph:secret) must not flow into fmt/error strings, obs payloads, or unsealed writers",
+	FactTypes: []analysis.Fact{
+		(*SecretFact)(nil),
+		(*SealedFact)(nil),
+		(*KeyFlowFact)(nil),
+	},
+	Run: runKeyTaint,
+}
+
+// SecretFact marks an object as key material: an annotated field or
+// package variable holds secret bytes; an annotated function returns them.
+type SecretFact struct{}
+
+// AFact implements analysis.Fact.
+func (*SecretFact) AFact() {}
+
+// SealedFact marks a function as part of the sealed path: key material may
+// flow into it, and calls to it are not sinks.
+type SealedFact struct{}
+
+// AFact implements analysis.Fact.
+func (*SealedFact) AFact() {}
+
+// KeyFlowFact is a function's taint summary.
+type KeyFlowFact struct {
+	// SecretResults lists result indices that carry annotated secret
+	// bytes regardless of arguments.
+	SecretResults []int
+	// ParamResults[i] lists result indices tainted when parameter i is.
+	ParamResults [][]int
+	// ParamLeaks lists parameters that reach a sink inside the function.
+	ParamLeaks []ParamLeak
+}
+
+// ParamLeak names one parameter-to-sink flow inside a function.
+type ParamLeak struct {
+	// Param is the parameter index.
+	Param int
+	// Sink describes the sink reached (for the call-site diagnostic).
+	Sink string
+}
+
+// AFact implements analysis.Fact.
+func (*KeyFlowFact) AFact() {}
+
+// propagatingPkgs are stdlib packages whose calls pass byte-level taint
+// from arguments to results. Everything else in the stdlib is assumed to
+// consume bytes without returning them (hash.Write, cipher construction):
+// propagating through those would mark public MACs and ciphertext as
+// secret and drown the signal.
+var propagatingPkgs = map[string]bool{
+	"fmt": true, "bytes": true, "strings": true, "hex": true, "base64": true,
+}
+
+func runKeyTaint(pass *analysis.Pass) error {
+	exportSecretAnnotations(pass)
+	computeKeyFlowSummaries(pass)
+
+	// Final pass: per function, evaluate flow from annotated sources and
+	// report sink hits and leaky calls.
+	pass.Inspect(func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		fl := analysis.RunFlow(fn.Body, analysis.FlowConfig{
+			Info: pass.TypesInfo,
+			Seed: globalSecretSeed(pass),
+			Call: keyCallPolicy(pass),
+		})
+		checkSinks(pass, fn, fl, func(pos ast.Node, sink string) {
+			pass.Reportf(pos.Pos(), "key material flows into %s; pass a length or obs fingerprint instead, or seal the path with //morph:sealed", sink)
+		})
+		return false
+	})
+	return nil
+}
+
+// exportSecretAnnotations turns //morph:secret and //morph:sealed
+// directives into facts on the annotated objects, so both this package's
+// own analysis and every importer see them.
+func exportSecretAnnotations(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			obj := pass.TypesInfo.Defs[n.Name]
+			if analysis.HasDirective(n.Doc, "secret") || pass.LineDirective(n.Pos(), "secret") {
+				pass.ExportObjectFact(obj, &SecretFact{})
+			}
+			if analysis.HasDirective(n.Doc, "sealed") || pass.LineDirective(n.Pos(), "sealed") {
+				pass.ExportObjectFact(obj, &SealedFact{})
+			}
+			return false
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				if !analysis.HasDirective(field.Doc, "secret") &&
+					!analysis.HasDirective(field.Comment, "secret") &&
+					!pass.LineDirective(field.Pos(), "secret") {
+					continue
+				}
+				for _, name := range field.Names {
+					pass.ExportObjectFact(pass.TypesInfo.Defs[name], &SecretFact{})
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if !analysis.HasDirective(n.Doc, "secret") &&
+					!analysis.HasDirective(vs.Doc, "secret") &&
+					!analysis.HasDirective(vs.Comment, "secret") &&
+					!pass.LineDirective(vs.Pos(), "secret") {
+					continue
+				}
+				for _, name := range vs.Names {
+					pass.ExportObjectFact(pass.TypesInfo.Defs[name], &SecretFact{})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSecretObj reports whether obj carries a SecretFact.
+func isSecretObj(pass *analysis.Pass, obj types.Object) bool {
+	return obj != nil && pass.ImportObjectFact(obj, &SecretFact{})
+}
+
+// isSealedObj reports whether obj carries a SealedFact.
+func isSealedObj(pass *analysis.Pass, obj types.Object) bool {
+	return obj != nil && pass.ImportObjectFact(obj, &SealedFact{})
+}
+
+// globalSecretSeed taints reads of annotated fields and variables.
+func globalSecretSeed(pass *analysis.Pass) func(ast.Expr) bool {
+	return func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return isSecretObj(pass, obj)
+		case *ast.SelectorExpr:
+			return isSecretObj(pass, pass.TypesInfo.Uses[e.Sel])
+		}
+		return false
+	}
+}
+
+// keyCallPolicy decides result taint for calls: annotated derivation
+// functions taint every result, summarized functions taint per their
+// fact, and byte-manipulation stdlib passes taint through.
+func keyCallPolicy(pass *analysis.Pass) func(*ast.CallExpr, func(ast.Expr) bool) []bool {
+	return func(call *ast.CallExpr, taintOf func(ast.Expr) bool) []bool {
+		callee := calleeObject(pass, call)
+		if callee == nil {
+			return nil
+		}
+		n := callResultCount(pass, call)
+		if n == 0 {
+			return nil
+		}
+		ts := make([]bool, n)
+		// A sealed function launders taint: key bytes may flow in, and its
+		// results are safe by declaration (fingerprints, lengths).
+		if isSealedObj(pass, callee) {
+			return ts
+		}
+		if isSecretObj(pass, callee) {
+			for i := range ts {
+				ts[i] = true
+			}
+			return clearErrorResults(pass, call, ts)
+		}
+		anyArgTainted := func() bool {
+			for _, a := range call.Args {
+				if taintOf(a) {
+					return true
+				}
+			}
+			return false
+		}
+		var kf KeyFlowFact
+		if pass.ImportObjectFact(callee, &kf) {
+			for _, r := range kf.SecretResults {
+				if r < n {
+					ts[r] = true
+				}
+			}
+			for p, rs := range kf.ParamResults {
+				if len(rs) == 0 {
+					continue
+				}
+				if arg := argForParam(call, p); arg != nil && taintOf(arg) {
+					for _, r := range rs {
+						if r < n {
+							ts[r] = true
+						}
+					}
+				}
+			}
+			return ts
+		}
+		if pkg := callee.Pkg(); pkg != nil && propagatingPkgs[pkg.Name()] && anyArgTainted() {
+			for i := range ts {
+				ts[i] = true
+			}
+		}
+		return clearErrorResults(pass, call, ts)
+	}
+}
+
+// clearErrorResults unmarks error-typed results: an error value is never
+// raw key material. A leak INTO an error's message (fmt.Errorf("%x", key))
+// is reported at the formatting site itself; treating the resulting error
+// as key bytes would re-flag every `%w` wrap of an err variable that once
+// shared an assignment with a secret-returning call.
+func clearErrorResults(pass *analysis.Pass, call *ast.CallExpr, ts []bool) []bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return ts
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len() && i < len(ts); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				ts[i] = false
+			}
+		}
+		return ts
+	}
+	if len(ts) == 1 && isErrorType(tv.Type) {
+		ts[0] = false
+	}
+	return ts
+}
+
+// argForParam returns the argument feeding parameter p positionally, or
+// nil. Extra variadic arguments beyond the first are not re-checked — a
+// deliberate simplification; fmt-style variadics are already sinks.
+func argForParam(call *ast.CallExpr, p int) ast.Expr {
+	if p < len(call.Args) {
+		return call.Args[p]
+	}
+	return nil
+}
+
+// callResultCount reports how many values the call produces.
+func callResultCount(pass *analysis.Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len()
+	}
+	if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.Invalid {
+		return 0
+	}
+	return 1
+}
+
+// byteCarrier reports whether t can hold raw key bytes worth summarizing.
+func byteCarrier(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Array:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Pointer:
+		return byteCarrier(u.Elem())
+	}
+	return false
+}
+
+// computeKeyFlowSummaries builds and exports a KeyFlowFact for every
+// function in the package, iterating until a fixpoint so package-local
+// helper chains resolve regardless of declaration order.
+func computeKeyFlowSummaries(pass *analysis.Pass) {
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		pass.Inspect(func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fn.Body == nil {
+				return false
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil || isSealedObj(pass, obj) {
+				return false
+			}
+			kf := summarize(pass, fn, obj)
+			var prev KeyFlowFact
+			had := pass.ImportObjectFact(obj, &prev)
+			if !had || !sameKeyFlow(&prev, kf) {
+				pass.ExportObjectFact(obj, kf)
+				changed = true
+			}
+			return false
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// summarize computes one function's KeyFlowFact under the current facts.
+func summarize(pass *analysis.Pass, fn *ast.FuncDecl, obj *types.Func) *KeyFlowFact {
+	sig := obj.Type().(*types.Signature)
+	kf := &KeyFlowFact{ParamResults: make([][]int, sig.Params().Len())}
+
+	// Secret results: flow from annotated sources alone.
+	fl := analysis.RunFlow(fn.Body, analysis.FlowConfig{
+		Info: pass.TypesInfo,
+		Seed: globalSecretSeed(pass),
+		Call: keyCallPolicy(pass),
+	})
+	kf.SecretResults = taintedResults(pass, fn, sig, fl)
+
+	// Per-parameter flow: seed one byte-carrying parameter at a time with
+	// annotated sources off, so parameter leaks are attributed to callers
+	// and annotation leaks to the function itself.
+	for i := 0; i < sig.Params().Len(); i++ {
+		param := sig.Params().At(i)
+		if !byteCarrier(param.Type()) {
+			continue
+		}
+		pfl := analysis.RunFlow(fn.Body, analysis.FlowConfig{
+			Info: pass.TypesInfo,
+			Seed: func(e ast.Expr) bool {
+				id, ok := e.(*ast.Ident)
+				if !ok {
+					return false
+				}
+				o := pass.TypesInfo.Uses[id]
+				if o == nil {
+					o = pass.TypesInfo.Defs[id]
+				}
+				return o == param
+			},
+			Call: keyCallPolicy(pass),
+		})
+		kf.ParamResults[i] = taintedResults(pass, fn, sig, pfl)
+		idx := i
+		checkSinks(pass, fn, pfl, func(_ ast.Node, sink string) {
+			for _, l := range kf.ParamLeaks {
+				if l.Param == idx && l.Sink == sink {
+					return
+				}
+			}
+			kf.ParamLeaks = append(kf.ParamLeaks, ParamLeak{Param: idx, Sink: sink})
+		})
+	}
+	return kf
+}
+
+// taintedResults lists result indices whose returned values are tainted.
+func taintedResults(pass *analysis.Pass, fn *ast.FuncDecl, sig *types.Signature, fl *analysis.Flow) []int {
+	n := sig.Results().Len()
+	if n == 0 {
+		return nil
+	}
+	tainted := make([]bool, n)
+	// Error results are never key material (see clearErrorResults).
+	carrier := make([]bool, n)
+	for i := 0; i < n; i++ {
+		carrier[i] = !isErrorType(sig.Results().At(i).Type())
+	}
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(ret.Results) == n:
+			for i, r := range ret.Results {
+				if fl.Tainted(r) {
+					tainted[i] = true
+				}
+			}
+		case len(ret.Results) == 1 && n > 1:
+			// return f(): per-result precision lost; taint all.
+			if fl.Tainted(ret.Results[0]) {
+				for i := range tainted {
+					tainted[i] = true
+				}
+			}
+		case len(ret.Results) == 0:
+			// Naked return: consult named result objects.
+			for i := 0; i < n; i++ {
+				if fl.TaintedObjects()[sig.Results().At(i)] {
+					tainted[i] = true
+				}
+			}
+		}
+		return true
+	})
+	var out []int
+	for i, t := range tainted {
+		if t && carrier[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkSinks walks fn's body calling report for every sink call fed
+// tainted bytes, with a short sink description ("fmt.Errorf", "obs.Emit
+// (exported via /metricz//tracez)", "fmt.Sprintf (via shard.describe)").
+// The final pass turns reports into diagnostics; the summary pass records
+// them as ParamLeaks, which surface at call sites in other functions and
+// packages.
+func checkSinks(pass *analysis.Pass, fn *ast.FuncDecl, fl *analysis.Flow, report func(ast.Node, string)) {
+	if pass.FuncDirective(fn, "sealed") {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.LineDirective(call.Pos(), "sealed") {
+			return true
+		}
+		callee := calleeObject(pass, call)
+		if callee == nil {
+			return true
+		}
+		sink := classifySink(pass, callee)
+		if sink != "" {
+			for _, arg := range call.Args {
+				if sinkArgTainted(pass, fl, arg) {
+					report(call, sink)
+					break
+				}
+			}
+			return true
+		}
+		// Leaky callee: passing key bytes to a function that sinks them.
+		var kf KeyFlowFact
+		if pass.ImportObjectFact(callee, &kf) && len(kf.ParamLeaks) > 0 {
+			for _, leak := range kf.ParamLeaks {
+				arg := argForParam(call, leak.Param)
+				if arg != nil && fl.Tainted(arg) {
+					report(call, fmt.Sprintf("%s (via %s)", leak.Sink, calleeName(callee)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// classifySink names the sink a call to callee represents, or "".
+func classifySink(pass *analysis.Pass, callee types.Object) string {
+	if isSealedObj(pass, callee) {
+		return ""
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch {
+	case pkg.Name() == "fmt":
+		return "fmt." + callee.Name()
+	case pkg.Name() == "errors" && callee.Name() == "New":
+		return "errors.New"
+	case pkg.Name() == "obs" && pkg != pass.Pkg:
+		return "obs." + callee.Name() + " (exported via /metricz//tracez)"
+	}
+	if callee.Name() == "Write" || callee.Name() == "WriteString" {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return calleeName(callee) + " (unsealed writer)"
+		}
+	}
+	return ""
+}
+
+// sinkArgTainted extends value taint through composite literals at sink
+// boundaries: obs.Emit(Event{Extra: string(key)}) leaks even though the
+// literal itself is a container.
+func sinkArgTainted(pass *analysis.Pass, fl *analysis.Flow, e ast.Expr) bool {
+	if fl.Tainted(e) {
+		return true
+	}
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok {
+			lit, _ = u.X.(*ast.CompositeLit)
+		}
+		if lit == nil {
+			return false
+		}
+	}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		if sinkArgTainted(pass, fl, elt) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders pkg.Func or pkg.Type.Method for diagnostics.
+func calleeName(obj types.Object) string {
+	name := obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := recvNamed(sig.Recv().Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// recvNamed strips pointers off a receiver type to its named type.
+func recvNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// sameKeyFlow reports whether two summaries are identical (fixpoint test).
+func sameKeyFlow(a, b *KeyFlowFact) bool {
+	if len(a.SecretResults) != len(b.SecretResults) ||
+		len(a.ParamResults) != len(b.ParamResults) ||
+		len(a.ParamLeaks) != len(b.ParamLeaks) {
+		return false
+	}
+	for i := range a.SecretResults {
+		if a.SecretResults[i] != b.SecretResults[i] {
+			return false
+		}
+	}
+	for i := range a.ParamResults {
+		if len(a.ParamResults[i]) != len(b.ParamResults[i]) {
+			return false
+		}
+		for j := range a.ParamResults[i] {
+			if a.ParamResults[i][j] != b.ParamResults[i][j] {
+				return false
+			}
+		}
+	}
+	for i := range a.ParamLeaks {
+		if a.ParamLeaks[i] != b.ParamLeaks[i] {
+			return false
+		}
+	}
+	return true
+}

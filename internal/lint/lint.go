@@ -6,7 +6,10 @@ package lint
 
 import "github.com/securemem/morphtree/internal/analysis"
 
-// Analyzers returns the full morphlint suite in reporting order.
+// Analyzers returns the full morphlint suite in reporting order. The
+// first five are intra-package AST checks; keytaint, hotalloc and
+// lockorder are interprocedural, exchanging facts across package
+// boundaries through the analysis fact store (internal/analysis/facts.go).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		CachelineInv,
@@ -14,5 +17,8 @@ func Analyzers() []*analysis.Analyzer {
 		ErrDiscard,
 		PanicPolicy,
 		LockHeld,
+		KeyTaint,
+		HotAlloc,
+		LockOrder,
 	}
 }

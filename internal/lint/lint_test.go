@@ -15,7 +15,7 @@ func TestCryptoRand(t *testing.T) {
 }
 
 func TestErrDiscard(t *testing.T) {
-	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs")
+	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs", "server", "shard")
 }
 
 func TestPanicPolicy(t *testing.T) {
@@ -24,4 +24,16 @@ func TestPanicPolicy(t *testing.T) {
 
 func TestLockHeld(t *testing.T) {
 	analysistest.Run(t, "testdata", LockHeld, "locked", "limiter", "obsreg")
+}
+
+func TestKeyTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", KeyTaint, "keymat", "keyuse")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", HotAlloc, "hot", "hotuse")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", LockOrder, "locks", "locka", "lockb")
 }

@@ -1,0 +1,84 @@
+package hot
+
+import "fmt"
+
+type frame struct {
+	buf []byte
+	n   int
+}
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "e" }
+
+func record(err error) {}
+
+func sink(v any) {}
+
+//morph:hotpath
+func badAllocs(n int) int {
+	s := make([]int, n)          // want "calls make"
+	m := map[int]int{}           // want "allocates a map literal"
+	c := &frame{}                // want "heap-allocates"
+	f := func() int { return n } // want "allocates a closure"
+	lit := []int{1, 2}           // want "allocates a slice literal"
+	p := new(frame)              // want "calls new"
+	return s[0] + m[0] + c.n + f() + lit[0] + p.n
+}
+
+//morph:hotpath
+func badStrings(name string, b []byte) string {
+	s := name + "!" // want "concatenates strings"
+	s += name       // want "concatenates strings"
+	t := string(b)  // want `converts \[\]byte to string`
+	u := []byte(t)  // want `converts string to \[\]byte`
+	fmt.Println(s)  // want "calls fmt.Println"
+	_ = u
+	return t
+}
+
+//morph:hotpath
+func badBoxing(n int) {
+	sink(n) // want "boxes int into interface argument"
+}
+
+// encode shows the cold-path exemption: the error branch may allocate.
+//
+//morph:hotpath
+func encode(f *frame, payload []byte) error {
+	if len(payload) > 64 {
+		return fmt.Errorf("payload %d too large", len(payload)) // cold path: no finding
+	}
+	copy(f.buf, payload)
+	f.n = len(payload)
+	return nil
+}
+
+//morph:hotpath
+func panics(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad %d", n)) // cold path: no finding
+	}
+	return n
+}
+
+//morph:hotpath
+func goodHot(f *frame, b []byte) int {
+	f.buf = append(f.buf, b...) // append is the in-place idiom: allowed
+	e := frame{n: 1}            // value struct literal stays on the stack
+	copy(f.buf, b)
+	return e.n + f.n
+}
+
+//morph:hotpath
+func errParamOK(e *myErr) {
+	record(e) // error-typed parameters are exempt from boxing
+}
+
+//morph:hotpath
+func allowed(n int) []int {
+	return make([]int, n) //morphlint:allow hotalloc -- one-time setup buffer, not per-access
+}
+
+// notHot has no annotation: it may allocate freely.
+func notHot() []byte { return make([]byte, 8) }

@@ -1,0 +1,18 @@
+// Package hotdep exercises hotalloc's cross-package AllocFact: importers
+// see which of these functions allocate without reading their bodies.
+package hotdep
+
+// Build allocates its result.
+func Build(n int) []int { return make([]int, n) }
+
+// Wrap allocates transitively through Build.
+func Wrap(n int) []int { return Build(n) }
+
+// Head is allocation-free.
+func Head(s []int) int { return s[0] }
+
+// Fast is itself a hot path: it is checked directly, and callers trust
+// that instead of an AllocFact.
+//
+//morph:hotpath
+func Fast(s []int) int { return s[len(s)-1] }

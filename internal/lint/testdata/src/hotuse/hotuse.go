@@ -1,0 +1,20 @@
+// Package hotuse exercises hotalloc across package boundaries: hotdep's
+// AllocFacts arrive as facts, not source.
+package hotuse
+
+import "hotdep"
+
+//morph:hotpath
+func lookup(s []int) int {
+	return hotdep.Head(s) + hotdep.Fast(s) // Head and Fast are allocation-free
+}
+
+//morph:hotpath
+func build(n int) []int {
+	return hotdep.Build(n) // want "calls hotdep.Build, which allocates"
+}
+
+//morph:hotpath
+func wrapped(n int) []int {
+	return hotdep.Wrap(n) // want "calls hotdep.Wrap, which allocates"
+}

@@ -1,0 +1,122 @@
+package keymat
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"obs"
+)
+
+// Config mirrors secmem.Config: it carries the master key.
+type Config struct {
+	// Key is the AES master key.
+	//morph:secret
+	Key []byte
+	// Name is public configuration.
+	Name string
+}
+
+// Derive stretches the master key into a per-domain key.
+//
+//morph:secret
+func Derive(master []byte, domain string) []byte {
+	out := make([]byte, len(master))
+	copy(out, master)
+	return out
+}
+
+// Describe renders raw bytes; handing it key material leaks them into the
+// fmt sink inside.
+func Describe(b []byte) string {
+	return fmt.Sprintf("%x", b)
+}
+
+// Stretch derives a key or fails. Its byte result is key material; its
+// error result is not.
+//
+//morph:secret
+func Stretch(master []byte) ([]byte, error) {
+	if len(master) == 0 {
+		return nil, errors.New("empty master")
+	}
+	out := make([]byte, len(master))
+	copy(out, master)
+	return out, nil
+}
+
+// wrapsStretchError shows the error-result rule: err shares an assignment
+// with the secret byte result, but errors are never key material, so the
+// idiomatic %w wrap is clean.
+func wrapsStretchError(c *Config) error {
+	k, err := Stretch(c.Key)
+	if err != nil {
+		return fmt.Errorf("stretch: %w", err)
+	}
+	_ = k
+	return nil
+}
+
+// printsStretchedKey still reports: the byte result stays tainted.
+func printsStretchedKey(c *Config) {
+	k, _ := Stretch(c.Key)
+	fmt.Println(string(k)) // want "key material flows into fmt.Println"
+}
+
+type event struct{ payload string }
+
+func logsKey(c *Config) {
+	fmt.Printf("key=%x\n", c.Key) // want "key material flows into fmt.Printf"
+}
+
+func logsDerived(c *Config) error {
+	k := Derive(c.Key, "wal")
+	return fmt.Errorf("bad key %s", hex.EncodeToString(k)) // want "key material flows into fmt.Errorf"
+}
+
+func tracesKey(c *Config) {
+	obs.Emit(string(c.Key)) // want "key material flows into obs.Emit"
+}
+
+func emitsLiteral(c *Config) {
+	obs.EmitEvent(event{payload: string(c.Key)}) // want "key material flows into obs.EmitEvent"
+}
+
+func leaksViaHelper(c *Config) string {
+	return Describe(c.Key) // want `key material flows into fmt.Sprintf \(via keymat.Describe\)`
+}
+
+func writesKey(w io.Writer, c *Config) {
+	w.Write(c.Key) // want "key material flows into io.Writer.Write"
+}
+
+// describesConfig shows the container rule: public fields and lengths of
+// a key-holding struct are fine to print.
+func describesConfig(c *Config) string {
+	return fmt.Sprintf("config %q with %d-byte key", c.Name, len(c.Key))
+}
+
+// emitsPublic passes untainted data to the obs sink.
+func emitsPublic(c *Config) {
+	obs.EmitEvent(event{payload: c.Name})
+}
+
+// fingerprintIsClean uses the sealed redaction helper: key bytes go in,
+// but the result is laundered.
+func fingerprintIsClean(c *Config) {
+	obs.Emit(fmt.Sprint(obs.Fingerprint(c.Key)))
+}
+
+// sealKey is part of the sealed path by annotation: raw key writes are
+// its purpose.
+//
+//morph:sealed
+func sealKey(w io.Writer, c *Config) {
+	w.Write(c.Key)
+}
+
+// sealLine seals a single call site instead of the whole function.
+func sealLine(w io.Writer, c *Config) {
+	w.Write(c.Key) //morph:sealed -- header region is encrypted downstream
+}

@@ -1,0 +1,34 @@
+// Package keyuse exercises keytaint's cross-package flow: sources,
+// summaries and the sealed escape hatch all live in the keymat and obs
+// fixture packages and arrive here as facts.
+package keyuse
+
+import (
+	"fmt"
+
+	"keymat"
+	"obs"
+)
+
+func logsDerived(master []byte) {
+	k := keymat.Derive(master, "wire")
+	fmt.Printf("derived %x\n", k) // want "key material flows into fmt.Printf"
+}
+
+func logsField(c *keymat.Config) {
+	fmt.Println(c.Key) // want "key material flows into fmt.Println"
+}
+
+func leaksThroughHelper(c *keymat.Config) string {
+	return keymat.Describe(c.Key) // want `key material flows into fmt.Sprintf \(via keymat.Describe\)`
+}
+
+// sealedIsClean: the redaction helper's SealedFact crosses packages too.
+func sealedIsClean(c *keymat.Config) uint64 {
+	return obs.Fingerprint(c.Key)
+}
+
+// publicIsClean: non-secret fields of a key-holding struct stay printable.
+func publicIsClean(c *keymat.Config) string {
+	return fmt.Sprintf("%s (%d bytes)", c.Name, len(c.Key))
+}

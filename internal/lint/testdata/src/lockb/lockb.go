@@ -1,0 +1,30 @@
+// Package lockb closes a lock-order cycle against the order its
+// dependency locka established (Router.mu -> Engine.mu). The mutexes are
+// unexported fields, so every acquisition here goes through locka's
+// helpers — the cycle is only visible through locka's exported LockSet
+// and LockGraph facts.
+package lockb
+
+import (
+	"sync"
+
+	"locka"
+)
+
+type wrapper struct {
+	mu sync.Mutex
+}
+
+func reversed(e *locka.Engine, r *locka.Router) {
+	locka.HoldEngine(e)
+	defer locka.ReleaseEngine(e)
+	locka.LockRouter(r) // want "lock order cycle: acquiring locka.Router.mu while holding locka.Engine.mu"
+}
+
+// consistent follows the established order through locka's helper: the
+// local wrapper lock sits above it, no cycle.
+func consistent(w *wrapper, e *locka.Engine) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	locka.LockEngine(e)
+}

@@ -1,0 +1,21 @@
+package obs
+
+// Emit mirrors Tracer.Emit: string payloads land in the /tracez ring and
+// are exported to any scraper.
+func Emit(payload string) {}
+
+// EmitEvent mirrors the structured variant.
+func EmitEvent(event any) {}
+
+// Fingerprint reduces key material to a short non-invertible tag that is
+// safe to put in telemetry. It is the sealed boundary: key bytes may flow
+// in, and what comes out is no longer secret.
+//
+//morph:sealed
+func Fingerprint(key []byte) uint64 {
+	var fp uint64
+	for _, b := range key {
+		fp = fp*31 + uint64(b)
+	}
+	return fp
+}

@@ -1,0 +1,20 @@
+package server
+
+// Serve mirrors Server.Serve: a dropped error is a listener that died
+// with nobody watching.
+func Serve() error { return nil }
+
+// WriteResponse mirrors the response writer: dropping its error
+// acknowledges an op the client never received.
+func WriteResponse() error { return nil }
+
+func bad() {
+	Serve()               // want "result of server.Serve includes an error that is discarded"
+	go Serve()            // want "result of server.Serve includes an error that is discarded"
+	defer WriteResponse() // want "result of server.WriteResponse includes an error that is discarded"
+}
+
+func good() error {
+	_ = Serve() // explicit discard stays visible in review
+	return WriteResponse()
+}

@@ -1,0 +1,20 @@
+package shard
+
+// Read mirrors Sharded.Read: a dropped error accepts tampered memory at
+// the routing layer.
+func Read(addr uint64) ([]byte, error) { return nil, nil }
+
+// Verify mirrors Sharded.Verify: dropping it proves nothing.
+func Verify() error { return nil }
+
+func bad() {
+	Read(0)         // want "result of shard.Read includes an error that is discarded"
+	defer Verify()  // want "result of shard.Verify includes an error that is discarded"
+}
+
+func good() error {
+	if _, err := Read(0); err != nil {
+		return err
+	}
+	return Verify()
+}

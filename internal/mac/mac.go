@@ -29,6 +29,7 @@ const (
 
 // Keyer computes truncated MACs under a fixed secret key.
 type Keyer struct {
+	//morph:secret
 	key   []byte
 	width Width
 }

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Key-material redaction helpers. Logs, trace events, and telemetry
+// payloads must never carry raw key bytes (the keytaint analyzer enforces
+// this); these are the sanctioned alternatives: a stable one-way
+// fingerprint for correlating which key a component holds, and a short
+// human-readable description for startup logs. Both are sealed — key
+// bytes flow in, only derived non-invertible values flow out.
+
+// fingerprintDomain separates fingerprint hashes from every other SHA-256
+// use of a key, so a fingerprint can never collide with a MAC or subkey.
+const fingerprintDomain = "morphtree/obs/fingerprint"
+
+// KeyFingerprint returns a stable 64-bit one-way fingerprint of key
+// material, safe for logs and trace payloads. Two components holding the
+// same key produce the same fingerprint, which is the only property it
+// promises: the key is not recoverable from it.
+//
+//morph:sealed
+func KeyFingerprint(key []byte) uint64 {
+	h := sha256.New()
+	h.Write([]byte(fingerprintDomain))
+	h.Write(key)
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// KeyDesc renders key material as a loggable description — length and
+// fingerprint, never the bytes.
+//
+//morph:sealed
+func KeyDesc(key []byte) string {
+	return fmt.Sprintf("len=%d fp=%016x", len(key), KeyFingerprint(key))
+}

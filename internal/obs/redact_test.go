@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyFingerprintStable(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	a := KeyFingerprint(key)
+	b := KeyFingerprint([]byte("0123456789abcdef"))
+	if a != b {
+		t.Fatalf("fingerprint not stable: %016x vs %016x", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("fingerprint is zero")
+	}
+}
+
+func TestKeyFingerprintDistinguishesKeys(t *testing.T) {
+	a := KeyFingerprint([]byte("0123456789abcdef"))
+	b := KeyFingerprint([]byte("0123456789abcdeg"))
+	if a == b {
+		t.Fatalf("distinct keys share fingerprint %016x", a)
+	}
+}
+
+func TestKeyFingerprintDomainSeparated(t *testing.T) {
+	// The fingerprint must not equal a plain SHA-256 prefix of the key,
+	// or it would leak a usable hash of the key material.
+	key := []byte("0123456789abcdef")
+	if KeyFingerprint(key) == KeyFingerprint(append([]byte(fingerprintDomain), key...)) {
+		t.Fatalf("fingerprint ignores domain separation")
+	}
+}
+
+func TestKeyDescNeverContainsKeyBytes(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	d := KeyDesc(key)
+	if strings.Contains(d, string(key)) {
+		t.Fatalf("KeyDesc leaked raw key bytes: %q", d)
+	}
+	if !strings.Contains(d, "len=16") {
+		t.Fatalf("KeyDesc missing length: %q", d)
+	}
+	if !strings.Contains(d, "fp=") {
+		t.Fatalf("KeyDesc missing fingerprint: %q", d)
+	}
+}

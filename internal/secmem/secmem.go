@@ -38,6 +38,8 @@ type Config struct {
 	// level 1, with the last element repeating (VAULT: [SC-32, SC-16]).
 	Tree []counters.Spec
 	// Key is the AES key (16, 24, or 32 bytes) for pads and MACs.
+	//
+	//morph:secret
 	Key []byte
 	// MACWidth is the MAC truncation (defaults to mac.Width56).
 	MACWidth mac.Width
@@ -167,6 +169,12 @@ type Memory struct {
 	trusted []map[uint64]counters.Block // per level below root
 	root    counters.Block
 	stats   Stats
+	// snapScratch[level] is bump's pre-counter-values scratch, sized to
+	// the level's arity at New. bump recurses parent-ward, so each level
+	// needs its own buffer; all of bump runs under mu, so one set per
+	// Memory suffices and the steady-state increment path allocates
+	// nothing (the //morph:hotpath contract).
+	snapScratch [][]uint64
 }
 
 // Instrument attaches obs instruments to the engine. It must be called
@@ -221,6 +229,10 @@ func New(cfg Config) (*Memory, error) {
 	m.stats.Rebases = make([]uint64, levels)
 	m.stats.SetResets = make([]uint64, levels)
 	m.stats.FormatSwitches = make([]uint64, levels)
+	m.snapScratch = make([][]uint64, levels)
+	for i := 0; i < levels; i++ {
+		m.snapScratch[i] = make([]uint64, cfg.specAt(i).Arity)
+	}
 	m.ins.Shard = -1
 	return m, nil
 }
@@ -438,12 +450,14 @@ func (m *Memory) read(addr uint64) ([]byte, error) {
 // bump increments the counter protecting child `slot` of line `idx` at
 // `level`, propagating the update to the root and handling overflows by
 // refreshing (re-encrypting or re-MACing) the affected children.
+//
+//morph:hotpath
 func (m *Memory) bump(level int, idx uint64, slot int) error {
 	blk, err := m.trustedBlock(level, idx)
 	if err != nil {
 		return err
 	}
-	snapshot := make([]uint64, blk.Arity())
+	snapshot := m.snapScratch[level][:blk.Arity()]
 	for i := range snapshot {
 		snapshot[i] = blk.Value(i)
 	}
@@ -471,7 +485,9 @@ func (m *Memory) bump(level int, idx uint64, slot int) error {
 		}
 	}
 	if ev.Overflow {
-		if err := m.refreshChildren(level, idx, blk, snapshot, slot); err != nil {
+		// Overflow refresh retains new ciphertexts, so its allocations are
+		// inherent; it is the paper's amortized-rare slow path (DESIGN 13).
+		if err := m.refreshChildren(level, idx, blk, snapshot, slot); err != nil { //morphlint:allow hotalloc -- retains new ciphertexts; allocation is inherent
 			return err
 		}
 	}
@@ -559,6 +575,8 @@ func (m *Memory) remacChild(level int, idx uint64, oldParent, newParent uint64) 
 
 // trustedBlock returns a verified counter block, fetching and MAC-checking
 // it from untrusted storage if it is not already in the trusted cache.
+//
+//morph:hotpath
 func (m *Memory) trustedBlock(level int, idx uint64) (counters.Block, error) {
 	if level == m.geom.RootLevel() {
 		return m.root, nil
@@ -593,6 +611,8 @@ func (m *Memory) trustedBlock(level int, idx uint64) (counters.Block, error) {
 
 // decodeAndVerify unpacks a stored counter line and checks its MAC against
 // the expected parent counter value.
+//
+//morph:hotpath
 func (m *Memory) decodeAndVerify(level int, idx uint64, raw []byte, parentValue uint64) (counters.Block, error) {
 	blk, err := m.cfg.specAt(level).Decode(raw)
 	if err != nil {

@@ -348,6 +348,10 @@ func (s *Server) reject(conn net.Conn) {
 func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	// Frame buffers are per connection and reused across requests: the
+	// steady-state request loop allocates neither on read nor on write.
+	fr := wire.NewFrameReader(br)
+	fw := wire.NewFrameWriter(bw)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
@@ -361,7 +365,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := conn.SetReadDeadline(frameStart.Add(s.cfg.FrameTimeout)); err != nil {
 			return
 		}
-		op, payload, err := wire.ReadFrame(br)
+		op, payload, err := fr.ReadFrame()
 		if errors.Is(err, io.EOF) {
 			return
 		}
@@ -374,7 +378,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			status, body := wire.EncodeError(err)
-			_ = wire.WriteFrame(bw, status, body)
+			_ = fw.WriteFrame(status, body)
 			_ = bw.Flush()
 			return
 		}
@@ -382,7 +386,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
-		if err := wire.WriteFrame(bw, status, body); err != nil {
+		if err := fw.WriteFrame(status, body); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {

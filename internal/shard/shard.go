@@ -101,6 +101,8 @@ func (c Config) instrument(m *secmem.Memory, i int) {
 
 // deriveKey derives shard i's sub-key from the master key, preserving the
 // master's AES key length.
+//
+//morph:secret
 func deriveKey(master []byte, i int) ([]byte, error) {
 	switch len(master) {
 	case 16, 24, 32:

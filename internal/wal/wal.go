@@ -111,6 +111,8 @@ type Options struct {
 	// Key seals record payloads and MACs frames. It is derived per
 	// (shard, segment) by the durability layer, so a record can never
 	// verify outside the exact segment it was written to. Required.
+	//
+	//morph:secret
 	Key []byte
 }
 
@@ -118,6 +120,7 @@ type Options struct {
 // an Options key (never using one key for both primitives).
 type keys struct {
 	cipher *aesctr.Cipher
+	//morph:secret
 	macKey []byte
 }
 

@@ -28,7 +28,11 @@ type Client struct {
 
 	mu sync.Mutex
 	bw *bufio.Writer
-	br *bufio.Reader
+	fw *FrameWriter
+	fr *FrameReader
+	// req is the reused request-payload scratch: one buffer serves every
+	// call, so the steady-state request path allocates nothing.
+	req []byte
 	// poisoned records the first transport error; once set, the stream's
 	// framing can no longer be trusted and every call fails fast.
 	poisoned error
@@ -46,11 +50,13 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 
 // NewClient wraps an existing connection (tests use net.Pipe).
 func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	bw := bufio.NewWriter(conn)
 	return &Client{
 		conn:    conn,
 		timeout: timeout,
-		bw:      bufio.NewWriter(conn),
-		br:      bufio.NewReader(conn),
+		bw:      bw,
+		fw:      NewFrameWriter(bw),
+		fr:      NewFrameReader(bufio.NewReader(conn)),
 	}
 }
 
@@ -83,9 +89,11 @@ func (c *Client) poison(err error) error {
 // mid-frame, so leftover bytes must never be parsed as the next frame
 // header. Response-level errors (non-OK statuses, payload decode
 // failures) leave the connection healthy: framing stayed intact.
+//
+// The returned body aliases the client's reused frame buffer: it is valid
+// only while c.mu is held and until the next round trip. Callers decode or
+// copy it before unlocking; nothing aliasing it may escape to the user.
 func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.poisoned != nil {
 		return nil, fmt.Errorf("%w (cause: %v)", ErrClientPoisoned, c.poisoned)
 	}
@@ -94,7 +102,7 @@ func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 			return nil, c.poison(fmt.Errorf("wire: set deadline: %w", err))
 		}
 	}
-	if err := WriteFrame(c.bw, op, payload); err != nil {
+	if err := c.fw.WriteFrame(op, payload); err != nil {
 		if errors.Is(err, ErrOversized) {
 			// Local validation failure: nothing touched the wire.
 			return nil, err
@@ -104,7 +112,7 @@ func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 	if err := c.bw.Flush(); err != nil {
 		return nil, c.poison(fmt.Errorf("wire: flush: %w", err))
 	}
-	status, body, err := ReadFrame(c.br)
+	status, body, err := c.fr.ReadFrame()
 	if err != nil {
 		return nil, c.poison(err)
 	}
@@ -114,36 +122,47 @@ func (c *Client) roundTrip(op byte, payload []byte) ([]byte, error) {
 	return body, nil
 }
 
-// Read fetches and verifies the line at a line-aligned address.
+// Read fetches and verifies the line at a line-aligned address. The
+// returned line is a fresh copy, safe to retain.
 func (c *Client) Read(addr uint64) ([]byte, error) {
-	body, err := c.roundTrip(OpRead, EncodeAddr(addr))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.req = AppendAddr(c.req[:0], addr)
+	body, err := c.roundTrip(OpRead, c.req)
 	if err != nil {
 		return nil, err
 	}
 	if len(body) != secmem.LineBytes {
 		return nil, fmt.Errorf("wire: read returned %d bytes, want %d", len(body), secmem.LineBytes)
 	}
-	return body, nil
+	return append([]byte(nil), body...), nil
 }
 
 // Write stores a 64-byte line at a line-aligned address.
 func (c *Client) Write(addr uint64, line []byte) error {
-	payload, err := EncodeWrite(addr, line)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req, err := AppendWrite(c.req[:0], addr, line)
+	c.req = req
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(OpWrite, payload)
+	_, err = c.roundTrip(OpWrite, c.req)
 	return err
 }
 
 // Verify asks the server to re-verify every written line in every shard.
 func (c *Client) Verify() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, err := c.roundTrip(OpVerify, nil)
 	return err
 }
 
 // Stats fetches the server's aggregated shard stats.
 func (c *Client) Stats() (secmem.Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	body, err := c.roundTrip(OpStats, nil)
 	if err != nil {
 		return secmem.Stats{}, err
@@ -152,14 +171,23 @@ func (c *Client) Stats() (secmem.Stats, error) {
 }
 
 // Snapshot fetches the server's full persisted state (shard.Save format).
+// The returned bytes are a fresh copy, safe to retain.
 func (c *Client) Snapshot() ([]byte, error) {
-	return c.roundTrip(OpSnapshot, nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpSnapshot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
 }
 
 // Checkpoint forces the server to cut a durable checkpoint (atomic
 // snapshot + WAL truncation) and returns the new snapshot sequence
 // number. Servers running without a data directory answer *RemoteError.
 func (c *Client) Checkpoint() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	body, err := c.roundTrip(OpCheckpoint, nil)
 	if err != nil {
 		return 0, err
@@ -174,20 +202,32 @@ func (c *Client) Checkpoint() (uint64, error) {
 // Ping checks the server is alive. The server answers it even while
 // shedding load, so Ping succeeding says nothing about capacity.
 func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, err := c.roundTrip(OpPing, nil)
 	return err
 }
 
 // Obs fetches the server's obs registry snapshot as raw JSON (the same
 // body /metricz serves; decode with obs.DecodeSnapshot). Servers running
-// without a registry answer *RemoteError.
+// without a registry answer *RemoteError. The returned bytes are a fresh
+// copy, safe to retain.
 func (c *Client) Obs() ([]byte, error) {
-	return c.roundTrip(OpObs, nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpObs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
 }
 
 // Tamper asks the server to flip a stored ciphertext bit at an address —
 // honored only by servers started with tampering enabled.
 func (c *Client) Tamper(addr uint64) error {
-	_, err := c.roundTrip(OpTamper, EncodeAddr(addr))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.req = AppendAddr(c.req[:0], addr)
+	_, err := c.roundTrip(OpTamper, c.req)
 	return err
 }

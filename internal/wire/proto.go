@@ -15,14 +15,24 @@ import (
 // addrBytes is the encoded size of a line address.
 const addrBytes = 8
 
-// EncodeAddr encodes an OpRead / OpTamper payload.
+// AppendAddr appends an OpRead / OpTamper payload to dst and returns the
+// extended slice: the zero-allocation form for callers that reuse a
+// request buffer across calls.
+//
+//morph:hotpath
+func AppendAddr(dst []byte, addr uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, addr)
+}
+
+// EncodeAddr encodes an OpRead / OpTamper payload into a fresh slice (the
+// one-shot form; hot paths use AppendAddr with a reused buffer).
 func EncodeAddr(addr uint64) []byte {
-	p := make([]byte, addrBytes)
-	binary.BigEndian.PutUint64(p, addr)
-	return p
+	return AppendAddr(make([]byte, 0, addrBytes), addr)
 }
 
 // DecodeAddr decodes an OpRead / OpTamper payload.
+//
+//morph:hotpath
 func DecodeAddr(p []byte) (uint64, error) {
 	if len(p) != addrBytes {
 		return 0, fmt.Errorf("wire: address payload is %d bytes, want %d", len(p), addrBytes)
@@ -30,15 +40,26 @@ func DecodeAddr(p []byte) (uint64, error) {
 	return binary.BigEndian.Uint64(p), nil
 }
 
-// EncodeWrite encodes an OpWrite payload: address followed by the line.
-func EncodeWrite(addr uint64, line []byte) ([]byte, error) {
+// AppendWrite appends an OpWrite payload — address followed by the line —
+// to dst and returns the extended slice.
+//
+//morph:hotpath
+func AppendWrite(dst []byte, addr uint64, line []byte) ([]byte, error) {
 	if len(line) != secmem.LineBytes {
-		return nil, fmt.Errorf("wire: line is %d bytes, want %d", len(line), secmem.LineBytes)
+		return dst, fmt.Errorf("wire: line is %d bytes, want %d", len(line), secmem.LineBytes)
 	}
-	return append(EncodeAddr(addr), line...), nil
+	return append(AppendAddr(dst, addr), line...), nil
 }
 
-// DecodeWrite decodes an OpWrite payload.
+// EncodeWrite encodes an OpWrite payload into a fresh slice (the one-shot
+// form; hot paths use AppendWrite with a reused buffer).
+func EncodeWrite(addr uint64, line []byte) ([]byte, error) {
+	return AppendWrite(make([]byte, 0, addrBytes+secmem.LineBytes), addr, line)
+}
+
+// DecodeWrite decodes an OpWrite payload. The returned line aliases p.
+//
+//morph:hotpath
 func DecodeWrite(p []byte) (uint64, []byte, error) {
 	if len(p) != addrBytes+secmem.LineBytes {
 		return 0, nil, fmt.Errorf("wire: write payload is %d bytes, want %d", len(p), addrBytes+secmem.LineBytes)

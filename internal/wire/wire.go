@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // Request opcodes.
@@ -124,28 +125,63 @@ type RemoteError struct {
 // Error implements error.
 func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
 
+// FrameWriter frames messages onto one stream, reusing a single scratch
+// buffer across frames so the steady-state write path allocates nothing
+// after warm-up (ROADMAP item 1's B/op goal for the wire layer). Not safe
+// for concurrent use; callers serialize per connection.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter over w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w}
+}
+
 // WriteFrame writes one frame whose body is the tag byte (opcode or
-// status) followed by payload.
-func WriteFrame(w io.Writer, tag byte, payload []byte) error {
+// status) followed by payload. The frame is assembled in the reused
+// scratch buffer and written with a single Write, so a framed message is
+// never split across two writes to the underlying stream.
+//
+//morph:hotpath
+func (fw *FrameWriter) WriteFrame(tag byte, payload []byte) error {
 	if len(payload)+1 > MaxBody {
 		return fmt.Errorf("%w: body %d > %d", ErrOversized, len(payload)+1, MaxBody)
 	}
-	hdr := make([]byte, lenBytes+1, lenBytes+1+len(payload))
-	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
-	hdr[lenBytes] = tag
-	if _, err := w.Write(append(hdr, payload...)); err != nil {
+	fw.buf = append(fw.buf[:0], 0, 0, 0, 0, tag)
+	binary.BigEndian.PutUint32(fw.buf, uint32(len(payload)+1))
+	fw.buf = append(fw.buf, payload...)
+	if _, err := fw.w.Write(fw.buf); err != nil {
 		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
+// FrameReader reads frames from one stream, reusing a single body buffer
+// across frames. The payload returned by ReadFrame aliases that buffer and
+// is valid only until the next ReadFrame call; callers that retain it must
+// copy. Not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
 // ReadFrame reads one frame and returns its tag byte and payload. A clean
 // close at a frame boundary returns io.EOF; a close or error mid-frame
 // returns ErrTruncated; a length prefix over MaxBody returns ErrOversized
-// without allocating the claimed size.
-func ReadFrame(r io.Reader) (tag byte, payload []byte, err error) {
+// without growing the buffer to the claimed size. The payload aliases the
+// reader's scratch buffer; see FrameReader.
+//
+//morph:hotpath
+func (fr *FrameReader) ReadFrame() (tag byte, payload []byte, err error) {
 	var hdr [lenBytes]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return 0, nil, io.EOF
 		}
@@ -158,9 +194,26 @@ func ReadFrame(r io.Reader) (tag byte, payload []byte, err error) {
 	if n > MaxBody {
 		return 0, nil, fmt.Errorf("%w: body %d > %d", ErrOversized, n, MaxBody)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if cap(fr.buf) < int(n) {
+		fr.buf = slices.Grow(fr.buf[:0], int(n))
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return 0, nil, fmt.Errorf("%w: reading %d-byte body: %v", ErrTruncated, n, err)
 	}
 	return body[0], body[1:], nil
+}
+
+// WriteFrame writes one frame to w: the one-shot form for cold paths
+// (connection rejects, tests). Hot paths hold a FrameWriter instead.
+func WriteFrame(w io.Writer, tag byte, payload []byte) error {
+	fw := FrameWriter{w: w}
+	return fw.WriteFrame(tag, payload)
+}
+
+// ReadFrame reads one frame from r: the one-shot form for cold paths. The
+// returned payload is freshly allocated and safe to retain.
+func ReadFrame(r io.Reader) (tag byte, payload []byte, err error) {
+	fr := FrameReader{r: r}
+	return fr.ReadFrame()
 }
