@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke proof-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,30 @@ obs-smoke: bin/morphload bin/morphscope
 	bin/morphscope -admin 127.0.0.1:7544 -check; CHECK=$$?; \
 	kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; \
 	exit $$(( SCOPE + LOAD + CHECK ))
+
+bin/morphaudit: $(shell find cmd/morphaudit internal/wire internal/proof -name '*.go' -not -name '*_test.go' 2>/dev/null)
+	$(GO) build -o bin/morphaudit ./cmd/morphaudit
+
+# Verified-read smoke test: a race-built morphserve publishes signed epoch
+# roots; morphload -audit interleaves client-verified PROOF reads with
+# plain ones and reports the overhead in BENCH_serve.json; morphaudit then
+# passes a clean audit, must exit 1 when a backing-store byte is flipped
+# (spot verification), and must exit 1 again when the transparency log is
+# forged through the demo /rootz/tamper endpoint (equivocation).
+proof-smoke: bin/morphload bin/morphaudit
+	$(GO) build -race -o bin/morphserve.race ./cmd/morphserve
+	rm -f bin/audit.state
+	bin/morphserve.race -addr 127.0.0.1:7643 -admin 127.0.0.1:7644 -shards 4 -org morph128 -tamper & \
+	SERVE_PID=$$!; sleep 1; STATUS=0; \
+	bin/morphload -addr 127.0.0.1:7643 -clients 4 -duration 3s -audit -out BENCH_serve.json || STATUS=1; \
+	bin/morphaudit -addr 127.0.0.1:7643 -once -state bin/audit.state || STATUS=1; \
+	bin/morphload -addr 127.0.0.1:7643 -clients 1 -duration 1s -writes 1 -tamper -out bin/tamper_load.json || STATUS=1; \
+	bin/morphaudit -addr 127.0.0.1:7643 -once -state bin/audit.state; RC=$$?; \
+	if [ $$RC -ne 1 ]; then echo "proof-smoke: tampered store: want exit 1, got $$RC"; STATUS=1; fi; \
+	curl -fsS -X POST http://127.0.0.1:7644/rootz/tamper || STATUS=1; \
+	bin/morphaudit -addr 127.0.0.1:7643 -once -state bin/audit.state; RC=$$?; \
+	if [ $$RC -ne 1 ]; then echo "proof-smoke: forged root log: want exit 1, got $$RC"; STATUS=1; fi; \
+	kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; exit $$STATUS
 
 verify: build vet morphlint morphdebug race
 

@@ -22,7 +22,9 @@ package main
 
 import (
 	"bytes"
+	"crypto/ed25519"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,7 +37,9 @@ import (
 	"time"
 
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
 	"github.com/securemem/morphtree/internal/wire"
 )
 
@@ -47,9 +51,22 @@ type clientResult struct {
 	mismatches      uint64 // silent corruption: wrong contents, no error
 	integrityErrors uint64 // *secmem.IntegrityError during normal traffic
 	otherErrors     uint64
+	proofReads      uint64 // reads done as client-verified PROOF fetches
+	proofFailures   uint64 // proofs that failed client-side verification
 	latencies       []time.Duration
+	readLats        []time.Duration // plain READ only (overhead baseline)
+	proofLats       []time.Duration // PROOF fetch + client-side verify
 	firstErr        error
 	net             wire.ResilientStats
+}
+
+// auditSetup is the client-side verification context -audit mode threads
+// through every worker: the deployment parameters, the data-owner master
+// key, and the server's signing key fetched once up front.
+type auditSetup struct {
+	params proof.Params
+	key    []byte
+	pub    ed25519.PublicKey
 }
 
 // report is the BENCH_serve.json schema.
@@ -82,6 +99,15 @@ type report struct {
 	TamperAttempted bool `json:"tamper_attempted"`
 	TamperDetected  bool `json:"tamper_detected"`
 
+	// -audit mode: every fourth read is a PROOF fetch verified client-side
+	// against the attested epoch root; ProofOverhead is the latency ratio
+	// of a verified read to a plain read at matching percentiles.
+	Audit          bool               `json:"audit"`
+	ProofReads     uint64             `json:"proof_reads,omitempty"`
+	ProofFailures  uint64             `json:"proof_failures,omitempty"`
+	ProofLatencyUS map[string]float64 `json:"proof_latency_us,omitempty"`
+	ProofOverheadX map[string]float64 `json:"proof_overhead_x,omitempty"`
+
 	ServerStats secmem.Stats `json:"server_stats"`
 }
 
@@ -96,6 +122,10 @@ func main() {
 	retries := flag.Int("retries", 8, "attempts per op before giving up (resilient client)")
 	retryWrites := flag.Bool("retry-writes", true, "retry writes whose outcome a transport fault left unknown (safe here: retries rewrite identical content)")
 	tamper := flag.Bool("tamper", false, "after the load phase, inject a tamper via the wire TAMPER op and require an IntegrityError (server must run with -tamper)")
+	audit := flag.Bool("audit", false, "verify every fourth read client-side via the PROOF op against the attested epoch root, measuring verified-read overhead")
+	org := flag.String("org", "morph128", "server's counter organization (used with -audit)")
+	mem := flag.Uint64("mem", 4<<20, "server's protected capacity in bytes (used with -audit)")
+	keyHex := flag.String("key", "", "AES master key in hex (used with -audit; default is the fixed demo key)")
 	out := flag.String("out", "BENCH_serve.json", "report file")
 	reportEvery := flag.Duration("report", 0, "periodic one-line progress interval during the load phase (0 disables): qps, p50/p99, retries, sheds from live obs counters")
 	flag.Parse()
@@ -111,6 +141,36 @@ func main() {
 	ins := loadInstruments{
 		readLat:  reg.Histogram("load.read.latency"),
 		writeLat: reg.Histogram("load.write.latency"),
+	}
+
+	// -audit: fetch the server's signing key once up front; every worker
+	// verifies proofs against the same pinned key.
+	var as *auditSetup
+	if *audit {
+		key := []byte("0123456789abcdef")
+		if *keyHex != "" {
+			k, err := hex.DecodeString(*keyHex)
+			if err != nil {
+				log.Fatalf("morphload: -key: %v", err)
+			}
+			key = k
+		}
+		enc, tree, err := shard.Organization(*org)
+		if err != nil {
+			log.Fatalf("morphload: %v", err)
+		}
+		boot := wire.NewResilient(wire.ResilientConfig{Addr: *addr, Timeout: *timeout, MaxAttempts: *retries, Seed: *seed - 2})
+		ri, err := boot.Root()
+		boot.Close()
+		if err != nil {
+			log.Fatalf("morphload: -audit: fetch signing key: %v", err)
+		}
+		as = &auditSetup{
+			params: proof.Params{MemoryBytes: *mem, Enc: enc, Tree: tree},
+			key:    key,
+			pub:    ed25519.PublicKey(ri.Pub),
+		}
+		ins.proofLat = reg.Histogram("load.proof.latency")
 	}
 
 	// Each client owns a disjoint contiguous range of lines, so it can
@@ -133,7 +193,7 @@ func main() {
 			})
 			defer cl.Close()
 			results[c] = runClient(cl, deadline, rand.New(rand.NewSource(*seed+int64(c))),
-				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac, ins)
+				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac, ins, as)
 		}(c)
 	}
 	stopRep := make(chan struct{})
@@ -157,7 +217,8 @@ func main() {
 		WriteFraction: *writeFrac,
 		LatencyUS:     map[string]float64{},
 	}
-	var all []time.Duration
+	rep.Audit = *audit
+	var all, plainReads, proofReads []time.Duration
 	for c := range results {
 		r := &results[c]
 		rep.Reads += r.reads
@@ -166,10 +227,14 @@ func main() {
 		rep.Mismatches += r.mismatches
 		rep.IntegrityErrors += r.integrityErrors
 		rep.OtherErrors += r.otherErrors
+		rep.ProofReads += r.proofReads
+		rep.ProofFailures += r.proofFailures
 		rep.Retries += r.net.Retries
 		rep.Reconnects += r.net.Reconnects
 		rep.Sheds += r.net.Sheds
 		all = append(all, r.latencies...)
+		plainReads = append(plainReads, r.readLats...)
+		proofReads = append(proofReads, r.proofLats...)
 		if r.firstErr != nil {
 			log.Printf("morphload: client %d: first error: %v", c, r.firstErr)
 		}
@@ -182,6 +247,22 @@ func main() {
 		q    float64
 	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1.0}} {
 		rep.LatencyUS[p.name] = float64(percentile(all, p.q)) / float64(time.Microsecond)
+	}
+	if *audit {
+		rep.ProofLatencyUS = map[string]float64{}
+		rep.ProofOverheadX = map[string]float64{}
+		sort.Slice(plainReads, func(i, j int) bool { return plainReads[i] < plainReads[j] })
+		sort.Slice(proofReads, func(i, j int) bool { return proofReads[i] < proofReads[j] })
+		for _, p := range []struct {
+			name string
+			q    float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			pd := percentile(proofReads, p.q)
+			rep.ProofLatencyUS[p.name] = float64(pd) / float64(time.Microsecond)
+			if rd := percentile(plainReads, p.q); rd > 0 {
+				rep.ProofOverheadX[p.name] = float64(pd) / float64(rd)
+			}
+		}
 	}
 
 	// Control connection: server-side full verification and final stats.
@@ -215,9 +296,14 @@ func main() {
 	if rep.TamperAttempted {
 		fmt.Printf(", tamper_detected=%v", rep.TamperDetected)
 	}
+	if rep.Audit {
+		fmt.Printf("; %d proof-verified reads (%d failures), proof p50=%.0fus (%.2fx plain read)",
+			rep.ProofReads, rep.ProofFailures, rep.ProofLatencyUS["p50"], rep.ProofOverheadX["p50"])
+	}
 	fmt.Println()
 	if rep.Mismatches > 0 || rep.IntegrityErrors > 0 || rep.OtherErrors > 0 || !rep.VerifyOK ||
-		(rep.TamperAttempted && !rep.TamperDetected) {
+		(rep.TamperAttempted && !rep.TamperDetected) ||
+		(rep.Audit && (rep.ProofFailures > 0 || rep.ProofReads == 0)) {
 		os.Exit(1)
 	}
 }
@@ -226,6 +312,7 @@ func main() {
 // into (histograms are multi-recorder safe).
 type loadInstruments struct {
 	readLat, writeLat *obs.Histogram
+	proofLat          *obs.Histogram // -audit only, else nil (nil-safe)
 }
 
 // progressReporter prints one line per tick with interval (not cumulative)
@@ -262,7 +349,7 @@ func progressReporter(reg *obs.Registry, every time.Duration, stop <-chan struct
 // deterministic pattern or read back and verify, until the deadline. The
 // resilient client absorbs transient faults; an op that still fails
 // after its retry budget is counted and the loop keeps going.
-func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64, ins loadInstruments) clientResult {
+func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64, ins loadInstruments, as *auditSetup) clientResult {
 	var res clientResult
 	// seqs holds the last sequence number acknowledged per address; maybe
 	// holds every sequence a finally-failed write may or may not have
@@ -304,12 +391,39 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 			}
 			seqs[a] = seq
 			res.writes++
+		} else if as != nil && res.reads%4 == 3 {
+			// Verified read: fetch the full witness and rerun the tree walk
+			// client-side, timing the whole thing so the overhead ratio
+			// compares like with like (round trip + verification vs round
+			// trip alone).
+			start := time.Now()
+			got, err := proofRead(cl, a, as)
+			dur := time.Since(start)
+			ins.proofLat.Record(dur)
+			res.latencies = append(res.latencies, dur)
+			res.proofLats = append(res.proofLats, dur)
+			if err != nil {
+				recordErr(&res, err, &ie)
+				var me *proof.MismatchError
+				if errors.As(err, &me) {
+					res.proofFailures++
+				}
+				continue
+			}
+			res.reads++
+			res.proofReads++
+			if acceptable(got, a) {
+				res.verifiedReads++
+			} else {
+				res.mismatches++
+			}
 		} else {
 			start := time.Now()
 			got, err := cl.Read(a)
 			dur := time.Since(start)
 			ins.readLat.Record(dur)
 			res.latencies = append(res.latencies, dur)
+			res.readLats = append(res.readLats, dur)
 			if err != nil {
 				recordErr(&res, err, &ie)
 				continue
@@ -324,6 +438,23 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 	}
 	res.net = cl.Counters()
 	return res
+}
+
+// proofRead is the -audit read path: fetch the PROOF witness and verify
+// it client-side, returning the recovered plaintext line. The server's
+// claimed shard count is adopted per call (the attestation binds it:
+// lying about it changes every digest), so auditSetup stays immutable and
+// race-free across workers.
+func proofRead(cl *wire.ResilientClient, addr uint64, as *auditSetup) ([]byte, error) {
+	p, err := cl.Proof(addr)
+	if err != nil {
+		return nil, err
+	}
+	params := as.params
+	if params.Shards == 0 {
+		params.Shards = int(p.Shards)
+	}
+	return p.Verify(params, as.key, as.pub)
 }
 
 func recordErr(res *clientResult, err error, ie **secmem.IntegrityError) {

@@ -23,10 +23,12 @@ package main
 import (
 	"context"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +37,7 @@ import (
 
 	"github.com/securemem/morphtree/internal/durable"
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/server"
 	"github.com/securemem/morphtree/internal/shard"
@@ -55,8 +58,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
 	snapEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
-	admin := flag.String("admin", "", "admin telemetry listen address serving /metricz /tracez /healthz and pprof (empty = disabled; also enables the wire OBS op)")
+	admin := flag.String("admin", "", "admin telemetry listen address serving /metricz /tracez /healthz /rootz and pprof (empty = disabled; also enables the wire OBS op)")
 	traceBuf := flag.Int("trace-buf", 4096, "event trace ring capacity with -admin")
+	signSeed := flag.String("sign-seed", "", "transparency-log Ed25519 signing seed in hex (32 bytes; default derives one from the master key)")
 	flag.Parse()
 
 	key := []byte("0123456789abcdef")
@@ -94,6 +98,23 @@ func main() {
 		tracer = obs.NewTracer(*traceBuf)
 		shcfg.Obs = reg
 		shcfg.Tracer = tracer
+	}
+
+	// The signing authority behind OpProof attestations and the epoch-root
+	// transparency log. The default seed is derived from the master key so
+	// restarts keep the same identity without extra flag plumbing; operators
+	// who want a distinct log identity pass -sign-seed.
+	seed := proof.DeriveAuthoritySeed(key)
+	if *signSeed != "" {
+		s, err := hex.DecodeString(*signSeed)
+		if err != nil {
+			log.Fatalf("morphserve: -sign-seed: %v", err)
+		}
+		seed = s
+	}
+	authority, err := proof.NewAuthority(seed)
+	if err != nil {
+		log.Fatalf("morphserve: -sign-seed: %v", err)
 	}
 
 	// eng is the serving surface; dm is non-nil only in durable mode.
@@ -146,8 +167,8 @@ func main() {
 	if dm != nil {
 		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", *dataDir, *fsyncMode, *snapEvery)
 	}
-	fmt.Printf("morphserve: %s, %d shards, %d MiB, key %s, listening on %s (tamper=%v, %s)\n",
-		*org, n, *mem>>20, obs.KeyDesc(key), ln.Addr(), *tamper, durability)
+	fmt.Printf("morphserve: %s, %d shards, %d MiB, key %s, root log %s, listening on %s (tamper=%v, %s)\n",
+		*org, n, *mem>>20, obs.KeyDesc(key), authority.KeyDesc(), ln.Addr(), *tamper, durability)
 	cfg := server.Config{
 		MaxConns:     *maxConns,
 		MaxInflight:  *maxInflight,
@@ -157,6 +178,7 @@ func main() {
 		WriteTimeout: *timeout,
 		AllowTamper:  *tamper,
 		Logf:         log.Printf,
+		Authority:    authority,
 		Obs:          reg,
 		Tracer:       tracer,
 	}
@@ -169,9 +191,19 @@ func main() {
 		if err != nil {
 			log.Fatalf("morphserve: admin listen: %v", err)
 		}
-		fmt.Printf("morphserve: admin telemetry on http://%s (/metricz /tracez /healthz /debug/pprof)\n", aln.Addr())
+		fmt.Printf("morphserve: admin telemetry on http://%s (/metricz /tracez /healthz /rootz /debug/pprof)\n", aln.Addr())
+		plane := &obs.Plane{
+			Registry: reg,
+			Tracer:   tracer,
+			Extra:    map[string]http.HandlerFunc{"/rootz": rootzHandler(authority)},
+		}
+		if *tamper {
+			// Adversary interface matching the wire TAMPER op: forge the
+			// log's first entry so auditors can demonstrate detection.
+			plane.Extra["/rootz/tamper"] = rootzTamperHandler(authority)
+		}
 		go func() {
-			if err := (&obs.Plane{Registry: reg, Tracer: tracer}).Serve(ctx, aln); err != nil {
+			if err := plane.Serve(ctx, aln); err != nil {
 				log.Printf("morphserve: admin plane: %v", err)
 			}
 		}()
@@ -199,4 +231,70 @@ func main() {
 	ns := srv.NetStats()
 	fmt.Printf("morphserve: admission: %d conns accepted, %d rejected at the cap, %d requests shed, %d pings, %d slow-loris drops\n",
 		ns.Accepted, ns.Rejected, ns.Shed, ns.Pings, ns.SlowLoris)
+}
+
+// rootzHandler serves the transparency log's operator view: the signing
+// key, the signed head, and every epoch entry as JSON.
+func rootzHandler(a *proof.Authority) http.HandlerFunc {
+	type entryJSON struct {
+		Epoch uint64 `json:"epoch"`
+		Root  string `json:"root"`
+		Prev  string `json:"prev"`
+		Sig   string `json:"sig"`
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		head := a.Head()
+		size := a.Size()
+		entries, err := a.Entries(0, size)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := struct {
+			Pub         string      `json:"pub"`
+			HeadSize    uint64      `json:"head_size"`
+			HeadHash    string      `json:"head_hash"`
+			HeadSig     string      `json:"head_sig"`
+			Unpublished uint64      `json:"unpublished"`
+			Entries     []entryJSON `json:"entries"`
+		}{
+			Pub:         hex.EncodeToString(a.Public()),
+			HeadSize:    head.Size,
+			HeadHash:    hex.EncodeToString(head.Hash[:]),
+			HeadSig:     hex.EncodeToString(head.Sig),
+			Unpublished: a.Unpublished(),
+		}
+		for _, e := range entries {
+			out.Entries = append(out.Entries, entryJSON{
+				Epoch: e.Epoch,
+				Root:  hex.EncodeToString(e.Root[:]),
+				Prev:  hex.EncodeToString(e.Prev[:]),
+				Sig:   hex.EncodeToString(e.Sig),
+			})
+		}
+		body, err := json.Marshal(out)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}
+}
+
+// rootzTamperHandler forges the log's first entry in place — the
+// split-view attack morphaudit exists to catch. Mounted only with -tamper.
+func rootzTamperHandler(a *proof.Authority) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if !a.TamperEntry(1) {
+			http.Error(w, "log has no entries to tamper", http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("forged epoch 1 root in transparency log\n"))
+	}
 }

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/shard"
 	"github.com/securemem/morphtree/internal/wal"
@@ -213,6 +214,7 @@ type Memory struct {
 
 	ckptMu sync.Mutex // serializes Checkpoint / Flush / Close
 	seq    atomic.Uint64
+	onCkpt func(seq uint64) // set before concurrent use via OnCheckpoint
 
 	commits []*committer
 
@@ -276,6 +278,18 @@ func (m *Memory) Save(w io.Writer) error { return m.sh.Save(w) }
 func (m *Memory) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
 	return m.sh.FlipDataBit(addr, byteOff, bit)
 }
+
+// Prove forwards proof building to the engine (the wire PROOF op).
+func (m *Memory) Prove(addr uint64) (*proof.Proof, error) { return m.sh.Prove(addr) }
+
+// RootDigests forwards the per-shard root digests.
+func (m *Memory) RootDigests() []proof.Digest { return m.sh.RootDigests() }
+
+// OnCheckpoint registers a hook fired after every successful Checkpoint
+// with the new snapshot epoch — the transparency log publishes the root
+// from it. It must be set before the memory is shared between goroutines,
+// and the hook must not call back into Checkpoint.
+func (m *Memory) OnCheckpoint(fn func(seq uint64)) { m.onCkpt = fn }
 
 // RegisterMetrics registers pull-time collectors on reg: the underlying
 // engine's shard/secmem collector plus the durability counters

@@ -183,7 +183,18 @@ func readSnapshot(path string, seq uint64, snapKey []byte, shcfg shard.Config) (
 // state, starts fresh WAL segments, and only then deletes the files of
 // prior epochs (the snapshot-before-truncate invariant). On return the WAL
 // is empty and everything acknowledged is durable regardless of policy.
+// Any OnCheckpoint hook fires once the new epoch is committed (even if
+// retiring old files reported an error — the epoch stands either way).
 func (m *Memory) Checkpoint() error {
+	before := m.seq.Load()
+	err := m.checkpoint()
+	if after := m.seq.Load(); after > before && m.onCkpt != nil {
+		m.onCkpt(after)
+	}
+	return err
+}
+
+func (m *Memory) checkpoint() error {
 	if m.closed.Load() {
 		return fmt.Errorf("durable: checkpoint after Close")
 	}

@@ -33,8 +33,10 @@ var ErrDiscard = &analysis.Analyzer{
 // server and shard joined the list with the morphflow PR: a dropped shard
 // Read/Write/Verify error accepts tampered memory at the routing layer,
 // and a dropped server response-write error acknowledges an op the client
-// never heard about.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard"}
+// never heard about. proof joined with morphproof: a dropped Verify or
+// VerifyConsistency error silently accepts a forged witness or a forked
+// transparency log — the exact failure the subsystem exists to surface.
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard", "proof"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

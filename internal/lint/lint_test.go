@@ -15,7 +15,7 @@ func TestCryptoRand(t *testing.T) {
 }
 
 func TestErrDiscard(t *testing.T) {
-	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs", "server", "shard")
+	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs", "server", "shard", "proof")
 }
 
 func TestPanicPolicy(t *testing.T) {
@@ -27,7 +27,7 @@ func TestLockHeld(t *testing.T) {
 }
 
 func TestKeyTaint(t *testing.T) {
-	analysistest.Run(t, "testdata", KeyTaint, "keymat", "keyuse")
+	analysistest.Run(t, "testdata", KeyTaint, "keymat", "keyuse", "signer")
 }
 
 func TestHotAlloc(t *testing.T) {

@@ -1,0 +1,22 @@
+// Package proof mirrors the verification surface of internal/proof:
+// every function here returns the caller's only evidence of forgery, so a
+// discarded error IS an accepted forgery.
+package proof
+
+// Verify mirrors Proof.Verify.
+func Verify() ([]byte, error) { return nil, nil }
+
+// VerifyConsistency mirrors the transparency-log consistency check.
+func VerifyConsistency() error { return nil }
+
+func bad() {
+	Verify()            // want "result of proof.Verify includes an error that is discarded"
+	VerifyConsistency() // want "result of proof.VerifyConsistency includes an error that is discarded"
+}
+
+func good() error {
+	if _, err := Verify(); err != nil {
+		return err
+	}
+	return VerifyConsistency()
+}

@@ -1,0 +1,61 @@
+// Package signer mirrors proof.Authority: an Ed25519 signing identity
+// whose seed is key material. The fixture proves the keytaint analyzer
+// covers the transparency-log signer the same way it covers AES keys —
+// a seed leaking into a log line or a wire frame hands the attacker the
+// power to forge epoch roots.
+package signer
+
+import (
+	"fmt"
+	"io"
+
+	"obs"
+)
+
+// Authority holds the signing identity.
+type Authority struct {
+	// seed is the Ed25519 private-key seed.
+	//morph:secret
+	seed []byte
+	pub  []byte
+}
+
+// DeriveSeed derives the signing seed from the master key.
+//
+//morph:secret
+func DeriveSeed(master []byte) []byte {
+	out := make([]byte, len(master))
+	copy(out, master)
+	return out
+}
+
+func logsSeed(a *Authority) {
+	fmt.Printf("seed=%x\n", a.seed) // want "key material flows into fmt.Printf"
+}
+
+func logsDerivedSeed(master []byte) {
+	s := DeriveSeed(master)
+	fmt.Println(string(s)) // want "key material flows into fmt.Println"
+}
+
+func tracesSeed(a *Authority) {
+	obs.Emit(string(a.seed)) // want "key material flows into obs.Emit"
+}
+
+func writesSeed(w io.Writer, a *Authority) {
+	w.Write(a.seed) // want "key material flows into io.Writer.Write"
+}
+
+// KeyDesc is the sealed fingerprint accessor the startup banner uses: it
+// consumes the identity but publishes only a redacted description.
+//
+//morph:sealed
+func (a *Authority) KeyDesc() string {
+	return fmt.Sprintf("ed25519 fp=%016x", obs.Fingerprint(a.seed))
+}
+
+// describesAuthority shows the container rule: the public key and seed
+// length are fine to print.
+func describesAuthority(a *Authority) string {
+	return fmt.Sprintf("authority pub=%x (%d-byte seed)", a.pub, len(a.seed))
+}

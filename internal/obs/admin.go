@@ -20,6 +20,10 @@ type Plane struct {
 	// Health reports serving health; nil means "healthy if reachable".
 	// A non-nil error turns /healthz into a 503 carrying the message.
 	Health func() error
+	// Extra mounts additional operator endpoints on the admin mux, keyed
+	// by pattern (e.g. "/rootz"). Patterns colliding with the built-in
+	// ones are ignored — the built-ins win.
+	Extra map[string]http.HandlerFunc
 }
 
 // Handler returns the admin mux.
@@ -51,6 +55,18 @@ func (p *Plane) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
+	builtin := map[string]bool{
+		"/metricz": true, "/tracez": true, "/healthz": true,
+		"/debug/pprof/": true, "/debug/pprof/cmdline": true,
+		"/debug/pprof/profile": true, "/debug/pprof/symbol": true,
+		"/debug/pprof/trace": true,
+	}
+	for pattern, h := range p.Extra {
+		if builtin[pattern] || h == nil {
+			continue
+		}
+		mux.HandleFunc(pattern, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

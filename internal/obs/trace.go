@@ -27,13 +27,15 @@ const (
 	KindShed                     // A=opcode (request shed by admission control)
 	KindReconnect                // A=attempt number
 	KindRetry                    // A=attempt number, B=1 if shed-triggered
+	KindProofBuild               // A=address, B=chain lines present, Dur=build latency
+	KindRootPublish              // A=epoch, B=log size (transparency-log append)
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"req_start", "req_end", "tree_walk", "overflow", "rebase",
 	"format_switch", "cache_evict", "wal_fsync", "snapshot", "shed",
-	"reconnect", "retry",
+	"reconnect", "retry", "proof_build", "root_publish",
 }
 
 // String returns the snake_case kind name.

@@ -1,0 +1,60 @@
+package proof_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/proof"
+	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/shard"
+)
+
+// ExampleProof_Verify walks the whole trust story end to end: a server
+// holds the memory and the transparency log, a thin client holds only the
+// master key, the pinned signing key, and the deployment parameters — and
+// accepts a read purely because the proof recomputes to the attested root.
+func ExampleProof_Verify() {
+	// ---- Server side: engine plus signing authority. ----
+	key := []byte("0123456789abcdef")
+	enc, tree, _ := shard.Organization("morph128")
+	cfg := shard.Config{
+		Shards: 2,
+		Mem:    secmem.Config{MemoryBytes: 1 << 16, Enc: enc, Tree: tree, Key: key},
+	}
+	sh, _ := shard.New(cfg)
+	authority, _ := proof.NewAuthority(proof.DeriveAuthoritySeed(key))
+
+	line := bytes.Repeat([]byte{0x42}, secmem.LineBytes)
+	_ = sh.Write(0x1C0, line)
+	entry := authority.Publish(proof.CombineRoots(sh.RootDigests()))
+
+	// The server builds the witness and attests the current root.
+	p, _ := sh.Prove(0x1C0)
+	p.Epoch, p.Attestation = authority.Attest(proof.CombineRoots(p.ShardRoots))
+
+	// ---- Client side: no engine, no server trust. ----
+	params := proof.Params{MemoryBytes: 1 << 16, Shards: 2, Enc: enc, Tree: tree}
+	pub := authority.Public()
+
+	// The published epoch root is independently checkable...
+	if err := proof.VerifyEntry(pub, entry, proof.Digest{}); err != nil {
+		fmt.Println("log entry:", err)
+		return
+	}
+	// ...and the read verifies against the attested root, recovering the
+	// plaintext along the way.
+	plain, err := p.Verify(params, key, pub)
+	if err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Printf("epoch %d verified, plaintext[0] = %#x\n", entry.Epoch, plain[0])
+
+	// A flipped ciphertext byte can no longer hide.
+	p.Line[7] ^= 0xFF
+	_, err = p.Verify(params, key, pub)
+	fmt.Println("after tampering:", err)
+	// Output:
+	// epoch 1 verified, plaintext[0] = 0x42
+	// after tampering: proof: verification mismatch at data line 3: MAC mismatch
+}

@@ -1,0 +1,494 @@
+package proof
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// The transparency log is an append-only sequence of epoch-root entries,
+// hash-chained through Prev and merkelized RFC-6962 style so two signed
+// heads of different sizes can be proven consistent (the newer log is an
+// extension of the older) without refetching every entry. Signing domains
+// are disjoint so an entry signature can never be replayed as a head or a
+// live attestation:
+//
+//	"morphproof/entry" — one (epoch, root, prevHash) log entry
+//	"morphproof/head"  — a signed Merkle head over all entries
+//	"morphproof/live"  — a per-read attestation of the current root,
+//	                     between checkpoints (not part of the log)
+
+// Digest is a SHA-256 output; roots, entry hashes, and Merkle nodes all
+// travel as Digests.
+type Digest = [sha256.Size]byte
+
+const (
+	domainEntry    = "morphproof/entry"
+	domainHead     = "morphproof/head"
+	domainLive     = "morphproof/live"
+	domainLeaf     = "morphproof/leaf"
+	domainNode     = "morphproof/node"
+	domainRoot     = "morphproof/root"
+	domainCombined = "morphproof/combined"
+	domainSeed     = "morphproof/seed"
+)
+
+// Entry is one epoch's record in the transparency log.
+type Entry struct {
+	// Epoch is the 1-based position in the log.
+	Epoch uint64
+	// Root is the combined root digest published at this epoch.
+	Root Digest
+	// Prev is the previous entry's hash (zero for epoch 1), chaining the
+	// log independently of the Merkle structure.
+	Prev Digest
+	// Sig is the authority's Ed25519 signature over the entry.
+	Sig []byte
+}
+
+// SignedHead is the authority's commitment to the entire log at one size:
+// the Merkle tree hash over every entry, signed.
+type SignedHead struct {
+	// Size is the number of entries the head covers.
+	Size uint64
+	// Hash is the RFC-6962 Merkle tree hash over entry hashes [0, Size).
+	Hash Digest
+	// Sig is the authority's Ed25519 signature over (Size, Hash).
+	Sig []byte
+}
+
+// EntryHash returns an entry's leaf hash: the value hash-chained into the
+// next entry's Prev and merkelized into heads. The signature is excluded —
+// it authenticates the same fields, so including it would only make leaf
+// hashes signer-dependent.
+func EntryHash(e Entry) Digest {
+	h := sha256.New()
+	h.Write([]byte(domainLeaf))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], e.Epoch)
+	h.Write(buf[:])
+	h.Write(e.Root[:])
+	h.Write(e.Prev[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// nodeHash combines two Merkle subtree hashes.
+func nodeHash(left, right Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte(domainNode))
+	h.Write(left[:])
+	h.Write(right[:])
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// treeHash computes the RFC-6962 Merkle tree hash over leaf hashes: the
+// empty tree hashes the domain alone, a single leaf is its own hash, and
+// larger trees split at the largest power of two strictly less than n.
+func treeHash(leaves []Digest) Digest {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256([]byte(domainNode))
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(treeHash(leaves[:k]), treeHash(leaves[k:]))
+}
+
+// TreeHash computes the RFC-6962 Merkle tree hash over entry leaf hashes
+// (EntryHash per entry, in epoch order). Auditors use it to check a fully
+// fetched log against its signed head.
+func TreeHash(leaves []Digest) Digest {
+	return treeHash(leaves)
+}
+
+// splitPoint returns the largest power of two strictly less than n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// consistencyProof returns the RFC-6962 consistency proof showing the
+// first m leaves are a prefix of all n = len(leaves); empty when m == 0,
+// m == n, or the relation is trivially checkable from the heads alone.
+func consistencyProof(m int, leaves []Digest) []Digest {
+	if m == 0 || m >= len(leaves) {
+		return nil
+	}
+	return subProof(m, leaves, true)
+}
+
+func subProof(m int, leaves []Digest, completeSubtree bool) []Digest {
+	n := len(leaves)
+	if m == n {
+		if completeSubtree {
+			return nil
+		}
+		return []Digest{treeHash(leaves)}
+	}
+	k := splitPoint(n)
+	if m <= k {
+		return append(subProof(m, leaves[:k], completeSubtree), treeHash(leaves[k:]))
+	}
+	return append(subProof(m-k, leaves[k:], false), treeHash(leaves[:k]))
+}
+
+// VerifyConsistency checks an RFC-6962 consistency proof: that the log
+// whose head was oldHash at oldSize is a prefix of the log whose head is
+// newHash at newSize. A failure means the server forked or rewrote
+// history between the two heads.
+func VerifyConsistency(oldSize uint64, oldHash Digest, newSize uint64, newHash Digest, path []Digest) error {
+	forked := fmt.Errorf("proof: log consistency proof failed: size %d head is not a prefix of size %d head (fork or rewritten history)", oldSize, newSize)
+	switch {
+	case oldSize > newSize:
+		return fmt.Errorf("proof: log shrank from %d to %d entries (fork or rewritten history)", oldSize, newSize)
+	case oldSize == newSize:
+		if len(path) != 0 || oldHash != newHash {
+			return forked
+		}
+		return nil
+	case oldSize == 0:
+		// The empty log is a prefix of everything.
+		if len(path) != 0 {
+			return forked
+		}
+		return nil
+	}
+	// RFC 9162 §2.1.4.2. When oldSize is an exact power of two, the old
+	// head is itself the first proof node and is not transmitted.
+	if oldSize&(oldSize-1) == 0 {
+		path = append([]Digest{oldHash}, path...)
+	}
+	if len(path) == 0 {
+		return forked
+	}
+	fn, sn := oldSize-1, newSize-1
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, c := range path[1:] {
+		if sn == 0 {
+			return forked
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			for fn&1 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if fr != oldHash || sr != newHash || sn != 0 {
+		return forked
+	}
+	return nil
+}
+
+// RootDigest binds one shard's root-line encoding to its shard index, so
+// shard roots cannot be swapped between positions inside a combined root.
+func RootDigest(shard int, rootEncoding []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte(domainRoot))
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(shard))
+	h.Write(buf[:])
+	h.Write(rootEncoding)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// CombineRoots folds every shard's root digest into the single combined
+// root the transparency log records.
+func CombineRoots(shardRoots []Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte(domainCombined))
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(shardRoots)))
+	h.Write(buf[:])
+	for i := range shardRoots {
+		h.Write(shardRoots[i][:])
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// entryMessage builds the byte string an entry signature covers.
+func entryMessage(epoch uint64, root, prev Digest) []byte {
+	msg := make([]byte, 0, len(domainEntry)+8+2*sha256.Size)
+	msg = append(msg, domainEntry...)
+	msg = binary.BigEndian.AppendUint64(msg, epoch)
+	msg = append(msg, root[:]...)
+	msg = append(msg, prev[:]...)
+	return msg
+}
+
+// headMessage builds the byte string a head signature covers.
+func headMessage(size uint64, hash Digest) []byte {
+	msg := make([]byte, 0, len(domainHead)+8+sha256.Size)
+	msg = append(msg, domainHead...)
+	msg = binary.BigEndian.AppendUint64(msg, size)
+	msg = append(msg, hash[:]...)
+	return msg
+}
+
+// liveMessage builds the byte string a live attestation covers.
+func liveMessage(epoch uint64, root Digest) []byte {
+	msg := make([]byte, 0, len(domainLive)+8+sha256.Size)
+	msg = append(msg, domainLive...)
+	msg = binary.BigEndian.AppendUint64(msg, epoch)
+	msg = append(msg, root[:]...)
+	return msg
+}
+
+// VerifyEntry checks an entry's signature and its chain link to the
+// previous entry's hash.
+func VerifyEntry(pub ed25519.PublicKey, e Entry, prev Digest) error {
+	if e.Prev != prev {
+		return fmt.Errorf("proof: entry %d prev-hash chain broken", e.Epoch)
+	}
+	if !ed25519.Verify(pub, entryMessage(e.Epoch, e.Root, e.Prev), e.Sig) {
+		return fmt.Errorf("proof: entry %d signature invalid (forged or tampered log entry)", e.Epoch)
+	}
+	return nil
+}
+
+// VerifyHead checks a signed head's signature.
+func VerifyHead(pub ed25519.PublicKey, h SignedHead) error {
+	if !ed25519.Verify(pub, headMessage(h.Size, h.Hash), h.Sig) {
+		return fmt.Errorf("proof: head signature invalid at size %d", h.Size)
+	}
+	return nil
+}
+
+// VerifyAttestation checks a live root attestation: the authority's
+// signature over (epoch, combined root) carried inside each proof.
+func VerifyAttestation(pub ed25519.PublicKey, epoch uint64, root Digest, sig []byte) error {
+	if !ed25519.Verify(pub, liveMessage(epoch, root), sig) {
+		return fmt.Errorf("proof: root attestation signature invalid at epoch %d", epoch)
+	}
+	return nil
+}
+
+// DeriveAuthoritySeed derives a deterministic Ed25519 seed from the AES
+// master key, for demo deployments where one secret configures the whole
+// stack. Production deployments should pass an independently generated
+// seed instead, so the signing identity does not fall with the data key.
+//
+//morph:secret
+func DeriveAuthoritySeed(master []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(domainSeed))
+	h.Write(master)
+	return h.Sum(nil)[:ed25519.SeedSize]
+}
+
+// Authority is the server-side signer and log keeper: it holds the
+// Ed25519 key, appends one entry per checkpoint epoch, signs heads, and
+// attests the live root inside proofs. Safe for concurrent use.
+type Authority struct {
+	// seed is the Ed25519 private-key seed.
+	//
+	//morph:secret
+	seed []byte
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+
+	mu      sync.Mutex
+	entries []Entry
+	// published is the IsNew-style batch watermark (alinush, SNIPPETS §1):
+	// entries[:published] are covered by an already-signed head; entries
+	// beyond it are freshly appended ("new") until the next Head call
+	// signs a head covering them, which advances the watermark. /rootz
+	// exposes both numbers so an auditor can see unpublished appends.
+	published uint64
+	head      SignedHead
+}
+
+// NewAuthority builds an authority from an Ed25519 seed; a nil seed draws
+// a fresh one from crypto/rand (the signing identity then lives only for
+// this process).
+func NewAuthority(seed []byte) (*Authority, error) {
+	if seed == nil {
+		seed = make([]byte, ed25519.SeedSize)
+		if _, err := rand.Read(seed); err != nil {
+			return nil, fmt.Errorf("proof: generate seed: %w", err)
+		}
+	}
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("proof: seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	owned := make([]byte, len(seed))
+	copy(owned, seed)
+	a := &Authority{seed: owned, priv: ed25519.NewKeyFromSeed(owned)}
+	a.pub = a.priv.Public().(ed25519.PublicKey)
+	a.head = a.signHeadLocked()
+	return a, nil
+}
+
+// Public returns the authority's Ed25519 public key (32 bytes, safe to
+// publish — clients pin it).
+func (a *Authority) Public() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(a.pub))
+	copy(out, a.pub)
+	return out
+}
+
+// KeyDesc renders the signing identity as a loggable description: the
+// public key's fingerprint, never the seed.
+//
+//morph:sealed
+func (a *Authority) KeyDesc() string {
+	fp := sha256.Sum256(a.pub)
+	return fmt.Sprintf("ed25519 fp=%016x", binary.BigEndian.Uint64(fp[:8]))
+}
+
+// Size returns the number of published log entries.
+func (a *Authority) Size() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(len(a.entries))
+}
+
+// Unpublished returns how many appended entries the latest signed head
+// does not yet cover (the IsNew watermark gap; 0 in steady state because
+// Publish signs a fresh head for each batch).
+func (a *Authority) Unpublished() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(len(a.entries)) - a.published
+}
+
+// Publish appends the combined root as the next epoch's entry, signs it,
+// and signs a new head covering it. It returns the appended entry.
+func (a *Authority) Publish(root Digest) Entry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var prev Digest
+	if n := len(a.entries); n > 0 {
+		prev = EntryHash(a.entries[n-1])
+	}
+	e := Entry{
+		Epoch: uint64(len(a.entries)) + 1,
+		Root:  root,
+		Prev:  prev,
+	}
+	e.Sig = ed25519.Sign(a.priv, entryMessage(e.Epoch, e.Root, e.Prev))
+	a.entries = append(a.entries, e)
+	a.head = a.signHeadLocked()
+	a.published = uint64(len(a.entries))
+	return e
+}
+
+// signHeadLocked recomputes and signs the head over the current entries.
+// Leaf hashes are recomputed from the entries each time rather than
+// cached, so the adversary interface (TamperEntry) is reflected in what
+// the server serves — exactly the equivocation auditors must catch.
+func (a *Authority) signHeadLocked() SignedHead {
+	h := SignedHead{Size: uint64(len(a.entries)), Hash: treeHash(a.leafHashesLocked())}
+	h.Sig = ed25519.Sign(a.priv, headMessage(h.Size, h.Hash))
+	return h
+}
+
+func (a *Authority) leafHashesLocked() []Digest {
+	leaves := make([]Digest, len(a.entries))
+	for i := range a.entries {
+		leaves[i] = EntryHash(a.entries[i])
+	}
+	return leaves
+}
+
+// Attest signs the current combined root under the live domain, tagged
+// with the current log size. Reads between checkpoints carry this
+// attestation; it commits the authority to the root without appending an
+// epoch entry.
+func (a *Authority) Attest(root Digest) (epoch uint64, sig []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	epoch = uint64(len(a.entries))
+	return epoch, ed25519.Sign(a.priv, liveMessage(epoch, root))
+}
+
+// Head returns the latest signed head. The head is recomputed from the
+// stored entries (not replayed from a cache), so storage-level tampering
+// with an already-published entry shows up as an equivocating head.
+func (a *Authority) Head() SignedHead {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.signHeadLocked()
+}
+
+// Latest returns the newest entry and true, or a zero entry and false for
+// an empty log.
+func (a *Authority) Latest() (Entry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.entries) == 0 {
+		return Entry{}, false
+	}
+	return cloneEntry(a.entries[len(a.entries)-1]), true
+}
+
+// Entries returns entries with 0-based indices [from, to) — epochs
+// from+1 through to.
+func (a *Authority) Entries(from, to uint64) ([]Entry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if from > to || to > uint64(len(a.entries)) {
+		return nil, fmt.Errorf("proof: entry range [%d, %d) outside log of %d entries", from, to, len(a.entries))
+	}
+	out := make([]Entry, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, cloneEntry(a.entries[i]))
+	}
+	return out, nil
+}
+
+// ConsistencyProof returns the proof that the size-m log is a prefix of
+// the size-n log.
+func (a *Authority) ConsistencyProof(m, n uint64) ([]Digest, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m > n || n > uint64(len(a.entries)) {
+		return nil, fmt.Errorf("proof: consistency range (%d, %d) outside log of %d entries", m, n, len(a.entries))
+	}
+	return consistencyProof(int(m), a.leafHashesLocked()[:n]), nil
+}
+
+// TamperEntry flips one byte of a stored entry's root (adversary
+// interface, mirroring Store.FlipBit): it models a server whose log
+// storage was rewritten after publication. It reports whether the entry
+// existed. Subsequent heads and ranges serve the tampered entry, which
+// auditors must reject by signature and head-consistency checks.
+func (a *Authority) TamperEntry(epoch uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if epoch < 1 || epoch > uint64(len(a.entries)) {
+		return false
+	}
+	a.entries[epoch-1].Root[0] ^= 0x01
+	return true
+}
+
+func cloneEntry(e Entry) Entry {
+	e.Sig = append([]byte(nil), e.Sig...)
+	return e
+}

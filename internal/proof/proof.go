@@ -1,0 +1,184 @@
+package proof
+
+import (
+	"crypto/ed25519"
+	"fmt"
+
+	"github.com/securemem/morphtree/internal/aesctr"
+	"github.com/securemem/morphtree/internal/counters"
+	"github.com/securemem/morphtree/internal/mac"
+	"github.com/securemem/morphtree/internal/tree"
+)
+
+// Proof is a self-contained witness for one read: everything a verifier
+// needs to recompute the MAC chain from the ciphertext up to the owning
+// shard's root, plus the authority's attestation binding that root to the
+// current epoch. Absent lines (nil Line, nil Chain entries) assert the
+// never-written state, which the verifier accepts only where the parent
+// counter is zero — exactly the engine's own rule.
+type Proof struct {
+	// Addr is the global line-aligned address the proof covers.
+	Addr uint64
+	// Shards is the serving layout's shard count; Shard is the shard that
+	// owns Addr under the round-robin line interleave.
+	Shards uint32
+	Shard  uint32
+	// Epoch is the transparency-log size at proof-build time; the
+	// attestation is signed against it.
+	Epoch uint64
+	// Line is the stored ciphertext (64 bytes), or nil for a line that was
+	// never written. LineMAC is its stored data MAC (meaningful only when
+	// Line is present).
+	Line    []byte
+	LineMAC uint64
+	// Chain holds the raw counter line on the verification path at every
+	// level below the root: Chain[0] is the encryption-counter line,
+	// Chain[l] the tree level-l line, for l in [0, rootLevel). A nil entry
+	// asserts the line was never materialized.
+	Chain [][]byte
+	// Root is the owning shard's root line encoding (held on-chip by the
+	// engine; trusted here via ShardRoots and the attestation).
+	Root []byte
+	// ShardRoots holds every shard's root digest; CombineRoots over them
+	// is the combined root the attestation signs.
+	ShardRoots []Digest
+	// Attestation is the authority's live signature over
+	// (Epoch, CombineRoots(ShardRoots)).
+	Attestation []byte
+}
+
+// Params describes the serving layout a verifier checks proofs against: the
+// same organization knobs morphserve was started with.
+type Params struct {
+	// MemoryBytes is the total protected capacity across all shards.
+	MemoryBytes uint64
+	// Shards is the shard count.
+	Shards int
+	// Enc is the encryption-counter organization; Tree the per-level tree
+	// schedule (last element repeating), as in secmem.Config.
+	Enc  counters.Spec
+	Tree []counters.Spec
+	// MACWidth is the truncated MAC width (0 = mac.Width56, the default).
+	MACWidth mac.Width
+}
+
+// Verify recomputes the proof's entire MAC chain from the master key and
+// returns the decrypted plaintext line. It trusts nothing from the server:
+// the root must match its digest in ShardRoots, the combined root must
+// carry a valid attestation under pub (skipped when pub is nil), and every
+// link down to the ciphertext must MAC-verify. Any broken link returns a
+// *MismatchError; malformed structure returns a plain error.
+func (p *Proof) Verify(params Params, masterKey []byte, pub ed25519.PublicKey) ([]byte, error) {
+	if params.Shards < 1 {
+		return nil, fmt.Errorf("proof: params shard count %d must be >= 1", params.Shards)
+	}
+	stride := uint64(params.Shards) * LineBytes
+	if params.MemoryBytes == 0 || params.MemoryBytes%stride != 0 {
+		return nil, fmt.Errorf("proof: params capacity %d is not a positive multiple of %d shards x %d-byte lines", params.MemoryBytes, params.Shards, LineBytes)
+	}
+	if p.Shards != uint32(params.Shards) {
+		return nil, fmt.Errorf("proof: proof built for %d shards, verifier expects %d", p.Shards, params.Shards)
+	}
+	if len(p.ShardRoots) != params.Shards {
+		return nil, fmt.Errorf("proof: %d shard roots for %d shards", len(p.ShardRoots), params.Shards)
+	}
+	shardIdx, localAddr, err := Locate(params.MemoryBytes, params.Shards, p.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(shardIdx) != p.Shard {
+		return nil, fmt.Errorf("proof: address %#x routes to shard %d, proof claims shard %d", p.Addr, shardIdx, p.Shard)
+	}
+
+	// Anchor the root: attestation over the combined root, then this
+	// shard's root line against its digest.
+	if pub != nil {
+		if err := VerifyAttestation(pub, p.Epoch, CombineRoots(p.ShardRoots), p.Attestation); err != nil {
+			return nil, err
+		}
+	}
+	arities := make([]int, len(params.Tree))
+	for i, s := range params.Tree {
+		arities[i] = s.Arity
+	}
+	geom, err := tree.New(params.MemoryBytes/uint64(params.Shards), params.Enc.Arity, arities)
+	if err != nil {
+		return nil, err
+	}
+	rootLevel := geom.RootLevel()
+	if RootDigest(shardIdx, p.Root) != p.ShardRoots[shardIdx] {
+		return nil, &MismatchError{Level: rootLevel, Index: 0, Reason: "root disagrees with its attested digest"}
+	}
+	if len(p.Chain) != rootLevel {
+		return nil, fmt.Errorf("proof: chain has %d levels, layout needs %d", len(p.Chain), rootLevel)
+	}
+
+	key, err := DeriveShardKey(masterKey, shardIdx)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWalker(params.Enc, params.Tree, key, params.MACWidth)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index of the path line at each level, bottom-up.
+	d := localAddr / LineBytes
+	idxs := make([]uint64, rootLevel)
+	idxs[0], _ = geom.EncSlot(d)
+	for l := 0; l < rootLevel-1; l++ {
+		idxs[l+1], _ = geom.ParentSlot(l, idxs[l])
+	}
+
+	// Walk the chain top-down: each level's block is authenticated by the
+	// minor counter its parent holds for it, starting from the root.
+	parent, err := w.SpecAt(rootLevel).Decode(p.Root)
+	if err != nil {
+		return nil, &MismatchError{Level: rootLevel, Index: 0, Reason: fmt.Sprintf("undecodable root line: %v", err)}
+	}
+	var blk counters.Block
+	for l := rootLevel - 1; l >= 0; l-- {
+		_, slot := geom.ParentSlot(l, idxs[l])
+		pv := parent.Value(slot)
+		if p.Chain[l] == nil {
+			// A missing line is legitimate only before its first write,
+			// i.e. while the parent's counter for it is still zero.
+			if pv != 0 {
+				return nil, &MismatchError{Level: l, Index: idxs[l], Reason: "line absent but parent counter is non-zero"}
+			}
+			blk = w.SpecAt(l).New()
+		} else {
+			blk, err = w.DecodeVerify(l, idxs[l], p.Chain[l], pv)
+			if err != nil {
+				return nil, err
+			}
+		}
+		parent = blk
+	}
+
+	// parent is now the encryption-counter block; authenticate and decrypt
+	// the data line under its minor counter.
+	_, slot := geom.EncSlot(d)
+	ctr := parent.Value(slot)
+	if p.Line == nil {
+		if ctr != 0 {
+			return nil, &MismatchError{Level: -1, Index: d, Reason: "data line absent but encryption counter is non-zero"}
+		}
+		return make([]byte, LineBytes), nil
+	}
+	if len(p.Line) != LineBytes {
+		return nil, fmt.Errorf("proof: data line is %d bytes, want %d", len(p.Line), LineBytes)
+	}
+	if err := w.VerifyData(p.Line, ctr, localAddr, p.LineMAC); err != nil {
+		return nil, err
+	}
+	cipher, err := aesctr.New(key)
+	if err != nil {
+		return nil, err
+	}
+	plain := make([]byte, LineBytes)
+	if err := cipher.XOR(plain, p.Line, localAddr, ctr); err != nil {
+		return nil, err
+	}
+	return plain, nil
+}

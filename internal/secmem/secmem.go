@@ -13,6 +13,7 @@
 package secmem
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"github.com/securemem/morphtree/internal/counters"
 	"github.com/securemem/morphtree/internal/mac"
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/tree"
 )
 
@@ -158,6 +160,7 @@ type Memory struct {
 	geom   *tree.Geometry
 	cipher *aesctr.Cipher
 	keyer  *mac.Keyer
+	walker *proof.Walker
 	store  *Store
 
 	// ins must be set (via Instrument) before any concurrent use; after
@@ -211,11 +214,16 @@ func New(cfg Config) (*Memory, error) {
 	if err != nil {
 		return nil, err
 	}
+	walker, err := proof.NewWalker(cfg.Enc, cfg.Tree, cfg.Key, cfg.MACWidth)
+	if err != nil {
+		return nil, err
+	}
 	m := &Memory{
 		cfg:     cfg,
 		geom:    geom,
 		cipher:  cipher,
 		keyer:   keyer,
+		walker:  walker,
 		store:   newStore(geom.RootLevel()),
 		trusted: make([]map[uint64]counters.Block, geom.RootLevel()),
 		root:    cfg.specAt(geom.RootLevel()).New(),
@@ -436,8 +444,11 @@ func (m *Memory) read(addr uint64) ([]byte, error) {
 		return nil, &IntegrityError{Level: -1, Index: d, Reason: "written line missing from memory"}
 	}
 	storedMAC, ok := m.store.dataMAC[d]
-	if !ok || m.keyer.Data(ct, ctr, addr) != storedMAC {
+	if !ok {
 		return nil, &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch"}
+	}
+	if err := m.walker.VerifyData(ct, ctr, addr, storedMAC); err != nil {
+		return nil, integrityFromMismatch(err)
 	}
 	pt := make([]byte, LineBytes)
 	if err := m.cipher.XOR(pt, ct, addr, ctr); err != nil {
@@ -610,22 +621,28 @@ func (m *Memory) trustedBlock(level int, idx uint64) (counters.Block, error) {
 }
 
 // decodeAndVerify unpacks a stored counter line and checks its MAC against
-// the expected parent counter value.
+// the expected parent counter value. The actual walk logic lives in
+// proof.Walker so client-side verifiers run the identical code; this
+// wrapper only converts the walker's typed mismatch into the engine's.
 //
 //morph:hotpath
 func (m *Memory) decodeAndVerify(level int, idx uint64, raw []byte, parentValue uint64) (counters.Block, error) {
-	blk, err := m.cfg.specAt(level).Decode(raw)
+	blk, err := m.walker.DecodeVerify(level, idx, raw, parentValue)
 	if err != nil {
-		return nil, &IntegrityError{Level: level, Index: idx, Reason: fmt.Sprintf("undecodable line: %v", err)}
-	}
-	stored := blk.MAC()
-	blk.SetMAC(0)
-	want := m.keyer.Counter(blk.Encode(), parentValue, level, idx)
-	blk.SetMAC(stored)
-	if stored != want {
-		return nil, &IntegrityError{Level: level, Index: idx, Reason: "MAC mismatch"}
+		return nil, integrityFromMismatch(err)
 	}
 	return blk, nil
+}
+
+// integrityFromMismatch converts a *proof.MismatchError into the engine's
+// *IntegrityError, preserving level, index, and reason, so the package's
+// error contract is unchanged by the shared-walker refactor.
+func integrityFromMismatch(err error) error {
+	var me *proof.MismatchError
+	if errors.As(err, &me) {
+		return &IntegrityError{Level: me.Level, Index: me.Index, Reason: me.Reason}
+	}
+	return err
 }
 
 // storeBlock seals a block with its parent's current counter value and
@@ -698,6 +715,43 @@ func (m *Memory) WriteAt(p []byte, off uint64) error {
 		off += uint64(n)
 	}
 	return nil
+}
+
+// Prove snapshots the raw material for a read proof at a line-aligned
+// address: the stored ciphertext and MAC (nil/0 if never written), the raw
+// counter line at every level on the verification path (nil entries for
+// never-materialized lines), and the on-chip root's encoding. Everything
+// is cloned under the engine lock, so the proof is a consistent point-in-
+// time view even with concurrent writers; the engine does NOT verify the
+// chain here — the whole point is that the verifier recomputes it.
+func (m *Memory) Prove(addr uint64) (line []byte, lineMAC uint64, chain [][]byte, root []byte, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkAddr(addr); err != nil {
+		return nil, 0, nil, nil, err
+	}
+	d := addr / LineBytes
+	if ct, ok := m.store.data[d]; ok {
+		line = append([]byte(nil), ct...)
+		lineMAC = m.store.dataMAC[d]
+	}
+	chain = make([][]byte, m.geom.RootLevel())
+	idx, _ := m.geom.EncSlot(d)
+	for level := 0; level < m.geom.RootLevel(); level++ {
+		if raw, ok := m.store.CounterLine(level, idx); ok {
+			chain[level] = append([]byte(nil), raw...)
+		}
+		idx, _ = m.geom.ParentSlot(level, idx)
+	}
+	return line, lineMAC, chain, m.root.Encode(), nil
+}
+
+// RootEncoding returns the on-chip root line's current encoding, cloned
+// under the engine lock. The transparency log publishes digests of it.
+func (m *Memory) RootEncoding() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.root.Encode()
 }
 
 // VerifyAll re-verifies every written data line from a cold metadata cache,

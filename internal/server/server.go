@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/wire"
 )
@@ -58,6 +59,23 @@ type Checkpointer interface {
 // buffered WAL appends to stable storage after the last connection drains.
 type Flusher interface {
 	Flush() error
+}
+
+// Prover is the optional engine surface behind OpProof and the
+// transparency log: building a verifiable-read witness and reporting
+// every shard's root digest. Both *shard.Sharded and *durable.Memory
+// implement it; proof requests against an engine without it (or a server
+// without an Authority) fail with a StatusError.
+type Prover interface {
+	Prove(addr uint64) (*proof.Proof, error)
+	RootDigests() []proof.Digest
+}
+
+// checkpointNotifier is the optional engine surface for learning when a
+// durable checkpoint was cut, so each checkpoint epoch's root lands in the
+// transparency log. *durable.Memory implements it.
+type checkpointNotifier interface {
+	OnCheckpoint(fn func(seq uint64))
 }
 
 // Config tunes the listener's limits.
@@ -98,6 +116,12 @@ type Config struct {
 	// Logf, when set, receives background-activity reports (periodic
 	// checkpoints, shutdown flush failures). Nil discards them.
 	Logf func(format string, args ...any)
+	// Authority, when non-nil and the engine is a Prover, turns on the
+	// verifiable-read surface: OpProof responses carry its live root
+	// attestation, and OpRoot/OpRootRange serve its transparency log. The
+	// server publishes the engine's combined root to the log once at
+	// startup and again after every durable checkpoint.
+	Authority *proof.Authority
 	// Obs, when non-nil, turns on request instrumentation: per-op latency
 	// histograms (server.op.<name>.latency), a server.inflight gauge, a
 	// pull-time collector for the admission counters, and the OpObs
@@ -156,6 +180,14 @@ type Server struct {
 	opLat [256]*obs.Histogram
 	// inflight mirrors the admission gate's occupancy as a gauge.
 	inflight *obs.Gauge
+	// prover is the engine's optional proof surface (nil when the engine
+	// cannot prove or no Authority is configured).
+	prover Prover
+	// Proof-path instruments (nil-safe when Config.Obs is nil).
+	proofLat     *obs.Histogram // proof.build.latency
+	epochGauge   *obs.Gauge     // proof.epoch (current transparency-log size)
+	proofsServed *obs.Counter   // proof.served
+	proofsFailed *obs.Counter   // proof.failed
 
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
@@ -181,6 +213,7 @@ func New(eng Engine, cfg Config) *Server {
 		for _, op := range []byte{
 			wire.OpRead, wire.OpWrite, wire.OpVerify, wire.OpStats,
 			wire.OpSnapshot, wire.OpTamper, wire.OpCheckpoint, wire.OpObs,
+			wire.OpProof, wire.OpRoot, wire.OpRootRange,
 		} {
 			s.opLat[op] = cfg.Obs.Histogram("server.op." + wire.OpName(op) + ".latency")
 		}
@@ -194,7 +227,35 @@ func New(eng Engine, cfg Config) *Server {
 			emit("server.slow_loris", ns.SlowLoris)
 		})
 	}
+	if cfg.Authority != nil {
+		if pr, ok := eng.(Prover); ok {
+			s.prover = pr
+			if cfg.Obs != nil {
+				s.proofLat = cfg.Obs.Histogram("proof.build.latency")
+				s.epochGauge = cfg.Obs.Gauge("proof.epoch")
+				s.proofsServed = cfg.Obs.Counter("proof.served")
+				s.proofsFailed = cfg.Obs.Counter("proof.failed")
+			}
+			// The log's first entry pins the engine's recovered (or empty)
+			// state, so an auditor has a root to verify against before the
+			// first checkpoint ever fires.
+			s.publishRoot()
+			if cn, ok := eng.(checkpointNotifier); ok {
+				cn.OnCheckpoint(func(uint64) { s.publishRoot() })
+			}
+		}
+	}
 	return s
+}
+
+// publishRoot appends the engine's current combined root to the
+// transparency log as a new epoch and reflects it in telemetry. Called at
+// startup and after every durable checkpoint.
+func (s *Server) publishRoot() {
+	e := s.cfg.Authority.Publish(proof.CombineRoots(s.prover.RootDigests()))
+	s.epochGauge.Set(int64(e.Epoch))
+	s.cfg.Tracer.Emit(obs.KindRootPublish, -1, e.Epoch, s.cfg.Authority.Size(), 0)
+	s.logf("server: published epoch %d root to transparency log", e.Epoch)
 }
 
 // NetStats returns a snapshot of the admission-control counters.
@@ -516,6 +577,78 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 			return wire.StatusError, []byte("obs: server has no metrics registry (start with -admin)")
 		}
 		body, err := s.cfg.Obs.Snapshot().Encode()
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, body
+
+	case wire.OpProof:
+		if s.prover == nil {
+			return wire.StatusError, []byte("proof: server has no proving engine or signing authority")
+		}
+		addr, err := wire.DecodeAddr(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		start := time.Now()
+		p, err := s.prover.Prove(addr)
+		if err != nil {
+			s.proofsFailed.Inc()
+			return wire.EncodeError(err)
+		}
+		p.Epoch, p.Attestation = s.cfg.Authority.Attest(proof.CombineRoots(p.ShardRoots))
+		body, err := p.Encode(nil)
+		if err != nil {
+			s.proofsFailed.Inc()
+			return wire.EncodeError(err)
+		}
+		dur := time.Since(start)
+		s.proofLat.Record(dur)
+		present := uint64(0)
+		for _, line := range p.Chain {
+			if line != nil {
+				present++
+			}
+		}
+		s.cfg.Tracer.Emit(obs.KindProofBuild, int32(p.Shard), addr, present, dur)
+		s.proofsServed.Inc()
+		return wire.StatusOK, body
+
+	case wire.OpRoot:
+		if s.cfg.Authority == nil {
+			return wire.StatusError, []byte("root: server has no signing authority")
+		}
+		info := proof.RootInfo{
+			Pub:  s.cfg.Authority.Public(),
+			Head: s.cfg.Authority.Head(),
+		}
+		if latest, ok := s.cfg.Authority.Latest(); ok {
+			info.Latest = &latest
+		}
+		body, err := info.Encode(nil)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, body
+
+	case wire.OpRootRange:
+		if s.cfg.Authority == nil {
+			return wire.StatusError, []byte("root_range: server has no signing authority")
+		}
+		from, to, err := wire.DecodeRootRange(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		entries, err := s.cfg.Authority.Entries(from, to)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		cons, err := s.cfg.Authority.ConsistencyProof(from, to)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		rr := proof.RangeResult{From: from, To: to, Entries: entries, Proof: cons}
+		body, err := rr.Encode(nil)
 		if err != nil {
 			return wire.EncodeError(err)
 		}

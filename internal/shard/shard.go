@@ -13,14 +13,13 @@ package shard
 
 import (
 	"bytes"
-	"crypto/hmac"
-	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
 
 	"github.com/securemem/morphtree/internal/counters"
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 )
 
@@ -100,18 +99,17 @@ func (c Config) instrument(m *secmem.Memory, i int) {
 }
 
 // deriveKey derives shard i's sub-key from the master key, preserving the
-// master's AES key length.
+// master's AES key length. The derivation itself lives in internal/proof
+// (the single shared definition) so client-side verifiers reproduce it
+// without importing the serving stack.
 //
 //morph:secret
 func deriveKey(master []byte, i int) ([]byte, error) {
-	switch len(master) {
-	case 16, 24, 32:
-	default:
-		return nil, fmt.Errorf("shard: master key must be 16, 24, or 32 bytes, got %d", len(master))
+	key, err := proof.DeriveShardKey(master, i)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
 	}
-	mac := hmac.New(sha256.New, master)
-	fmt.Fprintf(mac, "morphtree/shard/%d", i)
-	return mac.Sum(nil)[:len(master)], nil
+	return key, nil
 }
 
 // Locate maps a line-aligned global address to (shard, local address).
@@ -236,6 +234,52 @@ func (s *Sharded) VerifyAll() error {
 		}
 	}
 	return nil
+}
+
+// Prove builds the verification witness for a read at a global address:
+// the owning shard's ciphertext, MAC, and counter-line chain up to its
+// root, plus every shard's current root digest (so the verifier can bind
+// the witness to the combined root the transparency log publishes). The
+// Epoch and Attestation fields are left for the serving layer to fill —
+// the engine has no signing authority.
+func (s *Sharded) Prove(addr uint64) (*proof.Proof, error) {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return nil, err
+	}
+	line, lineMAC, chain, root, err := s.shards[idx].Prove(local)
+	if err != nil {
+		return nil, err
+	}
+	p := &proof.Proof{
+		Addr:       addr,
+		Shards:     uint32(s.cfg.Shards),
+		Shard:      uint32(idx),
+		Line:       line,
+		LineMAC:    lineMAC,
+		Chain:      chain,
+		Root:       root,
+		ShardRoots: make([]proof.Digest, s.cfg.Shards),
+	}
+	for j := range s.shards {
+		if j == idx {
+			p.ShardRoots[j] = proof.RootDigest(j, root)
+			continue
+		}
+		p.ShardRoots[j] = proof.RootDigest(j, s.shards[j].RootEncoding())
+	}
+	return p, nil
+}
+
+// RootDigests returns every shard's current root digest. CombineRoots
+// over the result is the combined root the transparency log records at a
+// checkpoint epoch.
+func (s *Sharded) RootDigests() []proof.Digest {
+	out := make([]proof.Digest, len(s.shards))
+	for i, m := range s.shards {
+		out[i] = proof.RootDigest(i, m.RootEncoding())
+	}
+	return out
 }
 
 // FlipDataBit flips one stored ciphertext bit of the line at a global

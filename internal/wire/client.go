@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 )
 
@@ -220,6 +221,48 @@ func (c *Client) Obs() ([]byte, error) {
 		return nil, err
 	}
 	return append([]byte(nil), body...), nil
+}
+
+// Proof fetches the verifiable-read witness for a line-aligned address.
+// The returned proof is fully decoded into fresh allocations, safe to
+// retain; verify it with proof.Proof.Verify. Servers without a prover
+// answer *RemoteError.
+func (c *Client) Proof(addr uint64) (*proof.Proof, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.req = AppendAddr(c.req[:0], addr)
+	body, err := c.roundTrip(OpProof, c.req)
+	if err != nil {
+		return nil, err
+	}
+	return proof.DecodeProof(body)
+}
+
+// Root fetches the transparency log's current position: the authority's
+// public key, latest signed head, and newest entry. Fully decoded, safe
+// to retain.
+func (c *Client) Root() (*proof.RootInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpRoot, nil)
+	if err != nil {
+		return nil, err
+	}
+	return proof.DecodeRootInfo(body)
+}
+
+// RootRange fetches transparency-log entries with 0-based indices
+// [from, to) plus the consistency proof between the size-from and size-to
+// logs. Fully decoded, safe to retain.
+func (c *Client) RootRange(from, to uint64) (*proof.RangeResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.req = AppendRootRange(c.req[:0], from, to)
+	body, err := c.roundTrip(OpRootRange, c.req)
+	if err != nil {
+		return nil, err
+	}
+	return proof.DecodeRangeResult(body)
 }
 
 // Tamper asks the server to flip a stored ciphertext bit at an address —

@@ -67,6 +67,21 @@ func DecodeWrite(p []byte) (uint64, []byte, error) {
 	return binary.BigEndian.Uint64(p), p[addrBytes:], nil
 }
 
+// AppendRootRange appends an OpRootRange payload — the 0-based entry
+// range [from, to) — to dst and returns the extended slice.
+func AppendRootRange(dst []byte, from, to uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, from)
+	return binary.BigEndian.AppendUint64(dst, to)
+}
+
+// DecodeRootRange decodes an OpRootRange payload.
+func DecodeRootRange(p []byte) (from, to uint64, err error) {
+	if len(p) != 2*addrBytes {
+		return 0, 0, fmt.Errorf("wire: root-range payload is %d bytes, want %d", len(p), 2*addrBytes)
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[addrBytes:]), nil
+}
+
 // EncodeStats encodes an OpStats OK payload.
 func EncodeStats(s secmem.Stats) ([]byte, error) {
 	b, err := json.Marshal(s)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/securemem/morphtree/internal/obs"
+	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
 )
 
@@ -336,6 +337,40 @@ func (r *ResilientClient) Checkpoint() (uint64, error) {
 // follow RetryWrites like Write does.
 func (r *ResilientClient) Tamper(addr uint64) error {
 	return r.do(r.cfg.RetryWrites, "TAMPER", func(cl *Client) error { return cl.Tamper(addr) })
+}
+
+// Proof fetches the verifiable-read witness for an address. Idempotent.
+func (r *ResilientClient) Proof(addr uint64) (*proof.Proof, error) {
+	var p *proof.Proof
+	err := r.do(true, "PROOF", func(cl *Client) error {
+		var err error
+		p, err = cl.Proof(addr)
+		return err
+	})
+	return p, err
+}
+
+// Root fetches the transparency log's current position. Idempotent.
+func (r *ResilientClient) Root() (*proof.RootInfo, error) {
+	var ri *proof.RootInfo
+	err := r.do(true, "ROOT", func(cl *Client) error {
+		var err error
+		ri, err = cl.Root()
+		return err
+	})
+	return ri, err
+}
+
+// RootRange fetches transparency-log entries [from, to) with the
+// consistency proof between the two log sizes. Idempotent.
+func (r *ResilientClient) RootRange(from, to uint64) (*proof.RangeResult, error) {
+	var rr *proof.RangeResult
+	err := r.do(true, "ROOTRANGE", func(cl *Client) error {
+		var err error
+		rr, err = cl.RootRange(from, to)
+		return err
+	})
+	return rr, err
 }
 
 // Obs fetches the server's obs registry snapshot as raw JSON. Idempotent.

@@ -55,6 +55,21 @@ const (
 	// telemetry without the admin HTTP plane. Servers without a registry
 	// answer StatusError.
 	OpObs byte = 0x09
+	// OpProof is the verifiable read: payload is a u64 address; the OK
+	// response is an encoded proof.Proof — the ciphertext, its MAC, the
+	// counter line at every tree level on its path, the shard roots, and
+	// the authority's attestation — which proof.Verify recomputes with
+	// zero server trust. Servers without a prover answer StatusError.
+	OpProof byte = 0x0A
+	// OpRoot returns the transparency log's current position: the
+	// authority's public key, its latest signed head, and the newest epoch
+	// entry (an encoded proof.RootInfo).
+	OpRoot byte = 0x0B
+	// OpRootRange returns transparency-log entries with 0-based indices
+	// [from, to) plus the consistency proof between the size-from and
+	// size-to logs (an encoded proof.RangeResult). Payload is two u64s;
+	// a range outside the log answers StatusError.
+	OpRootRange byte = 0x0C
 )
 
 // opNames maps opcodes to the names used in per-op metric keys
@@ -69,6 +84,9 @@ var opNames = map[byte]string{
 	OpCheckpoint: "checkpoint",
 	OpPing:       "ping",
 	OpObs:        "obs",
+	OpProof:      "proof",
+	OpRoot:       "root",
+	OpRootRange:  "root_range",
 }
 
 // OpName returns the lowercase name of an opcode, or "op_%02x" for
