@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke proof-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke proof-smoke tenant-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -34,10 +34,10 @@ lint-baseline: bin/morphlint
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-bin/morphserve: $(shell find cmd/morphserve internal/server internal/shard internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+bin/morphserve: $(shell find cmd/morphserve internal/server internal/shard internal/wire internal/secmem internal/tenant -name '*.go' -not -name '*_test.go' 2>/dev/null)
 	$(GO) build -o bin/morphserve ./cmd/morphserve
 
-bin/morphload: $(shell find cmd/morphload internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+bin/morphload: $(shell find cmd/morphload internal/wire internal/secmem internal/tenant -name '*.go' -not -name '*_test.go' 2>/dev/null)
 	$(GO) build -o bin/morphload ./cmd/morphload
 
 # Loopback smoke test of the serving layer: morphload drives a local
@@ -111,6 +111,20 @@ proof-smoke: bin/morphload bin/morphaudit
 	bin/morphaudit -addr 127.0.0.1:7643 -once -state bin/audit.state; RC=$$?; \
 	if [ $$RC -ne 1 ]; then echo "proof-smoke: forged root log: want exit 1, got $$RC"; STATUS=1; fi; \
 	kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; exit $$STATUS
+
+# Multi-tenant isolation smoke test: a race-built morphserve with per-tenant
+# key domains and quotas, then morphload -mix runs the protected victim solo
+# and against a greedy rate-capped aggressor. Passes only if the victim's
+# p99 stays under 2x its solo baseline while the aggressor is shed, and a
+# cross-tenant read is denied with a typed integrity error. Writes
+# BENCH_tenant.json.
+tenant-smoke: bin/morphload
+	$(GO) build -race -o bin/morphserve.race ./cmd/morphserve
+	printf '[{"id":"victim","secret":"vs","weight":4},{"id":"greedy","secret":"gs","weight":1,"ops_per_sec":400,"max_inflight":8}]\n' > bin/tenants.json
+	bin/morphserve.race -addr 127.0.0.1:7743 -shards 4 -org morph128 -tenants bin/tenants.json & \
+	SERVE_PID=$$!; sleep 1; \
+	bin/morphload -addr 127.0.0.1:7743 -clients 4 -duration 3s -mix bin/tenants.json -out BENCH_tenant.json; \
+	STATUS=$$?; kill $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; exit $$STATUS
 
 verify: build vet morphlint morphdebug race
 

@@ -99,10 +99,12 @@ type report struct {
 	TamperAttempted bool `json:"tamper_attempted"`
 	TamperDetected  bool `json:"tamper_detected"`
 
-	// -audit mode: every fourth read is a PROOF fetch verified client-side
-	// against the attested epoch root; ProofOverhead is the latency ratio
-	// of a verified read to a plain read at matching percentiles.
+	// -audit mode: every AuditEvery'th read is a PROOF fetch verified
+	// client-side against the attested epoch root; ProofOverhead is the
+	// latency ratio of a verified read to a plain read at matching
+	// percentiles.
 	Audit          bool               `json:"audit"`
+	AuditEvery     int                `json:"audit_every,omitempty"`
 	ProofReads     uint64             `json:"proof_reads,omitempty"`
 	ProofFailures  uint64             `json:"proof_failures,omitempty"`
 	ProofLatencyUS map[string]float64 `json:"proof_latency_us,omitempty"`
@@ -122,16 +124,32 @@ func main() {
 	retries := flag.Int("retries", 8, "attempts per op before giving up (resilient client)")
 	retryWrites := flag.Bool("retry-writes", true, "retry writes whose outcome a transport fault left unknown (safe here: retries rewrite identical content)")
 	tamper := flag.Bool("tamper", false, "after the load phase, inject a tamper via the wire TAMPER op and require an IntegrityError (server must run with -tamper)")
-	audit := flag.Bool("audit", false, "verify every fourth read client-side via the PROOF op against the attested epoch root, measuring verified-read overhead")
+	audit := flag.Bool("audit", false, "verify every -audit-every'th read client-side via the PROOF op against the attested epoch root, measuring verified-read overhead")
+	auditEvery := flag.Int("audit-every", 4, "with -audit: make every Nth read a client-verified PROOF fetch (N >= 1; 1 verifies every read)")
 	org := flag.String("org", "morph128", "server's counter organization (used with -audit)")
 	mem := flag.Uint64("mem", 4<<20, "server's protected capacity in bytes (used with -audit)")
 	keyHex := flag.String("key", "", "AES master key in hex (used with -audit; default is the fixed demo key)")
 	out := flag.String("out", "BENCH_serve.json", "report file")
 	reportEvery := flag.Duration("report", 0, "periodic one-line progress interval during the load phase (0 disables): qps, p50/p99, retries, sheds from live obs counters")
+	mix := flag.String("mix", "", "adversarial multi-tenant mode: path to the server's -tenants config; runs a solo victim baseline then victim vs greedy aggressor concurrently and writes a BENCH_tenant.json-style report to -out")
+	victimID := flag.String("victim", "victim", "with -mix: tenant id of the protected small tenant")
+	aggressorID := flag.String("aggressor", "greedy", "with -mix: tenant id of the greedy tenant")
 	flag.Parse()
 
 	if *clients < 1 || *span/lineBytes < uint64(*clients) {
 		log.Fatalf("morphload: need at least one line per client (span %d, clients %d)", *span, *clients)
+	}
+	if *audit && *auditEvery < 1 {
+		log.Fatalf("morphload: -audit-every must be >= 1 (got %d)", *auditEvery)
+	}
+	if *mix != "" {
+		runMix(mixConfig{
+			addr: *addr, configPath: *mix, victim: *victimID, aggressor: *aggressorID,
+			clients: *clients, duration: *duration, span: *span, writeFrac: *writeFrac,
+			seed: *seed, timeout: *timeout, retries: *retries, retryWrites: *retryWrites,
+			out: *out,
+		})
+		return
 	}
 
 	// Live instruments shared by every client: op latencies plus the
@@ -193,7 +211,7 @@ func main() {
 			})
 			defer cl.Close()
 			results[c] = runClient(cl, deadline, rand.New(rand.NewSource(*seed+int64(c))),
-				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac, ins, as)
+				uint64(c)*linesPerClient*lineBytes, linesPerClient, *writeFrac, ins, as, *auditEvery, false)
 		}(c)
 	}
 	stopRep := make(chan struct{})
@@ -218,6 +236,9 @@ func main() {
 		LatencyUS:     map[string]float64{},
 	}
 	rep.Audit = *audit
+	if *audit {
+		rep.AuditEvery = *auditEvery
+	}
 	var all, plainReads, proofReads []time.Duration
 	for c := range results {
 		r := &results[c]
@@ -349,7 +370,12 @@ func progressReporter(reg *obs.Registry, every time.Duration, stop <-chan struct
 // deterministic pattern or read back and verify, until the deadline. The
 // resilient client absorbs transient faults; an op that still fails
 // after its retry budget is counted and the loop keeps going.
-func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64, ins loadInstruments, as *auditSetup) clientResult {
+//
+// writeFirst makes a worker write each line before ever reading it. The
+// tenant mix mode needs this: under per-tenant key domains an untouched
+// line still belongs to the default domain, so reading it before claiming
+// it with a write is (correctly) denied as an integrity violation.
+func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, base uint64, lines uint64, writeFrac float64, ins loadInstruments, as *auditSetup, auditEvery int, writeFirst bool) clientResult {
 	var res clientResult
 	// seqs holds the last sequence number acknowledged per address; maybe
 	// holds every sequence a finally-failed write may or may not have
@@ -377,7 +403,13 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 	var ie *secmem.IntegrityError
 	for time.Now().Before(deadline) {
 		a := base + uint64(rng.Int63n(int64(lines)))*lineBytes
-		if rng.Float64() < writeFrac && len(maybe[a]) == 0 {
+		writeIt := rng.Float64() < writeFrac
+		if writeFirst {
+			if _, written := seqs[a]; !written {
+				writeIt = true
+			}
+		}
+		if writeIt && len(maybe[a]) == 0 {
 			seq := seqs[a] + 1
 			start := time.Now()
 			err := cl.Write(a, fill(a, seq))
@@ -391,7 +423,7 @@ func runClient(cl *wire.ResilientClient, deadline time.Time, rng *rand.Rand, bas
 			}
 			seqs[a] = seq
 			res.writes++
-		} else if as != nil && res.reads%4 == 3 {
+		} else if as != nil && auditEvery > 0 && res.reads%uint64(auditEvery) == uint64(auditEvery)-1 {
 			// Verified read: fetch the full witness and rerun the tree walk
 			// client-side, timing the whole thing so the overhead ratio
 			// compares like with like (round trip + verification vs round

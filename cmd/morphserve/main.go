@@ -41,6 +41,7 @@ import (
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/server"
 	"github.com/securemem/morphtree/internal/shard"
+	"github.com/securemem/morphtree/internal/tenant"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
 	snapEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
+	tenants := flag.String("tenants", "", "tenant config file (JSON array of specs); enables multi-tenant mode: HELLO-bound connections, per-tenant key domains, weighted fair admission")
 	admin := flag.String("admin", "", "admin telemetry listen address serving /metricz /tracez /healthz /rootz and pprof (empty = disabled; also enables the wire OBS op)")
 	traceBuf := flag.Int("trace-buf", 4096, "event trace ring capacity with -admin")
 	signSeed := flag.String("sign-seed", "", "transparency-log Ed25519 signing seed in hex (32 bytes; default derives one from the master key)")
@@ -117,6 +119,22 @@ func main() {
 		log.Fatalf("morphserve: -sign-seed: %v", err)
 	}
 
+	// Tenant key domains tag lines in the volatile engine only; the WAL and
+	// snapshot formats do not carry domain ownership, so a durable restart
+	// would silently reseal every tenant's lines under the default domain.
+	// Refuse the combination rather than serve it wrong.
+	var treg *tenant.Registry
+	if *tenants != "" {
+		if *dataDir != "" {
+			log.Fatalf("morphserve: -tenants is incompatible with -data-dir (durable tenant key domains are future work)")
+		}
+		r, err := tenant.LoadConfig(*tenants)
+		if err != nil {
+			log.Fatalf("morphserve: -tenants: %v", err)
+		}
+		treg = r
+	}
+
 	// eng is the serving surface; dm is non-nil only in durable mode.
 	var eng server.Engine
 	var dm *durable.Memory
@@ -124,6 +142,11 @@ func main() {
 		sh, err := shard.New(shcfg)
 		if err != nil {
 			log.Fatalf("morphserve: %v", err)
+		}
+		if treg != nil {
+			if err := sh.RegisterTenants(treg.IDs()); err != nil {
+				log.Fatalf("morphserve: -tenants: %v", err)
+			}
 		}
 		sh.RegisterMetrics(reg)
 		eng = sh
@@ -167,6 +190,10 @@ func main() {
 	if dm != nil {
 		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", *dataDir, *fsyncMode, *snapEvery)
 	}
+	if treg != nil {
+		fmt.Printf("morphserve: multi-tenant: %d tenants %v (HELLO required, per-tenant key domains + quotas)\n",
+			len(treg.IDs()), treg.IDs())
+	}
 	fmt.Printf("morphserve: %s, %d shards, %d MiB, key %s, root log %s, listening on %s (tamper=%v, %s)\n",
 		*org, n, *mem>>20, obs.KeyDesc(key), authority.KeyDesc(), ln.Addr(), *tamper, durability)
 	cfg := server.Config{
@@ -181,6 +208,7 @@ func main() {
 		Authority:    authority,
 		Obs:          reg,
 		Tracer:       tracer,
+		Tenants:      treg,
 	}
 	if dm != nil {
 		cfg.SnapshotEvery = *snapEvery
@@ -229,8 +257,8 @@ func main() {
 	fmt.Printf("morphserve: served %d reads, %d writes, %d verified fetches; overflows %v, rebases %v, re-encryptions %d\n",
 		st.Reads, st.Writes, st.VerifiedFetches, st.Overflows, st.Rebases, st.Reencryptions)
 	ns := srv.NetStats()
-	fmt.Printf("morphserve: admission: %d conns accepted, %d rejected at the cap, %d requests shed, %d pings, %d slow-loris drops\n",
-		ns.Accepted, ns.Rejected, ns.Shed, ns.Pings, ns.SlowLoris)
+	fmt.Printf("morphserve: admission: %d conns accepted, %d rejected at the cap, %d requests shed, %d quota-shed, %d pings, %d slow-loris drops\n",
+		ns.Accepted, ns.Rejected, ns.Shed, ns.QuotaShed, ns.Pings, ns.SlowLoris)
 }
 
 // rootzHandler serves the transparency log's operator view: the signing

@@ -36,7 +36,7 @@ var ErrDiscard = &analysis.Analyzer{
 // never heard about. proof joined with morphproof: a dropped Verify or
 // VerifyConsistency error silently accepts a forged witness or a forked
 // transparency log — the exact failure the subsystem exists to surface.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard", "proof"}
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard", "proof", "tenant"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

@@ -1,0 +1,45 @@
+package sched
+
+import "sync"
+
+// Scheduler mirrors the tenant admission scheduler layout: the registry
+// and config before mu are immutable after construction; the per-tenant
+// states, cursor, and global inflight count after mu are only coherent
+// with the lock held.
+type Scheduler struct {
+	capacity int
+
+	mu       sync.Mutex
+	states   map[string]*int
+	cursor   int
+	inflight int
+}
+
+// Capacity reads only the immutable pre-mu config: lock-free by design.
+func (s *Scheduler) Capacity() int { return s.capacity }
+
+// Acquire takes the lock around every guarded-state touch.
+func (s *Scheduler) Acquire(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= s.capacity {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Scheduler) Inflight() int {
+	return s.inflight // want "Scheduler.Inflight accesses mutex-protected field inflight"
+}
+
+func (s *Scheduler) Queued(id string) *int {
+	return s.states[id] // want "Scheduler.Queued accesses mutex-protected field states"
+}
+
+// pick is unexported: assumed called with mu already held (the real
+// scheduler's DWRR scan runs under Acquire/Release's lock).
+func (s *Scheduler) pick() int {
+	s.cursor = (s.cursor + 1) % len(s.states)
+	return s.cursor
+}

@@ -1,0 +1,22 @@
+package tenant
+
+// Acquire mirrors Scheduler.Acquire: the returned error is the admission
+// verdict — dropping it executes work that was shed.
+func Acquire(id string, bytes int) error { return nil }
+
+// LoadConfig mirrors tenant.LoadConfig: a dropped error serves with an
+// empty tenant table.
+func LoadConfig(path string) (*int, error) { return nil, nil }
+
+func bad() {
+	Acquire("a", 0)      // want "result of tenant.Acquire includes an error that is discarded"
+	LoadConfig("x.json") // want "result of tenant.LoadConfig includes an error that is discarded"
+}
+
+func good() error {
+	if err := Acquire("a", 0); err != nil {
+		return err
+	}
+	_, err := LoadConfig("x.json")
+	return err
+}

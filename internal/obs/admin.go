@@ -30,7 +30,13 @@ type Plane struct {
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
-		body, err := p.Registry.Snapshot().Encode()
+		snap := p.Registry.Snapshot()
+		// ?tenant=<id> slices the snapshot down to one tenant's metric
+		// namespace (tenant.<id>.*) for tenant-scoped dashboards.
+		if id := r.URL.Query().Get("tenant"); id != "" {
+			snap = snap.FilterTenant(id)
+		}
+		body, err := snap.Encode()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

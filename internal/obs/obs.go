@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -287,6 +288,38 @@ func DecodeSnapshot(b []byte) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
 	}
 	return s, nil
+}
+
+// FilterTenant returns a copy of the snapshot keeping only the metric
+// slice owned by one tenant: every instrument named under the
+// tenant.<id>. prefix (the namespace the scheduler and shard collectors
+// emit per-tenant counters into). The /metricz?tenant=<id> view is built
+// from this, so a tenant-scoped scrape never leaks another tenant's
+// traffic counts.
+func (s Snapshot) FilterTenant(id string) Snapshot {
+	prefix := "tenant." + id + "."
+	out := Snapshot{
+		TimeUnixNano: s.TimeUnixNano,
+		Counters:     map[string]uint64{},
+		Gauges:       map[string]int64{},
+		Histograms:   map[string]HistSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if strings.HasPrefix(k, prefix) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if strings.HasPrefix(k, prefix) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if strings.HasPrefix(k, prefix) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
 }
 
 // CounterNames returns the snapshot's counter names in sorted order

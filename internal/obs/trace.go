@@ -29,6 +29,8 @@ const (
 	KindRetry                    // A=attempt number, B=1 if shed-triggered
 	KindProofBuild               // A=address, B=chain lines present, Dur=build latency
 	KindRootPublish              // A=epoch, B=log size (transparency-log append)
+	KindTenantBind               // A=tenant index (connection bound by HELLO)
+	KindQuotaShed                // A=opcode, B=tenant index (request shed by quota)
 	numKinds
 )
 
@@ -36,6 +38,7 @@ var kindNames = [numKinds]string{
 	"req_start", "req_end", "tree_walk", "overflow", "rebase",
 	"format_switch", "cache_evict", "wal_fsync", "snapshot", "shed",
 	"reconnect", "retry", "proof_build", "root_publish",
+	"tenant_bind", "quota_shed",
 }
 
 // String returns the snake_case kind name.

@@ -150,6 +150,32 @@ func DeriveShardKey(master []byte, i int) ([]byte, error) {
 	return h.Sum(nil)[:len(master)], nil
 }
 
+// DeriveTenantKey derives tenant id's key-domain sub-key from an engine
+// key with HMAC-SHA256(engineKey, "morphtree/tenant/<id>"), truncated to
+// the engine key's AES length. Layered over DeriveShardKey it gives each
+// (shard, tenant) pair an independent data-line key domain: tenant data is
+// sealed under a key no other tenant's reads can reproduce, so a
+// cross-tenant read fails closed as a MAC mismatch even though every
+// tenant shares the same physical store and integrity tree. It lives here,
+// next to DeriveShardKey, so client-side verifiers holding the master key
+// can reproduce the full two-step derivation without importing the serving
+// stack.
+//
+//morph:secret
+func DeriveTenantKey(engineKey []byte, id string) ([]byte, error) {
+	switch len(engineKey) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("proof: engine key must be 16, 24, or 32 bytes, got %d", len(engineKey))
+	}
+	if id == "" {
+		return nil, fmt.Errorf("proof: tenant id must be non-empty")
+	}
+	h := hmac.New(sha256.New, engineKey)
+	fmt.Fprintf(h, "morphtree/tenant/%s", id)
+	return h.Sum(nil)[:len(engineKey)], nil
+}
+
 // Locate maps a line-aligned global address to (shard, local address)
 // under the round-robin line interleave: global line d lives in shard
 // d % shards at local line d / shards. It mirrors shard.Sharded.Locate so

@@ -94,6 +94,15 @@ type Stats struct {
 	// VerifiedFetches counts counter lines fetched from untrusted
 	// storage and MAC-verified (the tree-traversal work).
 	VerifiedFetches uint64
+	// Tenants counts data-line traffic per tenant key domain, keyed by
+	// tenant id. Nil until the first domain-routed operation, so engines
+	// without tenants pay nothing.
+	Tenants map[string]TenantOps
+}
+
+// TenantOps is one tenant key domain's data-line traffic on an engine.
+type TenantOps struct {
+	Reads, Writes uint64
 }
 
 // LevelOverflow is one row of the per-level overflow breakdown.
@@ -172,6 +181,10 @@ type Memory struct {
 	trusted []map[uint64]counters.Block // per level below root
 	root    counters.Block
 	stats   Stats
+	// domains tags each data line with the key domain that last wrote it
+	// (absent = the engine's default domain), so overflow re-encryption
+	// and VerifyAll reseal every line under the keys that own it.
+	domains map[uint64]*Domain
 	// snapScratch[level] is bump's pre-counter-values scratch, sized to
 	// the level's arity at New. bump recurses parent-ward, so each level
 	// needs its own buffer; all of bump runs under mu, so one set per
@@ -227,6 +240,7 @@ func New(cfg Config) (*Memory, error) {
 		store:   newStore(geom.RootLevel()),
 		trusted: make([]map[uint64]counters.Block, geom.RootLevel()),
 		root:    cfg.specAt(geom.RootLevel()).New(),
+		domains: make(map[uint64]*Domain),
 	}
 	for i := range m.trusted {
 		m.trusted[i] = make(map[uint64]counters.Block)
@@ -272,6 +286,13 @@ func (s Stats) Clone() Stats {
 	s.Rebases = append([]uint64(nil), s.Rebases...)
 	s.SetResets = append([]uint64(nil), s.SetResets...)
 	s.FormatSwitches = append([]uint64(nil), s.FormatSwitches...)
+	if s.Tenants != nil {
+		tenants := make(map[string]TenantOps, len(s.Tenants))
+		for id, ops := range s.Tenants {
+			tenants[id] = ops
+		}
+		s.Tenants = tenants
+	}
 	return s
 }
 
@@ -288,6 +309,15 @@ func (s *Stats) Merge(other Stats) {
 	s.Rebases = mergeLevels(s.Rebases, other.Rebases)
 	s.SetResets = mergeLevels(s.SetResets, other.SetResets)
 	s.FormatSwitches = mergeLevels(s.FormatSwitches, other.FormatSwitches)
+	for id, ops := range other.Tenants {
+		if s.Tenants == nil {
+			s.Tenants = make(map[string]TenantOps, len(other.Tenants))
+		}
+		t := s.Tenants[id]
+		t.Reads += ops.Reads
+		t.Writes += ops.Writes
+		s.Tenants[id] = t
+	}
 }
 
 func mergeLevels(dst, src []uint64) []uint64 {
@@ -354,11 +384,11 @@ func (m *Memory) Write(addr uint64, line []byte) error {
 	if !m.instrumented {
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		return m.write(addr, line)
+		return m.write(addr, line, nil)
 	}
 	start := time.Now()
 	wait := m.lockTimed(start)
-	err := m.write(addr, line)
+	err := m.write(addr, line, nil)
 	m.mu.Unlock()
 	// Histogram records stay off the lock hold path: only the hot
 	// section between Lock and Unlock serializes other writers.
@@ -378,7 +408,7 @@ func (m *Memory) lockTimed(start time.Time) time.Duration {
 	return time.Since(start)
 }
 
-func (m *Memory) write(addr uint64, line []byte) error {
+func (m *Memory) write(addr uint64, line []byte, dom *Domain) error {
 	if err := m.checkAddr(addr); err != nil {
 		return err
 	}
@@ -396,11 +426,22 @@ func (m *Memory) write(addr uint64, line []byte) error {
 	}
 	ctr := blk.Value(slot)
 	ct := make([]byte, LineBytes)
-	if err := m.cipher.XOR(ct, line, addr, ctr); err != nil {
+	if err := m.dataCipher(dom).XOR(ct, line, addr, ctr); err != nil {
 		return err
 	}
 	m.store.data[d] = ct
-	m.store.dataMAC[d] = m.keyer.Data(ct, ctr, addr)
+	m.store.dataMAC[d] = m.dataKeyer(dom).Data(ct, ctr, addr)
+	if dom == nil {
+		delete(m.domains, d)
+	} else {
+		m.domains[d] = dom
+		if m.stats.Tenants == nil {
+			m.stats.Tenants = make(map[string]TenantOps)
+		}
+		t := m.stats.Tenants[dom.name]
+		t.Writes++
+		m.stats.Tenants[dom.name] = t
+	}
 	m.stats.Writes++
 	return nil
 }
@@ -413,18 +454,18 @@ func (m *Memory) Read(addr uint64) ([]byte, error) {
 	if !m.instrumented {
 		m.mu.Lock()
 		defer m.mu.Unlock()
-		return m.read(addr)
+		return m.read(addr, nil)
 	}
 	start := time.Now()
 	wait := m.lockTimed(start)
-	line, err := m.read(addr)
+	line, err := m.read(addr, nil)
 	m.mu.Unlock()
 	m.ins.LockWait.Record(wait)
 	m.ins.ReadLatency.Record(time.Since(start))
 	return line, err
 }
 
-func (m *Memory) read(addr uint64) ([]byte, error) {
+func (m *Memory) read(addr uint64, dom *Domain) ([]byte, error) {
 	if err := m.checkAddr(addr); err != nil {
 		return nil, err
 	}
@@ -438,7 +479,7 @@ func (m *Memory) read(addr uint64) ([]byte, error) {
 	ct, ok := m.store.data[d]
 	if !ok {
 		if ctr == 0 {
-			m.stats.Reads++
+			m.countRead(dom)
 			return make([]byte, LineBytes), nil
 		}
 		return nil, &IntegrityError{Level: -1, Index: d, Reason: "written line missing from memory"}
@@ -447,15 +488,37 @@ func (m *Memory) read(addr uint64) ([]byte, error) {
 	if !ok {
 		return nil, &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch"}
 	}
-	if err := m.walker.VerifyData(ct, ctr, addr, storedMAC); err != nil {
-		return nil, integrityFromMismatch(err)
+	// The MAC is checked under the *requester's* domain key, so a line
+	// last sealed by any other domain fails closed right here: the
+	// cross-tenant isolation guarantee is a MAC mismatch, not an ACL.
+	if dom == nil {
+		if err := m.walker.VerifyData(ct, ctr, addr, storedMAC); err != nil {
+			return nil, integrityFromMismatch(err)
+		}
+	} else if dom.keyer.Data(ct, ctr, addr) != storedMAC {
+		return nil, &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch"}
 	}
 	pt := make([]byte, LineBytes)
-	if err := m.cipher.XOR(pt, ct, addr, ctr); err != nil {
+	if err := m.dataCipher(dom).XOR(pt, ct, addr, ctr); err != nil {
 		return nil, err
 	}
-	m.stats.Reads++
+	m.countRead(dom)
 	return pt, nil
+}
+
+// countRead bumps the read counters, attributing domain-routed reads to
+// their tenant. Called with m.mu held.
+func (m *Memory) countRead(dom *Domain) {
+	m.stats.Reads++
+	if dom == nil {
+		return
+	}
+	if m.stats.Tenants == nil {
+		m.stats.Tenants = make(map[string]TenantOps)
+	}
+	t := m.stats.Tenants[dom.name]
+	t.Reads++
+	m.stats.Tenants[dom.name] = t
 }
 
 // bump increments the counter protecting child `slot` of line `idx` at
@@ -538,27 +601,33 @@ func (m *Memory) refreshChildren(level int, idx uint64, blk counters.Block, snap
 
 // reencryptData re-encrypts one data line from its old counter value to the
 // new one, verifying its MAC on the way. Never-written lines materialize as
-// encrypted zeros so their non-zero counters stay consistent.
+// encrypted zeros so their non-zero counters stay consistent. The line's
+// recorded key domain — not the overflowing writer's — seals the new
+// ciphertext, so an overflow triggered by one tenant never silently
+// re-keys a neighbor's data.
 func (m *Memory) reencryptData(d uint64, oldCtr, newCtr uint64) error {
+	dom := m.domains[d]
+	cipher := m.dataCipher(dom)
+	keyer := m.dataKeyer(dom)
 	addr := d * LineBytes
 	pt := make([]byte, LineBytes)
 	if ct, ok := m.store.data[d]; ok {
 		storedMAC, ok := m.store.dataMAC[d]
-		if !ok || m.keyer.Data(ct, oldCtr, addr) != storedMAC {
+		if !ok || keyer.Data(ct, oldCtr, addr) != storedMAC {
 			return &IntegrityError{Level: -1, Index: d, Reason: "MAC mismatch during re-encryption"}
 		}
-		if err := m.cipher.XOR(pt, ct, addr, oldCtr); err != nil {
+		if err := cipher.XOR(pt, ct, addr, oldCtr); err != nil {
 			return err
 		}
 	} else if oldCtr != 0 {
 		return &IntegrityError{Level: -1, Index: d, Reason: "written line missing during re-encryption"}
 	}
 	ct := make([]byte, LineBytes)
-	if err := m.cipher.XOR(ct, pt, addr, newCtr); err != nil {
+	if err := cipher.XOR(ct, pt, addr, newCtr); err != nil {
 		return err
 	}
 	m.store.data[d] = ct
-	m.store.dataMAC[d] = m.keyer.Data(ct, newCtr, addr)
+	m.store.dataMAC[d] = keyer.Data(ct, newCtr, addr)
 	return nil
 }
 
@@ -675,7 +744,7 @@ func (m *Memory) ReadAt(p []byte, off uint64) error {
 	defer m.mu.Unlock()
 	for len(p) > 0 {
 		base := off &^ (LineBytes - 1)
-		line, err := m.read(base)
+		line, err := m.read(base, nil)
 		if err != nil {
 			return err
 		}
@@ -697,7 +766,7 @@ func (m *Memory) WriteAt(p []byte, off uint64) error {
 		if off == base && len(p) >= LineBytes {
 			line = p[:LineBytes]
 		} else {
-			cur, err := m.read(base)
+			cur, err := m.read(base, nil)
 			if err != nil {
 				return err
 			}
@@ -708,7 +777,7 @@ func (m *Memory) WriteAt(p []byte, off uint64) error {
 		if n > len(p) {
 			n = len(p)
 		}
-		if err := m.write(base, line); err != nil {
+		if err := m.write(base, line, nil); err != nil {
 			return err
 		}
 		p = p[n:]
@@ -761,7 +830,9 @@ func (m *Memory) VerifyAll() error {
 	defer m.mu.Unlock()
 	m.flushMetadataCache()
 	for d := range m.store.data {
-		if _, err := m.read(d * LineBytes); err != nil {
+		// Verify each line under the domain that owns it, so a store
+		// holding several tenants' lines still verifies end to end.
+		if _, err := m.read(d*LineBytes, m.domains[d]); err != nil {
 			return err
 		}
 	}

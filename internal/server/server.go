@@ -28,9 +28,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/securemem/morphtree/internal/invariant"
 	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/tenant"
 	"github.com/securemem/morphtree/internal/wire"
 )
 
@@ -78,6 +80,15 @@ type checkpointNotifier interface {
 	OnCheckpoint(fn func(seq uint64))
 }
 
+// DomainEngine is the optional engine surface behind multi-tenant serving:
+// reads and writes routed through a tenant's key domain, so a line sealed
+// by one tenant fails closed (*secmem.IntegrityError) under any other
+// tenant's keys. *shard.Sharded implements it after RegisterTenants.
+type DomainEngine interface {
+	TenantRead(id string, addr uint64) ([]byte, error)
+	TenantWrite(id string, addr uint64, line []byte) error
+}
+
 // Config tunes the listener's limits.
 type Config struct {
 	// MaxConns caps concurrent connections (default 64). Excess
@@ -123,12 +134,24 @@ type Config struct {
 	// startup and again after every durable checkpoint.
 	Authority *proof.Authority
 	// Obs, when non-nil, turns on request instrumentation: per-op latency
-	// histograms (server.op.<name>.latency), a server.inflight gauge, a
-	// pull-time collector for the admission counters, and the OpObs
-	// protocol endpoint serving the registry's snapshot.
+	// histograms (server.op.<name>.latency), a server.inflight gauge,
+	// effective admission-limit gauges (server.limit.*), a pull-time
+	// collector for the admission counters, and the OpObs protocol
+	// endpoint serving the registry's snapshot.
 	Obs *obs.Registry
-	// Tracer, when non-nil, receives ReqStart/ReqEnd/Shed events.
+	// Tracer, when non-nil, receives ReqStart/ReqEnd/Shed events (plus
+	// TenantBind/QuotaShed in tenant mode).
 	Tracer *obs.Tracer
+	// Tenants, when non-nil, turns on multi-tenant serving: connections
+	// must bind a tenant with HELLO before any data op, reads and writes
+	// route through the tenant's key domain (the engine must implement
+	// DomainEngine), and admission runs through Sched instead of the
+	// MaxInflight semaphore.
+	Tenants *tenant.Registry
+	// Sched is the weighted fair admission scheduler for tenant mode;
+	// required when Tenants is set. Its capacity replaces MaxInflight as
+	// the global concurrency bound.
+	Sched *tenant.Scheduler
 }
 
 func (c Config) withDefaults() Config {
@@ -153,18 +176,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// NetStats counts the server's admission-control activity.
+// NetStats counts the server's admission-control activity and reports the
+// effective limits it runs under (after defaulting), so operators see the
+// real admission envelope, not the zero values they configured.
 type NetStats struct {
 	// Accepted and Rejected count connections (Rejected = over MaxConns).
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
 	// Shed counts requests answered StatusBusy at the admission gate.
 	Shed uint64 `json:"shed"`
+	// QuotaShed counts requests answered StatusQuota by the tenant
+	// scheduler (always 0 in single-tenant mode).
+	QuotaShed uint64 `json:"quota_shed"`
 	// Pings counts health checks answered.
 	Pings uint64 `json:"pings"`
 	// SlowLoris counts connections dropped for trickling a frame slower
 	// than FrameTimeout.
 	SlowLoris uint64 `json:"slow_loris"`
+	// MaxConns and MaxInflight are the effective admission limits after
+	// defaulting (MaxInflight defaults to 4x GOMAXPROCS, which the
+	// configured value never shows).
+	MaxConns    int `json:"max_conns"`
+	MaxInflight int `json:"max_inflight"`
+	// ShedWaitMicros is the effective admission-gate wait in microseconds.
+	ShedWaitMicros int64 `json:"shed_wait_us"`
 }
 
 // Server serves wire-protocol requests against a secure-memory engine.
@@ -189,9 +224,16 @@ type Server struct {
 	proofsServed *obs.Counter   // proof.served
 	proofsFailed *obs.Counter   // proof.failed
 
+	// domEng is the engine's optional tenant key-domain surface (nil in
+	// single-tenant mode); tenantIdx maps tenant ids to stable indices
+	// for trace-event payloads. Both immutable after New.
+	domEng    DomainEngine
+	tenantIdx map[string]uint64
+
 	accepted  atomic.Uint64
 	rejected  atomic.Uint64
 	shed      atomic.Uint64
+	quotaShed atomic.Uint64
 	pings     atomic.Uint64
 	slowLoris atomic.Uint64
 
@@ -203,29 +245,55 @@ type Server struct {
 // *durable.Memory).
 func New(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Tenants != nil && cfg.Sched == nil {
+		// Tenant mode with no explicit scheduler: build one with the
+		// server's own admission envelope, so -tenants alone upgrades the
+		// MaxInflight semaphore to weighted fair admission.
+		cfg.Sched = invariant.Must(tenant.NewScheduler(cfg.Tenants, tenant.SchedConfig{
+			Capacity: cfg.MaxInflight,
+			ShedWait: cfg.ShedWait,
+		}))
+	}
 	s := &Server{
 		eng:   eng,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if cfg.Tenants != nil {
+		s.domEng, _ = eng.(DomainEngine)
+		s.tenantIdx = make(map[string]uint64)
+		for i, id := range cfg.Tenants.IDs() {
+			s.tenantIdx[id] = uint64(i)
+		}
+	}
 	if cfg.Obs != nil {
 		for _, op := range []byte{
 			wire.OpRead, wire.OpWrite, wire.OpVerify, wire.OpStats,
 			wire.OpSnapshot, wire.OpTamper, wire.OpCheckpoint, wire.OpObs,
-			wire.OpProof, wire.OpRoot, wire.OpRootRange,
+			wire.OpProof, wire.OpRoot, wire.OpRootRange, wire.OpHello,
 		} {
 			s.opLat[op] = cfg.Obs.Histogram("server.op." + wire.OpName(op) + ".latency")
 		}
 		s.inflight = cfg.Obs.Gauge("server.inflight")
+		// The effective admission envelope (after defaulting) as gauges:
+		// MaxInflight's 4x-GOMAXPROCS default is otherwise invisible to
+		// morphscope.
+		cfg.Obs.Gauge("server.limit.max_conns").Set(int64(cfg.MaxConns))
+		cfg.Obs.Gauge("server.limit.max_inflight").Set(int64(cfg.MaxInflight))
+		cfg.Obs.Gauge("server.limit.shed_wait_us").Set(cfg.ShedWait.Microseconds())
 		cfg.Obs.RegisterCollector(func(emit func(string, uint64)) {
 			ns := s.NetStats()
 			emit("server.accepted", ns.Accepted)
 			emit("server.rejected", ns.Rejected)
 			emit("server.shed", ns.Shed)
+			emit("server.quota_shed", ns.QuotaShed)
 			emit("server.pings", ns.Pings)
 			emit("server.slow_loris", ns.SlowLoris)
 		})
+		if cfg.Sched != nil {
+			cfg.Sched.RegisterMetrics(cfg.Obs)
+		}
 	}
 	if cfg.Authority != nil {
 		if pr, ok := eng.(Prover); ok {
@@ -258,14 +326,19 @@ func (s *Server) publishRoot() {
 	s.logf("server: published epoch %d root to transparency log", e.Epoch)
 }
 
-// NetStats returns a snapshot of the admission-control counters.
+// NetStats returns a snapshot of the admission-control counters and the
+// effective (post-default) admission limits.
 func (s *Server) NetStats() NetStats {
 	return NetStats{
-		Accepted:  s.accepted.Load(),
-		Rejected:  s.rejected.Load(),
-		Shed:      s.shed.Load(),
-		Pings:     s.pings.Load(),
-		SlowLoris: s.slowLoris.Load(),
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Shed:           s.shed.Load(),
+		QuotaShed:      s.quotaShed.Load(),
+		Pings:          s.pings.Load(),
+		SlowLoris:      s.slowLoris.Load(),
+		MaxConns:       s.cfg.MaxConns,
+		MaxInflight:    s.cfg.MaxInflight,
+		ShedWaitMicros: s.cfg.ShedWait.Microseconds(),
 	}
 }
 
@@ -413,6 +486,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// steady-state request loop allocates neither on read nor on write.
 	fr := wire.NewFrameReader(br)
 	fw := wire.NewFrameWriter(bw)
+	cs := &connState{}
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
@@ -443,7 +517,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = bw.Flush()
 			return
 		}
-		status, body := s.dispatch(op, payload)
+		status, body := s.dispatch(cs, op, payload)
 		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
 			return
 		}
@@ -456,15 +530,39 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// connState is the per-connection protocol state: the tenant the
+// connection bound with HELLO (empty until then). Only the connection's
+// own goroutine touches it.
+type connState struct {
+	tenant string
+}
+
 // dispatch applies admission control and routes to handle. Pings bypass
 // the gate: liveness must be observable while the server sheds load, or
-// health checks would report a busy server as dead. Everything else
-// waits up to ShedWait for an in-flight slot and is shed with StatusBusy
-// — a promise that the request was not executed — when none frees.
-func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
+// health checks would report a busy server as dead. HELLO also bypasses
+// it — binding a tenant is connection setup, and shedding it would
+// deadlock the client against its own quota. Everything else waits up to
+// ShedWait for an in-flight slot and is shed with StatusBusy — a promise
+// that the request was not executed — when none frees; in tenant mode the
+// wait runs through the weighted fair scheduler instead, and quota sheds
+// answer StatusQuota.
+func (s *Server) dispatch(cs *connState, op byte, payload []byte) (byte, []byte) {
 	if op == wire.OpPing {
 		s.pings.Add(1)
 		return wire.StatusOK, nil
+	}
+	if op == wire.OpHello {
+		return s.hello(cs, payload)
+	}
+	if s.cfg.Tenants != nil {
+		if cs.tenant == "" {
+			return wire.StatusError, []byte("hello required: this server is multi-tenant")
+		}
+		if err := s.cfg.Sched.Acquire(context.Background(), cs.tenant, len(payload)); err != nil {
+			return s.quotaReply(cs, op, err)
+		}
+		defer s.cfg.Sched.Release(cs.tenant)
+		return s.execute(cs, op, payload)
 	}
 	select {
 	case s.sem <- struct{}{}:
@@ -481,18 +579,54 @@ func (s *Server) dispatch(op byte, payload []byte) (byte, []byte) {
 		}
 	}
 	defer func() { <-s.sem }()
+	return s.execute(cs, op, payload)
+}
+
+// execute runs an admitted request through handle, with instrumentation
+// when observability is on.
+func (s *Server) execute(cs *connState, op byte, payload []byte) (byte, []byte) {
 	if s.cfg.Obs == nil && s.cfg.Tracer == nil {
-		return s.handle(op, payload)
+		return s.handle(cs, op, payload)
 	}
 	s.inflight.Add(1)
 	s.cfg.Tracer.Emit(obs.KindReqStart, -1, uint64(op), 0, 0)
 	start := time.Now()
-	status, body := s.handle(op, payload)
+	status, body := s.handle(cs, op, payload)
 	dur := time.Since(start)
 	s.inflight.Add(-1)
 	s.opLat[op].Record(dur)
 	s.cfg.Tracer.Emit(obs.KindReqEnd, -1, uint64(op), uint64(status), dur)
 	return status, body
+}
+
+// hello binds the connection to a tenant after checking the HMAC
+// proof-of-possession token. Unknown tenants and bad tokens get the same
+// answer, so probing cannot enumerate the tenant table.
+func (s *Server) hello(cs *connState, payload []byte) (byte, []byte) {
+	if s.cfg.Tenants == nil {
+		return wire.StatusError, []byte("hello: this server is single-tenant")
+	}
+	id, token, err := wire.DecodeHello(payload)
+	if err != nil {
+		return wire.EncodeError(err)
+	}
+	if !s.cfg.Tenants.Authenticate(id, token) {
+		return wire.StatusError, []byte("hello: unknown tenant or bad token")
+	}
+	cs.tenant = id
+	s.cfg.Tracer.Emit(obs.KindTenantBind, -1, s.tenantIdx[id], 0, 0)
+	return wire.StatusOK, nil
+}
+
+// quotaReply counts and traces a scheduler shed and encodes the typed
+// answer (StatusQuota for quota errors; anything else encodes as-is).
+func (s *Server) quotaReply(cs *connState, op byte, err error) (byte, []byte) {
+	var qe *tenant.QuotaError
+	if errors.As(err, &qe) {
+		s.quotaShed.Add(1)
+		s.cfg.Tracer.Emit(obs.KindQuotaShed, -1, uint64(op), s.tenantIdx[cs.tenant], 0)
+	}
+	return wire.EncodeError(err)
 }
 
 // shedReply counts and traces an admission-gate shed and builds the typed
@@ -506,14 +640,25 @@ func (s *Server) shedReply(op byte) (byte, []byte) {
 // handle dispatches one request. Every path returns a response; unknown
 // or malformed requests are StatusError, integrity violations are
 // StatusIntegrity, and the connection stays usable (framing is intact).
-func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
+// In tenant mode (cs.tenant bound), reads and writes route through the
+// tenant's key domain, so a cross-tenant read fails closed with
+// StatusIntegrity — the same answer tampering gets.
+func (s *Server) handle(cs *connState, op byte, payload []byte) (byte, []byte) {
 	switch op {
 	case wire.OpRead:
 		addr, err := wire.DecodeAddr(payload)
 		if err != nil {
 			return wire.EncodeError(err)
 		}
-		line, err := s.eng.Read(addr)
+		var line []byte
+		if cs.tenant != "" {
+			if s.domEng == nil {
+				return wire.StatusError, []byte("read: engine has no tenant key domains")
+			}
+			line, err = s.domEng.TenantRead(cs.tenant, addr)
+		} else {
+			line, err = s.eng.Read(addr)
+		}
 		if err != nil {
 			return wire.EncodeError(err)
 		}
@@ -524,7 +669,15 @@ func (s *Server) handle(op byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return wire.EncodeError(err)
 		}
-		if err := s.eng.Write(addr, line); err != nil {
+		if cs.tenant != "" {
+			if s.domEng == nil {
+				return wire.StatusError, []byte("write: engine has no tenant key domains")
+			}
+			err = s.domEng.TenantWrite(cs.tenant, addr, line)
+		} else {
+			err = s.eng.Write(addr, line)
+		}
+		if err != nil {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, nil

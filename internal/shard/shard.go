@@ -46,11 +46,16 @@ type Config struct {
 }
 
 // Sharded interleaves line addresses across independent secmem engines.
-// All fields are immutable after New; concurrency control lives inside each
-// engine, so methods are safe for concurrent use.
+// All fields are immutable after New (tenants is populated once by
+// RegisterTenants before serving starts); concurrency control lives inside
+// each engine, so methods are safe for concurrent use.
 type Sharded struct {
 	cfg    Config
 	shards []*secmem.Memory
+	// tenants maps tenant id -> one key domain per shard (parallel to
+	// shards). Populated by RegisterTenants before the Sharded is shared
+	// between goroutines; read-only afterwards, so no lock is needed.
+	tenants map[string][]*secmem.Domain
 }
 
 // New constructs a sharded secure memory. Each shard serves
@@ -166,6 +171,79 @@ func (s *Sharded) Write(addr uint64, line []byte) error {
 	return s.shards[idx].Write(local, line)
 }
 
+// RegisterTenants derives a key domain for every (tenant, shard) pair, so
+// each tenant's data lines are sealed under keys layered over the shard
+// sub-keys (HMAC(shardKey, "morphtree/tenant/<id>")). It must be called
+// once, before the Sharded is shared between goroutines — the domain map
+// is read locklessly afterwards, preserving the immutable-after-New
+// contract. Calling it again replaces the previous registration.
+func (s *Sharded) RegisterTenants(ids []string) error {
+	tenants := make(map[string][]*secmem.Domain, len(ids))
+	for _, id := range ids {
+		if _, dup := tenants[id]; dup {
+			return fmt.Errorf("shard: duplicate tenant id %q", id)
+		}
+		doms := make([]*secmem.Domain, len(s.shards))
+		for i, m := range s.shards {
+			dom, err := m.NewDomain(id)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			doms[i] = dom
+		}
+		tenants[id] = doms
+	}
+	s.tenants = tenants
+	return nil
+}
+
+// Tenants returns the registered tenant ids (nil when single-tenant).
+func (s *Sharded) Tenants() []string {
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// tenantDomain resolves tenant id's key domain on shard idx.
+func (s *Sharded) tenantDomain(id string, idx int) (*secmem.Domain, error) {
+	doms, ok := s.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown tenant %q", id)
+	}
+	return doms[idx], nil
+}
+
+// TenantRead is Read routed through tenant id's key domain. A line last
+// written by a different tenant (or via the default-domain Write) fails
+// closed with a *secmem.IntegrityError — cross-tenant isolation is
+// enforced by key separation, not access-control bookkeeping.
+func (s *Sharded) TenantRead(id string, addr uint64) ([]byte, error) {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := s.tenantDomain(id, idx)
+	if err != nil {
+		return nil, err
+	}
+	return s.shards[idx].ReadDomain(dom, local)
+}
+
+// TenantWrite is Write routed through tenant id's key domain.
+func (s *Sharded) TenantWrite(id string, addr uint64, line []byte) error {
+	idx, local, err := s.locate(addr)
+	if err != nil {
+		return err
+	}
+	dom, err := s.tenantDomain(id, idx)
+	if err != nil {
+		return err
+	}
+	return s.shards[idx].WriteDomain(dom, local, line)
+}
+
 // Stats returns the aggregate of every shard's engine stats (sums of the
 // paper's event categories: increments, overflows, rebases, re-encryptions,
 // verified fetches). Each per-shard snapshot is a deep copy taken under
@@ -222,6 +300,10 @@ func (s *Sharded) RegisterMetrics(reg *obs.Registry) {
 		emit("secmem.set_resets", setResets)
 		emit("secmem.rebases", rebases)
 		emit("secmem.format_switches", switches)
+		for id, ops := range agg.Tenants {
+			emit(fmt.Sprintf("tenant.%s.reads", id), ops.Reads)
+			emit(fmt.Sprintf("tenant.%s.writes", id), ops.Writes)
+		}
 	})
 }
 

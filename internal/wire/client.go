@@ -10,6 +10,7 @@ import (
 
 	"github.com/securemem/morphtree/internal/proof"
 	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/tenant"
 )
 
 // ErrClientPoisoned reports a Client whose connection suffered a
@@ -198,6 +199,23 @@ func (c *Client) Checkpoint() (uint64, error) {
 		return 0, fmt.Errorf("wire: checkpoint response: %w", err)
 	}
 	return seq, nil
+}
+
+// Hello binds the connection to a tenant, proving possession of the
+// tenant's secret with an HMAC token (the secret never crosses the wire).
+// Multi-tenant servers reject every data op until a Hello succeeds; a bad
+// id or token answers *RemoteError.
+func (c *Client) Hello(id, secret string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	token := tenant.HelloToken(secret, id)
+	req, err := AppendHello(c.req[:0], id, token)
+	c.req = req
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(OpHello, c.req)
+	return err
 }
 
 // Ping checks the server is alive. The server answers it even while

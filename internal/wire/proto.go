@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/tenant"
 )
 
 // Payload codecs for the individual ops. Addresses travel as big-endian
@@ -82,6 +83,32 @@ func DecodeRootRange(p []byte) (from, to uint64, err error) {
 	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[addrBytes:]), nil
 }
 
+// AppendHello appends an OpHello payload — | u8 idLen | id | 32-byte
+// token | — to dst and returns the extended slice. The token is the
+// HMAC proof of possession (tenant.HelloToken); the secret itself never
+// crosses the wire.
+func AppendHello(dst []byte, id string, token [tenant.TokenLen]byte) ([]byte, error) {
+	if id == "" || len(id) > 255 {
+		return dst, fmt.Errorf("wire: tenant id length %d must be 1..255", len(id))
+	}
+	dst = append(dst, byte(len(id)))
+	dst = append(dst, id...)
+	return append(dst, token[:]...), nil
+}
+
+// DecodeHello decodes an OpHello payload. The returned token slice
+// aliases p.
+func DecodeHello(p []byte) (id string, token []byte, err error) {
+	if len(p) < 1 {
+		return "", nil, fmt.Errorf("wire: hello payload is empty")
+	}
+	n := int(p[0])
+	if n == 0 || len(p) != 1+n+tenant.TokenLen {
+		return "", nil, fmt.Errorf("wire: hello payload is %d bytes, want %d", len(p), 1+n+tenant.TokenLen)
+	}
+	return string(p[1 : 1+n]), p[1+n:], nil
+}
+
 // EncodeStats encodes an OpStats OK payload.
 func EncodeStats(s secmem.Stats) ([]byte, error) {
 	b, err := json.Marshal(s)
@@ -102,8 +129,10 @@ func DecodeStats(p []byte) (secmem.Stats, error) {
 
 // EncodeError turns any error into a response (status, payload) pair. An
 // *secmem.IntegrityError anywhere in the chain is encoded structurally so
-// it survives the trip, a *BusyError becomes StatusBusy, and everything
-// else collapses to a StatusError string.
+// it survives the trip, a *BusyError becomes StatusBusy, a
+// *tenant.QuotaError becomes StatusQuota (tenant and resource encoded
+// field-for-field), and everything else collapses to a StatusError
+// string.
 func EncodeError(err error) (byte, []byte) {
 	var ie *secmem.IntegrityError
 	if errors.As(err, &ie) {
@@ -115,6 +144,17 @@ func EncodeError(err error) (byte, []byte) {
 	var be *BusyError
 	if errors.As(err, &be) {
 		return StatusBusy, []byte(be.Msg)
+	}
+	var qe *tenant.QuotaError
+	if errors.As(err, &qe) {
+		if len(qe.Tenant) <= 255 && len(qe.Resource) <= 255 {
+			p := make([]byte, 0, 2+len(qe.Tenant)+len(qe.Resource)+len(qe.Msg))
+			p = append(p, byte(len(qe.Tenant)))
+			p = append(p, qe.Tenant...)
+			p = append(p, byte(len(qe.Resource)))
+			p = append(p, qe.Resource...)
+			return StatusQuota, append(p, qe.Msg...)
+		}
 	}
 	return StatusError, []byte(err.Error())
 }
@@ -136,6 +176,23 @@ func DecodeError(status byte, p []byte) error {
 		return &RemoteError{Msg: string(p)}
 	case StatusBusy:
 		return &BusyError{Msg: string(p)}
+	case StatusQuota:
+		if len(p) < 1 {
+			return fmt.Errorf("wire: quota payload is empty")
+		}
+		tn := int(p[0])
+		if len(p) < 1+tn+1 {
+			return fmt.Errorf("wire: quota payload is %d bytes, want >= %d", len(p), 1+tn+1)
+		}
+		rn := int(p[1+tn])
+		if len(p) < 1+tn+1+rn {
+			return fmt.Errorf("wire: quota payload is %d bytes, want >= %d", len(p), 1+tn+1+rn)
+		}
+		return &tenant.QuotaError{
+			Tenant:   string(p[1 : 1+tn]),
+			Resource: string(p[1+tn+1 : 1+tn+1+rn]),
+			Msg:      string(p[1+tn+1+rn:]),
+		}
 	}
 	return fmt.Errorf("wire: unknown response status %#x", status)
 }

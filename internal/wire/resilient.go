@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -39,6 +38,12 @@ type ResilientConfig struct {
 	// Seed drives the backoff jitter RNG, keeping fault-matrix runs
 	// reproducible.
 	Seed int64
+	// TenantID, when non-empty, binds every connection (including
+	// reconnects) to a tenant with a HELLO exchange right after dialing,
+	// proving possession of TenantSecret. A failed HELLO fails the dial,
+	// so ops never run unauthenticated after a reconnect.
+	TenantID     string
+	TenantSecret string
 	// Logf, when set, observes reconnects and retries (nil discards).
 	Logf func(format string, args ...any)
 	// Obs, when non-nil, mirrors the resilience counters into live
@@ -153,6 +158,14 @@ func (r *ResilientClient) conn() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.cfg.TenantID != "" {
+		// Re-bind the tenant before the connection serves any op: a
+		// reconnect must never downgrade to an unauthenticated stream.
+		if err := cl.Hello(r.cfg.TenantID, r.cfg.TenantSecret); err != nil {
+			_ = cl.Close()
+			return nil, fmt.Errorf("wire: hello %q: %w", r.cfg.TenantID, err)
+		}
+	}
 	r.mu.Lock()
 	if r.cl != nil {
 		// Another goroutine won the redial race; use its connection.
@@ -220,10 +233,10 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 				return nil
 			}
 			last = err
-			var be *BusyError
 			switch {
-			case errors.As(err, &be):
-				// Shed before execution: connection healthy, retry safe.
+			case IsShed(err):
+				// Shed before execution (busy or quota): connection
+				// healthy, retry safe.
 				r.mu.Lock()
 				r.stats.Sheds++
 				r.mu.Unlock()
@@ -249,8 +262,7 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 		r.mu.Unlock()
 		r.cRetries.Inc()
 		var shedBit uint64
-		var be *BusyError
-		if errors.As(last, &be) {
+		if IsShed(last) {
 			shedBit = 1
 		}
 		r.cfg.Tracer.Emit(obs.KindRetry, -1, uint64(attempt), shedBit, 0)

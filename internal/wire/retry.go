@@ -6,6 +6,7 @@ import (
 	"net"
 
 	"github.com/securemem/morphtree/internal/secmem"
+	"github.com/securemem/morphtree/internal/tenant"
 )
 
 // This file is the client-side error taxonomy: which failures mean "the
@@ -27,8 +28,10 @@ func (e *BusyError) Error() string { return "wire: server busy: " + e.Msg }
 
 // IsRetryable reports whether err is worth retrying at all. Three tiers:
 //
-//   - *BusyError: retryable for every op — the server promises the shed
-//     request had no effect.
+//   - *BusyError and *tenant.QuotaError: retryable for every op — the
+//     server promises the shed request had no effect (both are
+//     shed-before-execution verdicts; quota sheds just carry the tenant
+//     and exhausted resource for client-side accounting).
 //   - Transport-class errors (poisoned client, truncated frame, closed
 //     or reset connection, deadline): retryable, but the outcome of an
 //     in-flight request is unknown, so non-idempotent ops must only be
@@ -46,11 +49,26 @@ func IsRetryable(err error) bool {
 	if errors.As(err, &be) {
 		return true
 	}
+	var qe *tenant.QuotaError
+	if errors.As(err, &qe) {
+		return true
+	}
 	var re *RemoteError
 	if errors.As(err, &re) {
 		return false
 	}
 	return IsTransport(err)
+}
+
+// IsShed reports whether err is a shed-before-execution verdict (busy or
+// quota): the request had no effect and is safe to retry after backoff.
+func IsShed(err error) bool {
+	var be *BusyError
+	if errors.As(err, &be) {
+		return true
+	}
+	var qe *tenant.QuotaError
+	return errors.As(err, &qe)
 }
 
 // IsTransport reports whether err means the connection is no longer

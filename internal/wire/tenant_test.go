@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/tenant"
+)
+
+func TestHelloCodecRoundTrip(t *testing.T) {
+	tok := tenant.HelloToken("secret", "alpha")
+	p, err := AppendHello(nil, "alpha", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, gotTok, err := DecodeHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "alpha" || !bytes.Equal(gotTok, tok[:]) {
+		t.Fatalf("round trip gave id=%q token=%x", id, gotTok)
+	}
+}
+
+func TestHelloCodecRejects(t *testing.T) {
+	var tok [tenant.TokenLen]byte
+	if _, err := AppendHello(nil, "", tok); err == nil {
+		t.Fatal("empty id encoded")
+	}
+	if _, err := AppendHello(nil, strings.Repeat("x", 256), tok); err == nil {
+		t.Fatal("oversized id encoded")
+	}
+	good, err := AppendHello(nil, "a", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		nil,                // empty
+		{0},                // zero id length
+		good[:len(good)-1], // truncated token
+		append(good[:0:0], append(good, 0xFF)...), // trailing garbage
+		{5, 'a'}, // id length past end
+	} {
+		if _, _, err := DecodeHello(bad); err == nil {
+			t.Fatalf("DecodeHello(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestQuotaErrorRoundTrip(t *testing.T) {
+	in := &tenant.QuotaError{Tenant: "alpha", Resource: "ops", Msg: "rate 100 ops/s exhausted"}
+	status, p := EncodeError(in)
+	if status != StatusQuota {
+		t.Fatalf("status = %#x, want StatusQuota", status)
+	}
+	out := DecodeError(status, p)
+	var qe *tenant.QuotaError
+	if !errors.As(out, &qe) {
+		t.Fatalf("decoded %T (%v), want *tenant.QuotaError", out, out)
+	}
+	if *qe != *in {
+		t.Fatalf("round trip changed fields: %+v != %+v", qe, in)
+	}
+}
+
+func TestQuotaErrorOversizedFallsBack(t *testing.T) {
+	in := &tenant.QuotaError{Tenant: strings.Repeat("x", 300), Resource: "ops", Msg: "m"}
+	status, _ := EncodeError(in)
+	if status != StatusError {
+		t.Fatalf("status = %#x, want StatusError fallback for unencodable fields", status)
+	}
+}
+
+func TestDecodeQuotaRejectsTruncated(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,              // empty
+		{3, 'a'},         // tenant length past end
+		{1, 'a', 2, 'o'}, // resource length past end
+	} {
+		if err := DecodeError(StatusQuota, bad); err == nil {
+			t.Fatalf("DecodeError(StatusQuota, %v) = nil", bad)
+		} else {
+			var qe *tenant.QuotaError
+			if errors.As(err, &qe) {
+				t.Fatalf("truncated payload decoded to %+v", qe)
+			}
+		}
+	}
+}
+
+func TestQuotaErrorRetryTaxonomy(t *testing.T) {
+	qe := &tenant.QuotaError{Tenant: "a", Resource: "ops", Msg: "m"}
+	if !IsRetryable(qe) {
+		t.Fatal("QuotaError not retryable: sheds happen before execution")
+	}
+	if !IsShed(qe) {
+		t.Fatal("IsShed(QuotaError) = false")
+	}
+	if !IsShed(&BusyError{Msg: "m"}) {
+		t.Fatal("IsShed(BusyError) = false")
+	}
+	if IsShed(errors.New("boom")) {
+		t.Fatal("IsShed(plain error) = true")
+	}
+}

@@ -70,6 +70,13 @@ const (
 	// size-to logs (an encoded proof.RangeResult). Payload is two u64s;
 	// a range outside the log answers StatusError.
 	OpRootRange byte = 0x0C
+	// OpHello binds the connection to a tenant: payload is the tenant id
+	// (length-prefixed) plus an HMAC proof-of-possession token
+	// (tenant.HelloToken). On multi-tenant servers every data op before a
+	// successful HELLO — and any HELLO with a bad token — answers
+	// StatusError; single-tenant servers reject HELLO the same way. The
+	// OK response is empty. PING stays tenant-free on both.
+	OpHello byte = 0x0D
 )
 
 // opNames maps opcodes to the names used in per-op metric keys
@@ -87,6 +94,7 @@ var opNames = map[byte]string{
 	OpProof:      "proof",
 	OpRoot:       "root",
 	OpRootRange:  "root_range",
+	OpHello:      "hello",
 }
 
 // OpName returns the lowercase name of an opcode, or "op_%02x" for
@@ -114,6 +122,13 @@ const (
 	// failure — the request had no effect, so retrying it after backoff
 	// is always safe, writes included.
 	StatusBusy byte = 0x03
+	// StatusQuota carries an encoded tenant.QuotaError: the bound
+	// tenant's quota (rate, inflight cap, or fair-share capacity wait)
+	// shed this request before executing any of it. Same
+	// shed-before-execution promise as StatusBusy, so retrying after
+	// backoff is always safe — but the tenant and exhausted resource
+	// survive the trip for client-side accounting.
+	StatusQuota byte = 0x04
 )
 
 // MaxBody caps a frame's body length. Snapshots of large memories are the
