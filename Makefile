@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke obs-smoke proof-smoke tenant-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke cluster-smoke obs-smoke proof-smoke tenant-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -59,7 +59,7 @@ bin/morphcrash: $(shell find cmd/morphcrash internal/durable internal/wal intern
 crash-smoke: bin/morphcrash
 	bin/morphcrash -points 9 -writes 300 -out BENCH_durable.json
 
-bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server internal/shard internal/wire internal/secmem -name '*.go' -not -name '*_test.go' 2>/dev/null)
+bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server internal/shard internal/wire internal/secmem internal/cluster internal/durable internal/obs -name '*.go' -not -name '*_test.go' 2>/dev/null)
 	$(GO) build -race -o bin/morphchaos ./cmd/morphchaos
 
 # Reduced seeded fault matrix under the race detector: client-proxy-server
@@ -68,6 +68,15 @@ bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server inter
 # is `bin/morphchaos` with defaults; this keeps CI fast.
 chaos-smoke: bin/morphchaos
 	bin/morphchaos -smoke -out BENCH_fault.json
+
+# Reduced node-kill matrix under the race detector: a three-node loopback
+# cluster (primary + two replicas) with a node killed mid-load, followed
+# by a lease-expiry failover. Asserts zero lost acknowledged writes and
+# zero spurious integrity errors, and writes failover latency plus
+# replication lag percentiles. The full matrix is `bin/morphchaos
+# -cluster` with defaults; this keeps CI fast.
+cluster-smoke: bin/morphchaos
+	bin/morphchaos -cluster -smoke -out BENCH_cluster.json
 
 bin/morphscope: $(shell find cmd/morphscope internal/obs internal/wire -name '*.go' -not -name '*_test.go' 2>/dev/null)
 	$(GO) build -o bin/morphscope ./cmd/morphscope

@@ -150,8 +150,20 @@ type report struct {
 func main() {
 	seed := flag.Int64("seed", 1, "fault-matrix seed; a failing run replays with the same seed")
 	smoke := flag.Bool("smoke", false, "reduced matrix for CI")
-	out := flag.String("out", "BENCH_fault.json", "report file")
+	clusterMode := flag.Bool("cluster", false, "node-kill matrix against a 3-node replication cluster (writes BENCH_cluster.json by default)")
+	out := flag.String("out", "", "report file (default BENCH_fault.json, or BENCH_cluster.json with -cluster)")
 	flag.Parse()
+
+	if *out == "" {
+		*out = "BENCH_fault.json"
+		if *clusterMode {
+			*out = "BENCH_cluster.json"
+		}
+	}
+	if *clusterMode {
+		runClusterMode(*seed, *smoke, *out)
+		return
+	}
 
 	rep := report{Seed: *seed, Smoke: *smoke, Pass: true}
 	start := time.Now()

@@ -16,6 +16,11 @@
 // and a restart recovers the pre-crash state — refusing to start if the
 // on-disk files show tampering rather than a torn crash tail.
 //
+// With -cluster (which requires -data-dir) the node joins a replication
+// group: the primary streams sealed WAL records to followers, followers
+// answer ROUTE so clients can find the leader, and a deposed primary
+// fences itself. See DESIGN.md §16.
+//
 // Drive it with cmd/morphload; stop it with SIGINT/SIGTERM for a graceful
 // drain (which also flushes the WAL).
 package main
@@ -24,6 +29,7 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/securemem/morphtree/internal/cluster"
 	"github.com/securemem/morphtree/internal/durable"
 	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/proof"
@@ -45,49 +52,28 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7443", "listen address")
-	org := flag.String("org", "morph128", "counter organization: sc64, sc128, vault, morph128, morph128-zcc")
-	shards := flag.Int("shards", 0, "shard count (0 = GOMAXPROCS)")
-	mem := flag.Uint64("mem", 4<<20, "total protected capacity in bytes")
-	keyHex := flag.String("key", "", "AES master key in hex (16/24/32 bytes; default is a fixed demo key)")
-	maxConns := flag.Int("max-conns", 256, "concurrent connection cap (excess sheds with BUSY)")
-	maxInflight := flag.Int("max-inflight", 0, "concurrently executing request cap (0 = 4x GOMAXPROCS); excess sheds with BUSY")
-	shedWait := flag.Duration("shed-wait", 10*time.Millisecond, "how long a request may wait for an in-flight slot before being shed")
-	timeout := flag.Duration("timeout", 30*time.Second, "idle read / response write deadline")
-	frameTimeout := flag.Duration("frame-timeout", 5*time.Second, "slow-loris bound: a started request frame must complete within this")
-	tamper := flag.Bool("tamper", false, "enable the wire-level TAMPER op (adversary interface, demos only)")
-	dataDir := flag.String("data-dir", "", "durability directory (empty = volatile, no persistence)")
-	fsyncMode := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
-	snapEvery := flag.Duration("snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
-	tenants := flag.String("tenants", "", "tenant config file (JSON array of specs); enables multi-tenant mode: HELLO-bound connections, per-tenant key domains, weighted fair admission")
-	admin := flag.String("admin", "", "admin telemetry listen address serving /metricz /tracez /healthz /rootz and pprof (empty = disabled; also enables the wire OBS op)")
-	traceBuf := flag.Int("trace-buf", 4096, "event trace ring capacity with -admin")
-	signSeed := flag.String("sign-seed", "", "transparency-log Ed25519 signing seed in hex (32 bytes; default derives one from the master key)")
-	flag.Parse()
-
-	key := []byte("0123456789abcdef")
-	if *keyHex != "" {
-		k, err := hex.DecodeString(*keyHex)
-		if err != nil {
-			log.Fatalf("morphserve: -key: %v", err)
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
 		}
-		key = k
+		log.Fatalf("morphserve: %v", err)
 	}
-	n := *shards
+	if err := o.validate(); err != nil {
+		log.Fatalf("morphserve: %v", err)
+	}
+
+	n := o.shards
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
-	}
-	enc, tree, err := shard.Organization(*org)
-	if err != nil {
-		log.Fatalf("morphserve: %v", err)
 	}
 	shcfg := shard.Config{
 		Shards: n,
 		Mem: secmem.Config{
-			MemoryBytes: *mem,
-			Enc:         enc,
-			Tree:        tree,
-			Key:         key,
+			MemoryBytes: o.mem,
+			Enc:         o.enc,
+			Tree:        o.tree,
+			Key:         o.key,
 		},
 	}
 
@@ -95,9 +81,9 @@ func main() {
 	// nil registry keeps the whole stack on its uninstrumented fast path.
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *admin != "" {
+	if o.admin != "" {
 		reg = obs.NewRegistry()
-		tracer = obs.NewTracer(*traceBuf)
+		tracer = obs.NewTracer(o.traceBuf)
 		shcfg.Obs = reg
 		shcfg.Tracer = tracer
 	}
@@ -106,39 +92,82 @@ func main() {
 	// transparency log. The default seed is derived from the master key so
 	// restarts keep the same identity without extra flag plumbing; operators
 	// who want a distinct log identity pass -sign-seed.
-	seed := proof.DeriveAuthoritySeed(key)
-	if *signSeed != "" {
-		s, err := hex.DecodeString(*signSeed)
-		if err != nil {
-			log.Fatalf("morphserve: -sign-seed: %v", err)
-		}
-		seed = s
+	seed := o.seed
+	if seed == nil {
+		seed = proof.DeriveAuthoritySeed(o.key)
 	}
 	authority, err := proof.NewAuthority(seed)
 	if err != nil {
 		log.Fatalf("morphserve: -sign-seed: %v", err)
 	}
 
-	// Tenant key domains tag lines in the volatile engine only; the WAL and
-	// snapshot formats do not carry domain ownership, so a durable restart
-	// would silently reseal every tenant's lines under the default domain.
-	// Refuse the combination rather than serve it wrong.
 	var treg *tenant.Registry
-	if *tenants != "" {
-		if *dataDir != "" {
-			log.Fatalf("morphserve: -tenants is incompatible with -data-dir (durable tenant key domains are future work)")
-		}
-		r, err := tenant.LoadConfig(*tenants)
+	if o.tenants != "" {
+		r, err := tenant.LoadConfig(o.tenants)
 		if err != nil {
 			log.Fatalf("morphserve: -tenants: %v", err)
 		}
 		treg = r
 	}
 
-	// eng is the serving surface; dm is non-nil only in durable mode.
+	// A cluster node must know its advertised address before Open, so the
+	// listener is created ahead of the engine in every mode.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("morphserve: %v", err)
+	}
+
+	// eng is the serving surface; dm is non-nil in durable mode, cn in
+	// cluster mode (a cluster node is durable by construction).
 	var eng server.Engine
 	var dm *durable.Memory
-	if *dataDir == "" {
+	var cn *cluster.Node
+	dcfg := durable.Config{Dir: o.dataDir, Sync: o.sync, Obs: reg, Tracer: tracer}
+	switch {
+	case o.cluster:
+		self := o.clusterSelf
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		node, err := cluster.Open(shcfg, dcfg, cluster.Config{
+			Self:        self,
+			Peers:       o.peers,
+			Primary:     o.clusterJoin == "",
+			Leader:      o.clusterJoin,
+			Epoch:       o.clusterEpoch,
+			Lease:       o.clusterLease,
+			AckReplicas: o.clusterAck,
+			Logf:        log.Printf,
+			Obs:         reg,
+			Tracer:      tracer,
+		})
+		if err != nil {
+			log.Fatalf("morphserve: -cluster open %s: %v", o.dataDir, err)
+		}
+		node.RegisterMetrics(reg)
+		ri := node.Route()
+		log.Printf("morphserve: cluster node %s: role %s, epoch %d, leader %q, peers %v",
+			self, ri.Role, ri.Epoch, ri.Leader, o.peers)
+		cn = node
+		eng = node
+	case o.dataDir != "":
+		m, info, err := durable.Open(shcfg, dcfg)
+		if err != nil {
+			// A recovery-time integrity error means the files were
+			// tampered with, not torn: refuse to serve.
+			log.Fatalf("morphserve: open %s: %v", o.dataDir, err)
+		}
+		if info.Fresh {
+			log.Printf("morphserve: %s: fresh store, snapshot seq %d", o.dataDir, info.SnapshotSeq)
+		} else {
+			log.Printf("morphserve: %s: recovered snapshot seq %d + %d WAL records (%d writes, %d torn tails truncated, %d lines re-verified) in %v",
+				o.dataDir, info.SnapshotSeq, info.ReplayedRecords, info.ReplayedWrites,
+				info.TornTailCount(), info.SampleVerified, info.Elapsed.Round(time.Millisecond))
+		}
+		m.RegisterMetrics(reg)
+		dm = m
+		eng = m
+	default:
 		sh, err := shard.New(shcfg)
 		if err != nil {
 			log.Fatalf("morphserve: %v", err)
@@ -150,72 +179,58 @@ func main() {
 		}
 		sh.RegisterMetrics(reg)
 		eng = sh
-	} else {
-		sync, err := durable.ParseSyncPolicy(*fsyncMode)
-		if err != nil {
-			log.Fatalf("morphserve: -fsync: %v", err)
-		}
-		m, info, err := durable.Open(shcfg, durable.Config{Dir: *dataDir, Sync: sync, Obs: reg, Tracer: tracer})
-		if err != nil {
-			// A recovery-time integrity error means the files were
-			// tampered with, not torn: refuse to serve.
-			log.Fatalf("morphserve: open %s: %v", *dataDir, err)
-		}
-		if info.Fresh {
-			log.Printf("morphserve: %s: fresh store, snapshot seq %d", *dataDir, info.SnapshotSeq)
-		} else {
-			log.Printf("morphserve: %s: recovered snapshot seq %d + %d WAL records (%d writes, %d torn tails truncated, %d lines re-verified) in %v",
-				*dataDir, info.SnapshotSeq, info.ReplayedRecords, info.ReplayedWrites,
-				info.TornTailCount(), info.SampleVerified, info.Elapsed.Round(time.Millisecond))
-		}
-		m.RegisterMetrics(reg)
-		dm = m
-		eng = m
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("morphserve: %v", err)
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
 		log.Printf("morphserve: %v: draining", sig)
+		if cn != nil {
+			// Unblock writes waiting for replica acks so the drain does
+			// not ride out AckTimeout.
+			cn.Halt()
+		}
 		cancel()
 	}()
 
 	durability := "volatile"
-	if dm != nil {
-		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", *dataDir, *fsyncMode, *snapEvery)
+	switch {
+	case cn != nil:
+		durability = fmt.Sprintf("cluster (%s, fsync=%s, lease=%v, ack=%d)", o.dataDir, o.fsyncMode, o.clusterLease, o.clusterAck)
+	case dm != nil:
+		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", o.dataDir, o.fsyncMode, o.snapEvery)
 	}
 	if treg != nil {
 		fmt.Printf("morphserve: multi-tenant: %d tenants %v (HELLO required, per-tenant key domains + quotas)\n",
 			len(treg.IDs()), treg.IDs())
 	}
 	fmt.Printf("morphserve: %s, %d shards, %d MiB, key %s, root log %s, listening on %s (tamper=%v, %s)\n",
-		*org, n, *mem>>20, obs.KeyDesc(key), authority.KeyDesc(), ln.Addr(), *tamper, durability)
+		o.org, n, o.mem>>20, obs.KeyDesc(o.key), authority.KeyDesc(), ln.Addr(), o.tamper, durability)
 	cfg := server.Config{
-		MaxConns:     *maxConns,
-		MaxInflight:  *maxInflight,
-		ShedWait:     *shedWait,
-		ReadTimeout:  *timeout,
-		FrameTimeout: *frameTimeout,
-		WriteTimeout: *timeout,
-		AllowTamper:  *tamper,
+		MaxConns:     o.maxConns,
+		MaxInflight:  o.maxInflight,
+		ShedWait:     o.shedWait,
+		ReadTimeout:  o.timeout,
+		FrameTimeout: o.frameTimeout,
+		WriteTimeout: o.timeout,
+		AllowTamper:  o.tamper,
 		Logf:         log.Printf,
 		Authority:    authority,
 		Obs:          reg,
 		Tracer:       tracer,
 		Tenants:      treg,
 	}
-	if dm != nil {
-		cfg.SnapshotEvery = *snapEvery
+	if dm != nil || cn != nil {
+		cfg.SnapshotEvery = o.snapEvery
+	}
+	if cn != nil {
+		cfg.Cluster = cn
 	}
 	srv := server.New(eng, cfg)
-	if *admin != "" {
-		aln, err := net.Listen("tcp", *admin)
+	if o.admin != "" {
+		aln, err := net.Listen("tcp", o.admin)
 		if err != nil {
 			log.Fatalf("morphserve: admin listen: %v", err)
 		}
@@ -225,7 +240,7 @@ func main() {
 			Tracer:   tracer,
 			Extra:    map[string]http.HandlerFunc{"/rootz": rootzHandler(authority)},
 		}
-		if *tamper {
+		if o.tamper {
 			// Adversary interface matching the wire TAMPER op: forge the
 			// log's first entry so auditors can demonstrate detection.
 			plane.Extra["/rootz/tamper"] = rootzTamperHandler(authority)
@@ -239,6 +254,14 @@ func main() {
 	err = srv.Serve(ctx, ln)
 	if err != nil && ctx.Err() == nil {
 		log.Fatalf("morphserve: %v", err)
+	}
+	if cn != nil {
+		d := cn.Durability()
+		if err := cn.Close(); err != nil {
+			log.Printf("morphserve: close cluster node: %v", err)
+		}
+		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints\n",
+			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints)
 	}
 	if dm != nil {
 		// Serve already flushed the WAL; cut a final checkpoint so the

@@ -110,8 +110,16 @@ type Config struct {
 	VerifyAll bool
 	// NoAudit suppresses the overflow/rebase audit records normally
 	// journaled at each group-commit flush. Crash harnesses set it so WAL
-	// segments contain only fixed-size write frames.
+	// segments contain only fixed-size write frames. Cluster replicas also
+	// run with it so their record sequence stays byte-identical to the
+	// primary's stream (a replica injecting its own audit records would
+	// fork the LSN space).
 	NoAudit bool
+	// ReplHistory, when positive, keeps an in-memory ring of the last N
+	// records per shard so a replication cursor can be served without
+	// re-reading the segment file. 0 disables the ring (ReadRecords then
+	// always falls back to the on-disk segment).
+	ReplHistory int
 	// Obs, when non-nil, records wal.fsync.latency, wal.group_commit.batch
 	// (records made durable per fsync) and durable.checkpoint.latency
 	// histograms.
@@ -190,6 +198,14 @@ type committer struct {
 	writes uint64 // cumulative write records (journal prefix index)
 	// audit baselines: totals already journaled as audit records
 	auditedOv, auditedRb uint64
+	// baseLSN is the LSN the current segment starts after (the covered LSN
+	// of the snapshot that opened this epoch); the replication cursor's
+	// file fallback anchors ReplayRange at baseLSN+1.
+	baseLSN uint64
+	// ring buffers recent records for the replication cursor (ringStart is
+	// ring[0]'s LSN; LSNs in the ring are contiguous). Guarded by mu.
+	ring      []wal.Record
+	ringStart uint64
 
 	syncMu sync.Mutex // guards synced and the fsync itself
 	synced uint64     // last LSN known durable
@@ -225,6 +241,10 @@ type Memory struct {
 
 	bgErrMu sync.Mutex
 	bgErr   error // first background-flusher failure, surfaced on Flush/Close
+
+	// sigMu/sigCh implement DurableSignal's replace-on-broadcast channel.
+	sigMu sync.Mutex
+	sigCh chan struct{}
 
 	closed atomic.Bool
 	stopc  chan struct{}
@@ -319,25 +339,39 @@ func (m *Memory) Durability() Stats {
 // Write journals and applies one 64-byte line write. It returns once the
 // write is applied and — under SyncAlways — once its WAL frame is fsynced.
 func (m *Memory) Write(addr uint64, line []byte) error {
+	_, _, err := m.WriteLSN(addr, line)
+	return err
+}
+
+// WriteLSN is Write returning the shard index and LSN the record was
+// journaled at; the cluster layer uses the position to wait for replica
+// acknowledgement before acking the client.
+func (m *Memory) WriteLSN(addr uint64, line []byte) (int, uint64, error) {
 	if m.closed.Load() {
-		return fmt.Errorf("durable: write after Close")
+		return 0, 0, fmt.Errorf("durable: write after Close")
 	}
 	if len(line) != LineBytes {
-		return fmt.Errorf("durable: line must be %d bytes, got %d", LineBytes, len(line))
+		return 0, 0, fmt.Errorf("durable: line must be %d bytes, got %d", LineBytes, len(line))
 	}
 	idx, _, err := m.sh.Locate(addr)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	c := m.commits[idx]
 	c.mu.Lock()
 	lsn := c.lsn + 1
-	if err := c.log.Append(wal.Record{Kind: wal.KindWrite, LSN: lsn, Addr: addr, Line: line}); err != nil {
+	rec := wal.Record{Kind: wal.KindWrite, LSN: lsn, Addr: addr, Line: line}
+	if err := c.log.Append(rec); err != nil {
 		c.mu.Unlock()
-		return err
+		return idx, 0, err
 	}
 	c.lsn = lsn
 	c.writes++
+	if m.cfg.ReplHistory > 0 {
+		// The ring must own the payload: callers reuse line buffers.
+		rec.Line = append([]byte(nil), line...)
+		c.pushRingLocked(rec, m.cfg.ReplHistory)
+	}
 	applyErr := m.sh.Write(addr, line)
 	c.mu.Unlock()
 	if applyErr != nil {
@@ -345,13 +379,13 @@ func (m *Memory) Write(addr uint64, line []byte) error {
 		// address and length validated above, means live-state tampering).
 		// Replay on restart applies it; the divergence is reported, not
 		// hidden.
-		return applyErr
+		return idx, lsn, applyErr
 	}
 	m.appends.Add(1)
 	if m.cfg.Sync == SyncAlways {
-		return c.syncTo(m, lsn)
+		return idx, lsn, c.syncTo(m, lsn)
 	}
-	return nil
+	return idx, lsn, nil
 }
 
 // syncTo makes every record up to at least lsn durable. The first caller
@@ -400,6 +434,7 @@ func (c *committer) sync(m *Memory, lsn uint64) (batch uint64, fsyncDur time.Dur
 	batch = target - c.synced
 	c.synced = target
 	m.fsyncs.Add(1)
+	m.signalDurable()
 	return batch, fsyncDur, nil
 }
 
@@ -417,22 +452,24 @@ func (c *committer) appendAuditLocked(m *Memory) error {
 		rb += v
 	}
 	if ov > c.auditedOv {
-		c.lsn++
-		if err := c.log.Append(wal.Record{Kind: wal.KindOverflow, LSN: c.lsn, Count: ov - c.auditedOv}); err != nil {
-			c.lsn--
+		rec := wal.Record{Kind: wal.KindOverflow, LSN: c.lsn + 1, Count: ov - c.auditedOv}
+		if err := c.log.Append(rec); err != nil {
 			return err
 		}
+		c.lsn++
 		c.auditedOv = ov
 		m.auditRecords.Add(1)
+		c.pushRingLocked(rec, m.cfg.ReplHistory)
 	}
 	if rb > c.auditedRb {
-		c.lsn++
-		if err := c.log.Append(wal.Record{Kind: wal.KindRebase, LSN: c.lsn, Count: rb - c.auditedRb}); err != nil {
-			c.lsn--
+		rec := wal.Record{Kind: wal.KindRebase, LSN: c.lsn + 1, Count: rb - c.auditedRb}
+		if err := c.log.Append(rec); err != nil {
 			return err
 		}
+		c.lsn++
 		c.auditedRb = rb
 		m.auditRecords.Add(1)
+		c.pushRingLocked(rec, m.cfg.ReplHistory)
 	}
 	return nil
 }

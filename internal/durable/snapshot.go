@@ -271,7 +271,9 @@ func (m *Memory) checkpoint() error {
 		}
 		c.log = newLogs[i]
 		c.synced = c.lsn
+		c.baseLSN = c.lsn
 	}
+	m.signalDurable()
 	m.seq.Store(newSeq)
 	m.checkpoints.Add(1)
 	if err := m.removeEpochsBelow(newSeq); err != nil && firstErr == nil {
@@ -507,6 +509,7 @@ func (m *Memory) initCommitters(covered, coveredWrites []uint64) {
 		if covered != nil {
 			c.lsn = covered[i]
 			c.synced = covered[i]
+			c.baseLSN = covered[i]
 		}
 		if coveredWrites != nil {
 			c.writes = coveredWrites[i]

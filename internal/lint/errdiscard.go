@@ -36,7 +36,10 @@ var ErrDiscard = &analysis.Analyzer{
 // never heard about. proof joined with morphproof: a dropped Verify or
 // VerifyConsistency error silently accepts a forged witness or a forked
 // transparency log — the exact failure the subsystem exists to surface.
-var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard", "proof", "tenant"}
+// cluster joined with morphcluster: a dropped Replicate/Promote/Follow
+// error silently loses a replication batch or treats a refused promotion
+// as a completed failover.
+var watchedPkgs = []string{"counters", "mac", "secmem", "bmt", "aesctr", "wal", "durable", "fault", "obs", "server", "shard", "proof", "tenant", "cluster"}
 
 func runErrDiscard(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {

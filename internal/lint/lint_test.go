@@ -15,7 +15,7 @@ func TestCryptoRand(t *testing.T) {
 }
 
 func TestErrDiscard(t *testing.T) {
-	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs", "server", "shard", "proof", "tenant")
+	analysistest.Run(t, "testdata", ErrDiscard, "secmem", "wal", "fault", "obs", "server", "shard", "proof", "tenant", "cluster")
 }
 
 func TestPanicPolicy(t *testing.T) {
@@ -23,7 +23,7 @@ func TestPanicPolicy(t *testing.T) {
 }
 
 func TestLockHeld(t *testing.T) {
-	analysistest.Run(t, "testdata", LockHeld, "locked", "limiter", "obsreg", "sched")
+	analysistest.Run(t, "testdata", LockHeld, "locked", "limiter", "obsreg", "sched", "clusterlock")
 }
 
 func TestKeyTaint(t *testing.T) {

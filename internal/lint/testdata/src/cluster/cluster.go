@@ -1,0 +1,37 @@
+// Package cluster mirrors the replication surface of internal/cluster:
+// a discarded error here is a silently lost replication batch, a failed
+// promotion treated as success, or an unacknowledged write reported as
+// acknowledged.
+package cluster
+
+// Replicate mirrors Node.Replicate (one follower poll).
+func Replicate() ([]byte, error) { return nil, nil }
+
+// Promote mirrors Node.Promote (leadership takeover with catch-up).
+func Promote() error { return nil }
+
+// Follow mirrors Node.Follow (repoint at a new leader).
+func Follow() error { return nil }
+
+// Write mirrors Node.Write (primary write with replication ack).
+func Write() error { return nil }
+
+func bad() {
+	Replicate() // want "result of cluster.Replicate includes an error that is discarded"
+	Promote()   // want "result of cluster.Promote includes an error that is discarded"
+	go Follow() // want "result of cluster.Follow includes an error that is discarded"
+	defer Write() // want "result of cluster.Write includes an error that is discarded"
+}
+
+func good() error {
+	if _, err := Replicate(); err != nil {
+		return err
+	}
+	if err := Promote(); err != nil {
+		return err
+	}
+	if err := Follow(); err != nil {
+		return err
+	}
+	return Write()
+}

@@ -1,0 +1,45 @@
+// Package clusterlock mirrors internal/cluster's Node layout: immutable
+// configuration before mu, the role state machine after it. Reading the
+// role or epoch without the mutex races the fencing transitions — the
+// exact bug class that lets a deposed primary keep acknowledging writes.
+package clusterlock
+
+import "sync"
+
+// Node follows the repo convention: config fields before mu, the
+// mutex-protected role state after it.
+type Node struct {
+	self string
+
+	mu     sync.Mutex
+	role   string
+	epoch  uint64
+	leader string
+}
+
+// Self touches only immutable config: no lock needed.
+func (n *Node) Self() string { return n.self }
+
+// Route snapshots the role state under the mutex.
+func (n *Node) Route() (string, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.epoch
+}
+
+// Role reads the state machine unlocked: a fencing transition can race it.
+func (n *Node) Role() string {
+	return n.role // want "Node.Role accesses mutex-protected field role"
+}
+
+// Fenced checks the epoch unlocked: same race.
+func (n *Node) Fenced(observed uint64) bool {
+	return observed > n.epoch // want "Node.Fenced accesses mutex-protected field epoch"
+}
+
+// follow is unexported: assumed called with mu already held.
+func (n *Node) follow(epoch uint64, leader string) {
+	n.epoch = epoch
+	n.leader = leader
+	n.role = "replica"
+}

@@ -31,6 +31,10 @@ const (
 	KindRootPublish              // A=epoch, B=log size (transparency-log append)
 	KindTenantBind               // A=tenant index (connection bound by HELLO)
 	KindQuotaShed                // A=opcode, B=tenant index (request shed by quota)
+	KindReplBatch                // A=shard, B=records applied, Dur=apply latency
+	KindPromote                  // A=new fencing epoch, Dur=catch-up latency
+	KindFence                    // A=observed epoch, B=local epoch (step-down)
+	KindReroute                  // A=fencing epoch, B=1 if leader known
 	numKinds
 )
 
@@ -38,7 +42,8 @@ var kindNames = [numKinds]string{
 	"req_start", "req_end", "tree_walk", "overflow", "rebase",
 	"format_switch", "cache_evict", "wal_fsync", "snapshot", "shed",
 	"reconnect", "retry", "proof_build", "root_publish",
-	"tenant_bind", "quota_shed",
+	"tenant_bind", "quota_shed", "repl_batch", "promote", "fence",
+	"reroute",
 }
 
 // String returns the snake_case kind name.

@@ -152,6 +152,11 @@ type Config struct {
 	// required when Tenants is set. Its capacity replaces MaxInflight as
 	// the global concurrency bound.
 	Sched *tenant.Scheduler
+	// Cluster, when non-nil, turns on the cluster control ops (OpRoute,
+	// OpReplicate, OpPromote, OpFollow), served without admission slots
+	// or tenant bindings — see ClusterNode. The engine should be the same
+	// *cluster.Node so data ops follow its role gating.
+	Cluster ClusterNode
 }
 
 func (c Config) withDefaults() Config {
@@ -553,6 +558,12 @@ func (s *Server) dispatch(cs *connState, op byte, payload []byte) (byte, []byte)
 	}
 	if op == wire.OpHello {
 		return s.hello(cs, payload)
+	}
+	if isClusterOp(op) {
+		// Cluster control plane: no admission slot (replication must not
+		// be shed by client load) and no tenant binding (node-to-node
+		// traffic is not tenant traffic).
+		return s.handleCluster(op, payload)
 	}
 	if s.cfg.Tenants != nil {
 		if cs.tenant == "" {

@@ -1,0 +1,268 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/securemem/morphtree/internal/secmem"
+)
+
+// TestReplayRangeEveryCursor replays a segment from every possible cursor
+// position and checks that exactly the suffix at or past the cursor is
+// delivered, while the whole prefix is still validated (Records counts all).
+func TestReplayRangeEveryCursor(t *testing.T) {
+	const n = 6
+	path := writeLog(t, t.TempDir(), n, true) // LSNs 1..n writes + n+1, n+2 audits
+	total := n + 2
+	for from := uint64(0); from <= uint64(total)+2; from++ {
+		var got []uint64
+		info, err := ReplayRange(path, testOpts(), 1, from, func(r Record) error {
+			got = append(got, r.LSN)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if info.Records != total {
+			t.Fatalf("from=%d: Records = %d, want %d", from, info.Records, total)
+		}
+		if info.LastLSN != uint64(total) {
+			t.Fatalf("from=%d: LastLSN = %d, want %d", from, info.LastLSN, total)
+		}
+		start := from
+		if start < 1 {
+			start = 1
+		}
+		wantN := 0
+		if start <= uint64(total) {
+			wantN = total - int(start) + 1
+		}
+		if len(got) != wantN || info.Delivered != wantN {
+			t.Fatalf("from=%d: delivered %d (info %d), want %d", from, len(got), info.Delivered, wantN)
+		}
+		for i, lsn := range got {
+			if lsn != start+uint64(i) {
+				t.Fatalf("from=%d: delivered LSN %d at %d, want %d", from, lsn, i, start+uint64(i))
+			}
+		}
+	}
+}
+
+// TestReplayRangeDeliversCorrectPayloads checks the unsealed lines on the
+// delivered suffix match what was written.
+func TestReplayRangeDeliversCorrectPayloads(t *testing.T) {
+	path := writeLog(t, t.TempDir(), 5, false)
+	var recs []Record
+	if _, err := ReplayRange(path, testOpts(), 1, 4, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("delivered %d records, want 2", len(recs))
+	}
+	for i, r := range recs {
+		wantSeed := byte(r.LSN - 1) // writeLog seeds line(i) at LSN i+1
+		if !bytes.Equal(r.Line, line(wantSeed)) {
+			t.Fatalf("record %d (LSN %d): payload mismatch", i, r.LSN)
+		}
+	}
+}
+
+// TestReplayRangeTornAtCursor cuts the record exactly at the cursor short
+// and checks that replay reports a torn tail, delivers nothing, and — being
+// a read-only cursor scan — does NOT truncate the file.
+func TestReplayRangeTornAtCursor(t *testing.T) {
+	const n = 4
+	path := writeLog(t, t.TempDir(), n, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way through the final record (LSN n): the cursor points at
+	// exactly the record that is torn.
+	cut := int64(len(data)) - int64(WriteFrameBytes)/2
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	info, err := ReplayRange(path, testOpts(), 1, uint64(n), func(r Record) error {
+		got = append(got, r.LSN)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("torn tail at cursor must not error: %v", err)
+	}
+	if info.TornTail == nil {
+		t.Fatal("expected TornTail to be reported")
+	}
+	if len(got) != 0 || info.Delivered != 0 {
+		t.Fatalf("delivered %d records across a torn cursor, want 0", len(got))
+	}
+	if info.LastLSN != uint64(n-1) {
+		t.Fatalf("LastLSN = %d, want %d", info.LastLSN, n-1)
+	}
+	if info.Truncated {
+		t.Fatal("cursor replay must never repair the segment")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(after)) != cut {
+		t.Fatalf("file length changed from %d to %d: cursor replay mutated the segment", cut, len(after))
+	}
+}
+
+// TestReplayRangeTornBeforeCursor: the torn record sits below the cursor —
+// replay still ends at the tear without delivering anything past it.
+func TestReplayRangeTornBeforeCursor(t *testing.T) {
+	const n = 3
+	path := writeLog(t, t.TempDir(), n, false)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate into record 2 of 3: records 3+ never existed on disk, and
+	// the cursor asks for LSN >= 3.
+	cut := int64(WriteFrameBytes) + int64(WriteFrameBytes)/3
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ReplayRange(path, testOpts(), 1, 3, func(r Record) error {
+		t.Fatalf("unexpected delivery of LSN %d", r.LSN)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornTail == nil || info.Records != 1 || info.Delivered != 0 {
+		t.Fatalf("info = %+v, want torn tail after 1 record, 0 delivered", info)
+	}
+}
+
+// TestReplayRangeTamperedPrefixFailsClosed: tampering below the cursor must
+// still fail the whole scan — the cursor path never serves from a log whose
+// skipped prefix does not authenticate.
+func TestReplayRangeTamperedPrefixFailsClosed(t *testing.T) {
+	path := writeLog(t, t.TempDir(), 4, false)
+	flipWithCRCFix(t, path, 0) // tamper record 1; cursor starts at 3
+	_, err := ReplayRange(path, testOpts(), 1, 3, func(r Record) error {
+		t.Fatalf("unexpected delivery of LSN %d past tampered prefix", r.LSN)
+		return nil
+	})
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want IntegrityError", err)
+	}
+}
+
+// TestReplayRangeMissingFile: a missing segment replays empty, same as
+// Replay — the caller decides whether that means snapshot bootstrap.
+func TestReplayRangeMissingFile(t *testing.T) {
+	info, err := ReplayRange(t.TempDir()+"/nope", testOpts(), 5, 9, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.Delivered != 0 || info.LastLSN != 4 {
+		t.Fatalf("info = %+v, want empty replay with LastLSN 4", info)
+	}
+}
+
+// TestCodecRoundTrip seals a batch with Codec.AppendRecord and decodes it
+// with DecodeAll, checking records and payloads survive.
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindWrite, LSN: 7, Addr: 128, Line: line(9)},
+		{Kind: KindOverflow, LSN: 8, Count: 2},
+		{Kind: KindWrite, LSN: 9, Addr: 64, Line: line(3)},
+	}
+	var batch []byte
+	for _, r := range recs {
+		if batch, err = c.AppendRecord(batch, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	n, err := c.DecodeAll(batch, 7, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || n != len(recs) {
+		t.Fatalf("DecodeAll = %d, %v; want %d, nil", n, err, len(recs))
+	}
+	for i, r := range got {
+		if r.Kind != recs[i].Kind || r.LSN != recs[i].LSN || r.Addr != recs[i].Addr || r.Count != recs[i].Count {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+		if r.Kind == KindWrite && !bytes.Equal(r.Line, recs[i].Line) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+}
+
+// TestCodecWrongKeyFailsClosed: a batch sealed under one key must not
+// decode under another (this is what makes fencing-epoch-bound replication
+// keys reject a deposed primary's stream).
+func TestCodecWrongKeyFailsClosed(t *testing.T) {
+	seal, err := NewCodec(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := seal.AppendRecord(nil, Record{Kind: KindWrite, LSN: 1, Addr: 0, Line: line(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := NewCodec(Options{Key: []byte("another-epoch-key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = open.DecodeAll(batch, 1, func(Record) error { return nil })
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want IntegrityError", err)
+	}
+}
+
+// TestCodecTruncatedBatchErrors: unlike file replay, a cut-short batch is an
+// error, not a tolerated torn tail.
+func TestCodecTruncatedBatchErrors(t *testing.T) {
+	c, err := NewCodec(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := c.AppendRecord(nil, Record{Kind: KindWrite, LSN: 1, Addr: 0, Line: line(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, frameHdrBytes - 1, frameHdrBytes + 3, len(batch) - 1} {
+		if _, err := c.DecodeAll(batch[:cut], 1, func(Record) error { return nil }); err == nil {
+			t.Fatalf("cut=%d: truncated batch decoded without error", cut)
+		}
+	}
+}
+
+// TestCodecLSNGapFailsClosed: contiguity is enforced on the wire exactly as
+// on disk.
+func TestCodecLSNGapFailsClosed(t *testing.T) {
+	c, err := NewCodec(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := c.AppendRecord(nil, Record{Kind: KindWrite, LSN: 5, Addr: 0, Line: line(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.DecodeAll(batch, 4, func(Record) error { return nil })
+	var ie *secmem.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want IntegrityError for LSN gap", err)
+	}
+}

@@ -147,6 +147,78 @@ func (k keys) mac(body []byte) uint64 {
 	return binary.LittleEndian.Uint64(h.Sum(nil))
 }
 
+// Codec seals and opens records in the WAL frame format without a backing
+// file. The cluster layer uses it to ship batches of records over the wire
+// in exactly the on-disk encoding — CRC-framed, HMAC'd, AES-CTR-sealed —
+// under a key bound to the sender's fencing epoch, so a batch from a
+// deposed primary fails authentication instead of corrupting a replica.
+type Codec struct {
+	keys keys
+}
+
+// NewCodec derives a codec's sealing keys from opt.
+func NewCodec(opt Options) (*Codec, error) {
+	k, err := deriveKeys(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{keys: k}, nil
+}
+
+// AppendRecord appends r's sealed frame (header + body) to dst and returns
+// the extended slice.
+func (c *Codec) AppendRecord(dst []byte, r Record) ([]byte, error) {
+	body, err := encodeBody(c.keys, r)
+	if err != nil {
+		return dst, err
+	}
+	var hdr [frameHdrBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...), nil
+}
+
+// DecodeAll decodes every frame in p, calling fn for each record in order.
+// firstLSN anchors the contiguity check exactly as in file replay. Unlike
+// file replay there is no torn-tail tolerance: p arrived length-delimited
+// over an authenticated transport, so any framing damage is corruption and
+// returns an error rather than a tolerated tail. Returns the number of
+// records decoded.
+func (c *Codec) DecodeAll(p []byte, firstLSN uint64, fn func(Record) error) (int, error) {
+	next := firstLSN
+	n := 0
+	off := 0
+	for off < len(p) {
+		rest := p[off:]
+		if len(rest) < frameHdrBytes {
+			return n, fmt.Errorf("wal: batch frame header cut short: %d trailing bytes", len(rest))
+		}
+		bl := binary.LittleEndian.Uint32(rest[0:])
+		if bl < recFixedBytes+macBytes || bl > maxBody {
+			return n, fmt.Errorf("wal: batch frame length %d outside [%d, %d]", bl, recFixedBytes+macBytes, maxBody)
+		}
+		if len(rest) < frameHdrBytes+int(bl) {
+			return n, fmt.Errorf("wal: batch frame body cut short: %d of %d bytes", len(rest)-frameHdrBytes, bl)
+		}
+		body := rest[frameHdrBytes : frameHdrBytes+int(bl)]
+		if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(rest[4:]); got != want {
+			return n, fmt.Errorf("wal: batch frame CRC %#x, want %#x", got, want)
+		}
+		rec, err := decodeBody(c.keys, body, "replication batch", next)
+		if err != nil {
+			return n, err
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+		next = rec.LSN + 1
+		off += frameHdrBytes + int(bl)
+	}
+	return n, nil
+}
+
 // Log is an append-only WAL segment writer. It is not safe for concurrent
 // use; the durability layer serializes appends per shard (that lock doubles
 // as the apply-order lock, keeping replay order identical to apply order).
@@ -197,7 +269,7 @@ func (l *Log) Appended() uint64 { return l.appended }
 // Append buffers one record's frame. The record is NOT durable until Sync
 // returns; it is not even visible to a re-open until Flush.
 func (l *Log) Append(r Record) error {
-	body, err := l.encodeBody(r)
+	body, err := encodeBody(l.keys, r)
 	if err != nil {
 		return err
 	}
@@ -216,7 +288,7 @@ func (l *Log) Append(r Record) error {
 
 // encodeBody serializes and seals a record body (payload encrypted, MAC
 // appended).
-func (l *Log) encodeBody(r Record) ([]byte, error) {
+func encodeBody(k keys, r Record) ([]byte, error) {
 	var payload []byte
 	switch r.Kind {
 	case KindWrite:
@@ -226,7 +298,7 @@ func (l *Log) encodeBody(r Record) ([]byte, error) {
 		payload = make([]byte, secmem.LineBytes)
 		// Seal the line: the pad is bound to the LSN, unique within the
 		// segment key's lifetime.
-		if err := l.keys.cipher.XOR(payload, r.Line, r.LSN, 0); err != nil {
+		if err := k.cipher.XOR(payload, r.Line, r.LSN, 0); err != nil {
 			return nil, fmt.Errorf("wal: seal record %d: %w", r.LSN, err)
 		}
 	case KindOverflow, KindRebase:
@@ -240,7 +312,7 @@ func (l *Log) encodeBody(r Record) ([]byte, error) {
 	binary.LittleEndian.PutUint64(body[9:], r.Addr)
 	binary.LittleEndian.PutUint64(body[17:], r.Count)
 	copy(body[recFixedBytes:], payload)
-	binary.LittleEndian.PutUint64(body[len(body)-macBytes:], l.keys.mac(body[:len(body)-macBytes]))
+	binary.LittleEndian.PutUint64(body[len(body)-macBytes:], k.mac(body[:len(body)-macBytes]))
 	return body, nil
 }
 
@@ -288,6 +360,10 @@ func (l *Log) Close() error {
 type ReplayInfo struct {
 	// Records is the number of valid records decoded (all kinds).
 	Records int
+	// Delivered is the number of records passed to the callback. Equal to
+	// Records for Replay; ReplayRange validates the whole prefix but only
+	// delivers records at or past the cursor.
+	Delivered int
 	// Writes is the number of KindWrite records decoded.
 	Writes int
 	// LastLSN is the LSN of the final valid record (firstLSN-1 if none).
@@ -312,6 +388,25 @@ type ReplayInfo struct {
 // MAC or sequence violations return a *secmem.IntegrityError and replay no
 // further records.
 func Replay(path string, opt Options, firstLSN uint64, repair bool, fn func(Record) error) (ReplayInfo, error) {
+	return replayRange(path, opt, firstLSN, firstLSN, repair, fn)
+}
+
+// ReplayRange decodes the segment at path exactly like Replay — the whole
+// prefix is CRC-, MAC-, and sequence-validated starting at firstLSN — but
+// only records with LSN >= fromLSN are delivered to fn. This is the
+// replication cursor path: a replica whose durable watermark is mid-segment
+// receives just the suffix it is missing, while the primary still refuses
+// to serve from a tampered or spliced log. A torn tail ends delivery
+// without error (recorded in the info; never repaired — the cursor read
+// must not mutate the live segment the committer is appending to).
+func ReplayRange(path string, opt Options, firstLSN, fromLSN uint64, fn func(Record) error) (ReplayInfo, error) {
+	if fromLSN < firstLSN {
+		fromLSN = firstLSN
+	}
+	return replayRange(path, opt, firstLSN, fromLSN, false, fn)
+}
+
+func replayRange(path string, opt Options, firstLSN, fromLSN uint64, repair bool, fn func(Record) error) (ReplayInfo, error) {
 	info := ReplayInfo{LastLSN: firstLSN - 1}
 	k, err := deriveKeys(opt)
 	if err != nil {
@@ -353,8 +448,11 @@ func Replay(path string, opt Options, firstLSN uint64, repair bool, fn func(Reco
 		if err != nil {
 			return info, err
 		}
-		if err := fn(rec); err != nil {
-			return info, err
+		if rec.LSN >= fromLSN {
+			if err := fn(rec); err != nil {
+				return info, err
+			}
+			info.Delivered++
 		}
 		info.Records++
 		if rec.Kind == KindWrite {

@@ -156,6 +156,12 @@ func EncodeError(err error) (byte, []byte) {
 			return StatusQuota, append(p, qe.Msg...)
 		}
 	}
+	var me *MovedError
+	if errors.As(err, &me) {
+		p := make([]byte, 8, 8+len(me.Leader))
+		binary.BigEndian.PutUint64(p, me.Epoch)
+		return StatusMoved, append(p, me.Leader...)
+	}
 	return StatusError, []byte(err.Error())
 }
 
@@ -192,6 +198,14 @@ func DecodeError(status byte, p []byte) error {
 			Tenant:   string(p[1 : 1+tn]),
 			Resource: string(p[1+tn+1 : 1+tn+1+rn]),
 			Msg:      string(p[1+tn+1+rn:]),
+		}
+	case StatusMoved:
+		if len(p) < 8 {
+			return fmt.Errorf("wire: moved payload is %d bytes, want >= 8", len(p))
+		}
+		return &MovedError{
+			Epoch:  binary.BigEndian.Uint64(p),
+			Leader: string(p[8:]),
 		}
 	}
 	return fmt.Errorf("wire: unknown response status %#x", status)

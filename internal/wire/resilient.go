@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -15,6 +17,13 @@ import (
 type ResilientConfig struct {
 	// Addr is the morphserve (or chaos proxy) address to dial.
 	Addr string
+	// Addrs, when non-empty, is a cluster seed list and supersedes Addr.
+	// The client starts at the first seed, rotates to the next on a dial
+	// failure (a dead node must not absorb every retry), and re-targets
+	// the advertised leader when a node answers StatusMoved. Routes carry
+	// fencing epochs; when nodes disagree the highest epoch wins, so a
+	// deposed primary cannot pull clients back.
+	Addrs []string
 	// Timeout bounds each dial and each individual round trip
 	// (default 10s).
 	Timeout time.Duration
@@ -82,6 +91,9 @@ type ResilientStats struct {
 	Retries    uint64 `json:"retries"`
 	Sheds      uint64 `json:"sheds"`
 	Reconnects uint64 `json:"reconnects"`
+	// Reroutes counts not-primary redirects: attempts answered
+	// StatusMoved that re-targeted the client at another node.
+	Reroutes uint64 `json:"reroutes"`
 }
 
 // ResilientClient wraps the single-connection Client with reconnection,
@@ -94,19 +106,27 @@ type ResilientStats struct {
 type ResilientClient struct {
 	cfg ResilientConfig
 	// Live obs counters mirroring stats (nil-safe; set at construction).
-	cOps, cRetries, cSheds, cReconnects, cFailures *obs.Counter
+	cOps, cRetries, cSheds, cReconnects, cFailures, cReroutes *obs.Counter
 
 	mu        sync.Mutex
 	cl        *Client // nil when disconnected
 	connected bool    // a dial has succeeded at least once
 	rng       *rand.Rand
 	stats     ResilientStats
+	target    string // address the next dial goes to
+	seedIdx   int    // position in cfg.Addrs the target came from
+	epoch     uint64 // highest fencing epoch seen in MovedError redirects
+	tpFails   int    // consecutive transport errors against the current target
 }
 
 // NewResilient builds a resilient client; it does not dial until the
 // first op (or Ping).
 func NewResilient(cfg ResilientConfig) *ResilientClient {
 	cfg = cfg.withDefaults()
+	target := cfg.Addr
+	if len(cfg.Addrs) > 0 {
+		target = cfg.Addrs[0]
+	}
 	return &ResilientClient{
 		cfg:         cfg,
 		cOps:        cfg.Obs.Counter("wire.ops"),
@@ -114,8 +134,18 @@ func NewResilient(cfg ResilientConfig) *ResilientClient {
 		cSheds:      cfg.Obs.Counter("wire.sheds"),
 		cReconnects: cfg.Obs.Counter("wire.reconnects"),
 		cFailures:   cfg.Obs.Counter("wire.failures"),
+		cReroutes:   cfg.Obs.Counter("wire.reroutes"),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		target:      target,
 	}
+}
+
+// Target returns the address the next dial will go to: the configured
+// address until a redirect or seed rotation moves it.
+func (r *ResilientClient) Target() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
 }
 
 // Counters returns a snapshot of the resilience counters.
@@ -153,8 +183,9 @@ func (r *ResilientClient) conn() (*Client, error) {
 		return cl, nil
 	}
 	reconnect := r.connected
+	addr := r.target
 	r.mu.Unlock()
-	cl, err := Dial(r.cfg.Addr, r.cfg.Timeout)
+	cl, err := Dial(addr, r.cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -183,9 +214,54 @@ func (r *ResilientClient) conn() (*Client, error) {
 	if reconnect {
 		r.cReconnects.Inc()
 		r.cfg.Tracer.Emit(obs.KindReconnect, -1, 0, 0, 0)
-		r.logf("wire: reconnected to %s", r.cfg.Addr)
+		r.logf("wire: reconnected to %s", addr)
 	}
 	return cl, nil
+}
+
+// rotate advances the target to the next seed address after a dial
+// failure, so a dead node does not absorb every remaining attempt. A
+// no-op without a seed list (single-address clients keep redialing the
+// one server they have).
+func (r *ResilientClient) rotate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.cfg.Addrs) < 2 {
+		return
+	}
+	r.seedIdx = (r.seedIdx + 1) % len(r.cfg.Addrs)
+	r.target = r.cfg.Addrs[r.seedIdx]
+	r.tpFails = 0
+}
+
+// reroute re-targets the client after a not-primary redirect. A redirect
+// naming a leader at an epoch >= the highest seen wins the target; a
+// leaderless redirect (the responder does not know who leads) falls back
+// to seed rotation so the next attempt at least lands on a different
+// node.
+func (r *ResilientClient) reroute(me *MovedError) {
+	r.mu.Lock()
+	if me.Epoch >= r.epoch {
+		r.epoch = me.Epoch
+	}
+	switch {
+	case me.Leader != "" && me.Epoch >= r.epoch:
+		r.target = me.Leader
+	case len(r.cfg.Addrs) >= 2:
+		r.seedIdx = (r.seedIdx + 1) % len(r.cfg.Addrs)
+		r.target = r.cfg.Addrs[r.seedIdx]
+	}
+	target := r.target
+	r.tpFails = 0
+	r.stats.Reroutes++
+	r.mu.Unlock()
+	r.cReroutes.Inc()
+	var known uint64
+	if me.Leader != "" {
+		known = 1
+	}
+	r.cfg.Tracer.Emit(obs.KindReroute, -1, me.Epoch, known, 0)
+	r.logf("wire: not primary (epoch %d); re-targeting %s", me.Epoch, target)
 }
 
 // discard retires a connection after a transport error (it is poisoned or
@@ -214,25 +290,36 @@ func (r *ResilientClient) backoff(n int) time.Duration {
 
 // do runs one op through the retry loop. retryTransport says whether the
 // op may be retried after a transport error left its outcome unknown —
-// true for idempotent ops, RetryWrites for the rest.
-func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client) error) error {
+// true for idempotent ops, RetryWrites for the rest. The context bounds
+// the whole loop: cancellation is honored between attempts and during
+// backoff sleeps, never silently outlived.
+func (r *ResilientClient) do(ctx context.Context, retryTransport bool, opName string, f func(*Client) error) error {
 	r.mu.Lock()
 	r.stats.Ops++
 	r.mu.Unlock()
 	r.cOps.Inc()
 	var last error
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			r.fail()
+			return fmt.Errorf("wire: %s canceled: %w", opName, err)
+		}
 		cl, err := r.conn()
 		if err != nil {
 			// Dial failure: no request was sent, retrying is safe for
-			// every op.
+			// every op. With a seed list, try a different node next.
 			last = err
+			r.rotate()
 		} else {
 			err = f(cl)
 			if err == nil {
+				r.mu.Lock()
+				r.tpFails = 0
+				r.mu.Unlock()
 				return nil
 			}
 			last = err
+			var me *MovedError
 			switch {
 			case IsShed(err):
 				// Shed before execution (busy or quota): connection
@@ -241,12 +328,36 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 				r.stats.Sheds++
 				r.mu.Unlock()
 				r.cSheds.Inc()
+			case errors.As(err, &me):
+				// Not-primary redirect: refused before execution, so
+				// retrying is safe for every op (writes included, no
+				// RetryWrites opt-in needed) — but against the right
+				// node. This connection points at the wrong one; drop
+				// it and re-target.
+				r.discard(cl)
+				r.reroute(me)
 			case !IsRetryable(err):
 				r.fail()
 				return err
 			default:
 				// Transport error: outcome unknown, connection dead.
 				r.discard(cl)
+				// A target that keeps accepting dials but failing
+				// mid-connection (a proxy whose backend died, a
+				// half-broken node) must not absorb every attempt:
+				// after two consecutive transport errors, rotate. The
+				// streak spans ops, so even a no-retry client escapes a
+				// dead target on its next call.
+				r.mu.Lock()
+				r.tpFails++
+				tooMany := r.tpFails >= 2
+				if tooMany {
+					r.tpFails = 0
+				}
+				r.mu.Unlock()
+				if tooMany {
+					r.rotate()
+				}
 				if !retryTransport {
 					r.fail()
 					return fmt.Errorf("wire: %s outcome unknown after transport error (not idempotent, RetryWrites off): %w", opName, err)
@@ -268,7 +379,27 @@ func (r *ResilientClient) do(retryTransport bool, opName string, f func(*Client)
 		r.cfg.Tracer.Emit(obs.KindRetry, -1, uint64(attempt), shedBit, 0)
 		sleep := r.backoff(attempt)
 		r.logf("wire: %s attempt %d/%d failed (%v); retrying in %v", opName, attempt, r.cfg.MaxAttempts, last, sleep)
-		time.Sleep(sleep)
+		if err := sleepCtx(ctx, sleep); err != nil {
+			r.fail()
+			return fmt.Errorf("wire: %s canceled during retry backoff (last attempt error: %v): %w", opName, last, err)
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first. A
+// context that can never be canceled sleeps without arming a timer.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -284,7 +415,7 @@ func (r *ResilientClient) fail() {
 // never retried into a false alarm.
 func (r *ResilientClient) Read(addr uint64) ([]byte, error) {
 	var line []byte
-	err := r.do(true, "READ", func(cl *Client) error {
+	err := r.do(context.Background(), true, "READ", func(cl *Client) error {
 		var err error
 		line, err = cl.Read(addr)
 		return err
@@ -295,20 +426,20 @@ func (r *ResilientClient) Read(addr uint64) ([]byte, error) {
 // Write stores a 64-byte line. Transport-ambiguous retries only happen
 // with RetryWrites (see ResilientConfig); busy sheds always retry.
 func (r *ResilientClient) Write(addr uint64, line []byte) error {
-	return r.do(r.cfg.RetryWrites, "WRITE", func(cl *Client) error {
+	return r.do(context.Background(), r.cfg.RetryWrites, "WRITE", func(cl *Client) error {
 		return cl.Write(addr, line)
 	})
 }
 
 // Verify asks the server to re-verify every written line. Idempotent.
 func (r *ResilientClient) Verify() error {
-	return r.do(true, "VERIFY", func(cl *Client) error { return cl.Verify() })
+	return r.do(context.Background(), true, "VERIFY", func(cl *Client) error { return cl.Verify() })
 }
 
 // Stats fetches the server's aggregated shard stats. Idempotent.
 func (r *ResilientClient) Stats() (secmem.Stats, error) {
 	var st secmem.Stats
-	err := r.do(true, "STATS", func(cl *Client) error {
+	err := r.do(context.Background(), true, "STATS", func(cl *Client) error {
 		var err error
 		st, err = cl.Stats()
 		return err
@@ -318,13 +449,13 @@ func (r *ResilientClient) Stats() (secmem.Stats, error) {
 
 // Ping checks liveness. Idempotent.
 func (r *ResilientClient) Ping() error {
-	return r.do(true, "PING", func(cl *Client) error { return cl.Ping() })
+	return r.do(context.Background(), true, "PING", func(cl *Client) error { return cl.Ping() })
 }
 
 // Snapshot fetches the server's full persisted state. Idempotent.
 func (r *ResilientClient) Snapshot() ([]byte, error) {
 	var snap []byte
-	err := r.do(true, "SNAPSHOT", func(cl *Client) error {
+	err := r.do(context.Background(), true, "SNAPSHOT", func(cl *Client) error {
 		var err error
 		snap, err = cl.Snapshot()
 		return err
@@ -336,7 +467,7 @@ func (r *ResilientClient) Snapshot() ([]byte, error) {
 // checkpoint after an ambiguous outcome only shortens replay.
 func (r *ResilientClient) Checkpoint() (uint64, error) {
 	var seq uint64
-	err := r.do(true, "CHECKPOINT", func(cl *Client) error {
+	err := r.do(context.Background(), true, "CHECKPOINT", func(cl *Client) error {
 		var err error
 		seq, err = cl.Checkpoint()
 		return err
@@ -348,13 +479,13 @@ func (r *ResilientClient) Checkpoint() (uint64, error) {
 // idempotent — a double flip restores the bit — so transport retries
 // follow RetryWrites like Write does.
 func (r *ResilientClient) Tamper(addr uint64) error {
-	return r.do(r.cfg.RetryWrites, "TAMPER", func(cl *Client) error { return cl.Tamper(addr) })
+	return r.do(context.Background(), r.cfg.RetryWrites, "TAMPER", func(cl *Client) error { return cl.Tamper(addr) })
 }
 
 // Proof fetches the verifiable-read witness for an address. Idempotent.
 func (r *ResilientClient) Proof(addr uint64) (*proof.Proof, error) {
 	var p *proof.Proof
-	err := r.do(true, "PROOF", func(cl *Client) error {
+	err := r.do(context.Background(), true, "PROOF", func(cl *Client) error {
 		var err error
 		p, err = cl.Proof(addr)
 		return err
@@ -365,7 +496,7 @@ func (r *ResilientClient) Proof(addr uint64) (*proof.Proof, error) {
 // Root fetches the transparency log's current position. Idempotent.
 func (r *ResilientClient) Root() (*proof.RootInfo, error) {
 	var ri *proof.RootInfo
-	err := r.do(true, "ROOT", func(cl *Client) error {
+	err := r.do(context.Background(), true, "ROOT", func(cl *Client) error {
 		var err error
 		ri, err = cl.Root()
 		return err
@@ -377,7 +508,7 @@ func (r *ResilientClient) Root() (*proof.RootInfo, error) {
 // consistency proof between the two log sizes. Idempotent.
 func (r *ResilientClient) RootRange(from, to uint64) (*proof.RangeResult, error) {
 	var rr *proof.RangeResult
-	err := r.do(true, "ROOTRANGE", func(cl *Client) error {
+	err := r.do(context.Background(), true, "ROOTRANGE", func(cl *Client) error {
 		var err error
 		rr, err = cl.RootRange(from, to)
 		return err
@@ -388,10 +519,49 @@ func (r *ResilientClient) RootRange(from, to uint64) (*proof.RangeResult, error)
 // Obs fetches the server's obs registry snapshot as raw JSON. Idempotent.
 func (r *ResilientClient) Obs() ([]byte, error) {
 	var body []byte
-	err := r.do(true, "OBS", func(cl *Client) error {
+	err := r.do(context.Background(), true, "OBS", func(cl *Client) error {
 		var err error
 		body, err = cl.Obs()
 		return err
 	})
 	return body, err
+}
+
+// Route fetches the answering node's cluster view. Idempotent, served by
+// every role (replicas answer too), so it works for leader discovery and
+// for control planes surveying survivors after a node loss.
+func (r *ResilientClient) Route() (*RouteInfo, error) {
+	var ri *RouteInfo
+	err := r.do(context.Background(), true, "ROUTE", func(cl *Client) error {
+		var err error
+		ri, err = cl.Route()
+		return err
+	})
+	return ri, err
+}
+
+// ReadCtx is Read bounded by a context: cancellation is honored between
+// attempts and during backoff sleeps.
+func (r *ResilientClient) ReadCtx(ctx context.Context, addr uint64) ([]byte, error) {
+	var line []byte
+	err := r.do(ctx, true, "READ", func(cl *Client) error {
+		var err error
+		line, err = cl.Read(addr)
+		return err
+	})
+	return line, err
+}
+
+// WriteCtx is Write bounded by a context: cancellation is honored between
+// attempts and during backoff sleeps.
+func (r *ResilientClient) WriteCtx(ctx context.Context, addr uint64, line []byte) error {
+	return r.do(ctx, r.cfg.RetryWrites, "WRITE", func(cl *Client) error {
+		return cl.Write(addr, line)
+	})
+}
+
+// PingCtx is Ping bounded by a context: cancellation is honored between
+// attempts and during backoff sleeps.
+func (r *ResilientClient) PingCtx(ctx context.Context) error {
+	return r.do(ctx, true, "PING", func(cl *Client) error { return cl.Ping() })
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 
@@ -25,6 +26,31 @@ type BusyError struct {
 
 // Error implements error.
 func (e *BusyError) Error() string { return "wire: server busy: " + e.Msg }
+
+// MovedError is a StatusMoved response: the node that answered is not the
+// cluster primary, so the data op was refused before executing any of it.
+// Leader, when non-empty, is the advertised primary address; Epoch is the
+// responder's fencing epoch (clients keep the route with the highest epoch
+// when nodes disagree). Always safe to retry — against the leader.
+type MovedError struct {
+	Epoch  uint64
+	Leader string
+}
+
+// Error implements error.
+func (e *MovedError) Error() string {
+	if e.Leader == "" {
+		return fmt.Sprintf("wire: not primary (epoch %d, leader unknown)", e.Epoch)
+	}
+	return fmt.Sprintf("wire: not primary (epoch %d, leader %s)", e.Epoch, e.Leader)
+}
+
+// IsMoved reports whether err is a not-primary redirect; the request had
+// no effect and should be retried against the advertised leader.
+func IsMoved(err error) bool {
+	var me *MovedError
+	return errors.As(err, &me)
+}
 
 // IsRetryable reports whether err is worth retrying at all. Three tiers:
 //
@@ -51,6 +77,9 @@ func IsRetryable(err error) bool {
 	}
 	var qe *tenant.QuotaError
 	if errors.As(err, &qe) {
+		return true
+	}
+	if IsMoved(err) {
 		return true
 	}
 	var re *RemoteError

@@ -77,6 +77,33 @@ const (
 	// StatusError; single-tenant servers reject HELLO the same way. The
 	// OK response is empty. PING stays tenant-free on both.
 	OpHello byte = 0x0D
+	// OpReplicate is the cluster replication long-poll: a follower sends
+	// its fencing epoch and per-shard durable watermark vector (an encoded
+	// ReplicateRequest) and the primary answers with sealed WAL record
+	// batches past those watermarks, or a snapshot bootstrap when the
+	// follower's cursor predates the retained log (an encoded
+	// ReplicateResponse). Served without an admission slot: replication
+	// must not be shed by client load. Non-cluster servers answer
+	// StatusError.
+	OpReplicate byte = 0x0E
+	// OpRoute returns the answering node's view of the cluster as JSON
+	// (RouteInfo): role, fencing epoch, leader address, known peers, the
+	// shard→node map, and the node's own durable watermarks. Clients use it
+	// to find the primary; the control plane uses it to pick a promotion
+	// candidate. Served without an admission slot.
+	OpRoute byte = 0x0F
+	// OpPromote asks a replica to become primary at a new fencing epoch:
+	// payload is the epoch plus the minimum per-shard LSN vector the
+	// candidate must be caught up to (element-wise max across surviving
+	// replicas). The replica refuses while its lease on the current primary
+	// is unexpired, catches its WAL tail up from donor peers if needed, and
+	// answers with its post-promotion RouteInfo. Served without an
+	// admission slot.
+	OpPromote byte = 0x10
+	// OpFollow redirects a node to follow a (new) leader at a given epoch:
+	// payload is the epoch and leader address. A primary receiving a higher
+	// epoch steps down (fencing). Served without an admission slot.
+	OpFollow byte = 0x11
 )
 
 // opNames maps opcodes to the names used in per-op metric keys
@@ -95,6 +122,10 @@ var opNames = map[byte]string{
 	OpRoot:       "root",
 	OpRootRange:  "root_range",
 	OpHello:      "hello",
+	OpReplicate:  "replicate",
+	OpRoute:      "route",
+	OpPromote:    "promote",
+	OpFollow:     "follow",
 }
 
 // OpName returns the lowercase name of an opcode, or "op_%02x" for
@@ -129,6 +160,13 @@ const (
 	// backoff is always safe — but the tenant and exhausted resource
 	// survive the trip for client-side accounting.
 	StatusQuota byte = 0x04
+	// StatusMoved carries an encoded MovedError: the answering node is not
+	// the primary (replica, fenced, or deposed), so the data op was refused
+	// before executing any of it. The payload names the fencing epoch and,
+	// when known, the leader address so the client can re-route. Same
+	// refused-before-execution promise as StatusBusy: retrying (against the
+	// right node) is always safe, writes included.
+	StatusMoved byte = 0x05
 )
 
 // MaxBody caps a frame's body length. Snapshots of large memories are the
