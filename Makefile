@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke chaos-smoke cluster-smoke obs-smoke proof-smoke tenant-smoke verify clean
+.PHONY: build test race morphdebug vet morphlint lint-baseline bench serve-smoke crash-smoke ckpt-smoke chaos-smoke cluster-smoke obs-smoke proof-smoke tenant-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,16 @@ bin/morphcrash: $(shell find cmd/morphcrash internal/durable internal/wal intern
 # defaults; this keeps CI fast.
 crash-smoke: bin/morphcrash
 	bin/morphcrash -points 9 -writes 300 -out BENCH_durable.json
+
+# Incremental-checkpoint smoke test, race-built: the delta/compaction
+# crash windows and delta tamper probe, crash recovery measured at two
+# state sizes (failing if the delta path's replay scales with total
+# history instead of the dirty tail, or the wall-clock win at a small
+# dirty fraction drops below 5x), and the background-checkpointer
+# write-p99 stall gate.
+ckpt-smoke:
+	$(GO) build -race -o bin/morphcrash.race ./cmd/morphcrash
+	bin/morphcrash.race -points 16 -writes 300 -out BENCH_durable.json
 
 bin/morphchaos: $(shell find cmd/morphchaos internal/fault internal/server internal/shard internal/wire internal/secmem internal/cluster internal/durable internal/obs -name '*.go' -not -name '*_test.go' 2>/dev/null)
 	$(GO) build -race -o bin/morphchaos ./cmd/morphchaos

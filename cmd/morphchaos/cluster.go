@@ -12,6 +12,14 @@
 // fail over via dial errors and MOVED redirects, a lagging candidate
 // catches up from a donor before leading, and none of the churn ever
 // surfaces as an integrity alarm.
+//
+// The migrate_kill_donor scenario adds live shard migration to the churn:
+// with clients hammering one shard, that shard is migrated to a replica
+// mid-load, the donor (the primary) is killed after cut-over, and the
+// control plane must promote the recipient — its marks on the migrated
+// shard are the highest, because after cut-over it is the shard's only
+// journal. The same two invariants gate the run: every write acked before,
+// during, or after the hand-off survives, and none of it trips integrity.
 package main
 
 import (
@@ -44,6 +52,16 @@ const (
 	probeLine      = uint64(memBytes - lineBytes) // reserved for the prober
 	workerLines    = 256                          // per worker, away from the probe line
 	clusterClients = 2
+
+	// Migration scenario geometry: the load targets only the migrated
+	// shard (shard 1 of 2: odd line indices), because the resilient client
+	// re-targets wholly on MOVED — mixed-shard traffic would just measure
+	// redirect ping-pong. 2 workers x 128 odd lines = lines 1..511, clear
+	// of the prober's line 1023 (also odd, so the prober rides the
+	// migration too).
+	migrateShard       = 1
+	migrateWorkerLines = 128
+	migrateAt          = 100 * time.Millisecond
 )
 
 // clusterScenario is one cell of the node-kill matrix; each runs `seeds`
@@ -53,6 +71,7 @@ type clusterScenario struct {
 	seeds       int
 	killPrimary bool // false = kill a replica instead
 	latency     bool // route client traffic to the primary through a latency proxy
+	migrate     bool // migrate a shard to a replica mid-load before the kill
 }
 
 func clusterMatrix(smoke bool) []clusterScenario {
@@ -60,12 +79,14 @@ func clusterMatrix(smoke bool) []clusterScenario {
 		return []clusterScenario{
 			{name: "kill_replica", seeds: 1},
 			{name: "kill_primary", seeds: 2, killPrimary: true},
+			{name: "migrate_kill_donor", seeds: 1, killPrimary: true, migrate: true},
 		}
 	}
 	return []clusterScenario{
 		{name: "kill_replica", seeds: 2},
 		{name: "kill_primary", seeds: 4, killPrimary: true},
 		{name: "kill_primary_latency", seeds: 2, killPrimary: true, latency: true},
+		{name: "migrate_kill_donor", seeds: 2, killPrimary: true, migrate: true},
 	}
 }
 
@@ -85,6 +106,7 @@ type clusterRunResult struct {
 	Reroutes   uint64 `json:"reroutes"`
 
 	FailoverMS float64 `json:"failover_ms,omitempty"`
+	MigrateMS  float64 `json:"migrate_ms,omitempty"`
 	VerifyOK   bool    `json:"verify_ok"`
 	Pass       bool    `json:"pass"`
 	Note       string  `json:"note,omitempty"`
@@ -299,8 +321,16 @@ func runClusterRun(sc clusterScenario, seed int64) (clusterRunResult, float64, [
 	workers := make([]workerResult, clusterClients)
 	var wg sync.WaitGroup
 	for c := 0; c < clusterClients; c++ {
+		base := uint64(c) * workerLines * lineBytes
+		lines := uint64(workerLines)
+		addrOf := func(i uint64) uint64 { return base + i*lineBytes }
+		if sc.migrate {
+			off := uint64(c) * migrateWorkerLines
+			lines = migrateWorkerLines
+			addrOf = func(i uint64) uint64 { return (2*(off+i) + 1) * lineBytes }
+		}
 		wg.Add(1)
-		go func(c int) {
+		go func(c int, addrOf func(uint64) uint64, lines uint64) {
 			defer wg.Done()
 			cl := wire.NewResilient(wire.ResilientConfig{
 				Addrs:       seedAddrs,
@@ -313,8 +343,8 @@ func runClusterRun(sc clusterScenario, seed int64) (clusterRunResult, float64, [
 			})
 			defer cl.Close()
 			workers[c] = clusterWorker(cl, rand.New(rand.NewSource(seed+int64(c)*7919)),
-				uint64(c)*workerLines*lineBytes, workerLines, stop)
-		}(c)
+				addrOf, lines, stop)
+		}(c, addrOf, lines)
 	}
 	probec := make(chan probeResult, 1)
 	go func() {
@@ -350,6 +380,25 @@ func runClusterRun(sc clusterScenario, seed int64) (clusterRunResult, float64, [
 			}
 		}
 	}()
+
+	// For the migration scenario: let load land, then ship the hot shard
+	// to the first replica while the writes keep coming. The kill below
+	// then takes out the donor, and failover MUST land on the recipient —
+	// after cut-over its journal is the only copy of the shard's acked
+	// tail, which is exactly what makes its marks the highest.
+	recipient := replicas[0]
+	if sc.migrate {
+		time.Sleep(migrateAt)
+		mt := time.Now()
+		if err := runLiveMigration(recipient.addr, p.addr, migrateShard); err != nil {
+			close(stop)
+			wg.Wait()
+			<-probec
+			<-samplerDone
+			return res, 0, nil, fmt.Errorf("live migration: %w", err)
+		}
+		res.MigrateMS = float64(time.Since(mt).Microseconds()) / 1000
+	}
 
 	// The kill, and (for primary kills) the failover control plane.
 	target := replicas[1]
@@ -409,6 +458,13 @@ func runClusterRun(sc clusterScenario, seed int64) (clusterRunResult, float64, [
 		res.Note = "no primary survived the run"
 		return res, 0, nil, nil
 	}
+	if sc.migrate && final != recipient {
+		// Anyone else leading the migrated shard would silently serve its
+		// stale pre-cut-over copy.
+		res.Pass = false
+		res.Note = fmt.Sprintf("failover promoted %s, not the migrated shard's recipient %s", final.addr, recipient.addr)
+		return res, 0, nil, nil
+	}
 	direct := wire.NewResilient(wire.ResilientConfig{Addr: final.addr, Timeout: 10 * time.Second, Seed: seed - 2})
 	defer direct.Close()
 	for c := range workers {
@@ -440,9 +496,24 @@ func runClusterRun(sc clusterScenario, seed int64) (clusterRunResult, float64, [
 	return res, failoverMS, lagSamples, nil
 }
 
+// runLiveMigration asks recipient to pull shard from donor — the same
+// control-plane call an operator rebalancing the cluster would make.
+func runLiveMigration(recipient, donor string, shard uint32) error {
+	cl, err := wire.Dial(recipient, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	_, err = cl.Migrate(&wire.MigrateRequest{
+		Phase: wire.MigrateRun, Epoch: 1, Shard: shard, Donor: donor,
+	})
+	return err
+}
+
 // clusterWorker is the fault-matrix worker loop, time-bounded instead of
-// op-counted so the load spans the kill and the recovery.
-func clusterWorker(cl *wire.ResilientClient, rng *rand.Rand, base, lines uint64, stop <-chan struct{}) workerResult {
+// op-counted so the load spans the kill and the recovery. addrOf maps a
+// line index in [0, lines) to the worker's address for it.
+func clusterWorker(cl *wire.ResilientClient, rng *rand.Rand, addrOf func(uint64) uint64, lines uint64, stop <-chan struct{}) workerResult {
 	w := workerResult{
 		seqs:  make(map[uint64]uint64, lines),
 		maybe: make(map[uint64][]uint64, 4),
@@ -454,7 +525,7 @@ func clusterWorker(cl *wire.ResilientClient, rng *rand.Rand, base, lines uint64,
 			return w
 		default:
 		}
-		a := base + uint64(rng.Int63n(int64(lines)))*lineBytes
+		a := addrOf(uint64(rng.Int63n(int64(lines))))
 		if rng.Float64() < 0.5 && len(w.maybe[a]) == 0 {
 			seq := w.seqs[a] + 1
 			if err := cl.Write(a, fill(a, seq)); err != nil {

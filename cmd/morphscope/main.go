@@ -158,6 +158,8 @@ var engineCounters = []string{
 	"secmem.overflows", "secmem.set_resets", "secmem.rebases",
 	"secmem.format_switches", "secmem.reencryptions", "secmem.verified_fetches",
 	"durable.fsyncs", "durable.checkpoints",
+	"durable.ckpt.deltas", "durable.ckpt.compactions", "durable.ckpt.chain",
+	"durable.recovery_us", "cluster.migrations",
 	"server.accepted", "server.shed",
 }
 

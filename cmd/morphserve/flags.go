@@ -32,6 +32,8 @@ type options struct {
 	dataDir      string
 	fsyncMode    string
 	snapEvery    time.Duration
+	deltaEvery   time.Duration
+	keepEpochs   int
 	tenants      string
 	admin        string
 	traceBuf     int
@@ -77,6 +79,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.dataDir, "data-dir", "", "durability directory (empty = volatile, no persistence)")
 	fs.StringVar(&o.fsyncMode, "fsync", "always", "WAL fsync policy with -data-dir: always, interval, none")
 	fs.DurationVar(&o.snapEvery, "snapshot-every", time.Minute, "periodic checkpoint interval with -data-dir (0 disables)")
+	fs.DurationVar(&o.deltaEvery, "delta-every", 0, "background incremental-checkpoint interval with -data-dir (0 disables); deltas persist only dirty lines and compact to a full snapshot when the chain grows")
+	fs.IntVar(&o.keepEpochs, "keep-epochs", 0, "checkpoint epochs to retain past the newest with -data-dir (0 = newest only; delta chains always keep their base)")
 	fs.StringVar(&o.tenants, "tenants", "", "tenant config file (JSON array of specs); enables multi-tenant mode: HELLO-bound connections, per-tenant key domains, weighted fair admission")
 	fs.StringVar(&o.admin, "admin", "", "admin telemetry listen address serving /metricz /tracez /healthz /rootz and pprof (empty = disabled; also enables the wire OBS op)")
 	fs.IntVar(&o.traceBuf, "trace-buf", 4096, "event trace ring capacity with -admin")
@@ -135,6 +139,21 @@ func (o *options) validate() error {
 
 	if o.sync, err = durable.ParseSyncPolicy(o.fsyncMode); err != nil {
 		return fmt.Errorf("-fsync: %v", err)
+	}
+
+	if o.keepEpochs < 0 {
+		return fmt.Errorf("-keep-epochs must be >= 0 (got %d); 0 keeps only the newest epoch", o.keepEpochs)
+	}
+	if o.dataDir == "" {
+		if o.keepEpochs != 0 {
+			return fmt.Errorf("-keep-epochs has no effect without -data-dir: there are no checkpoint epochs to retain; add -data-dir <dir> or drop it")
+		}
+		if o.deltaEvery != 0 {
+			return fmt.Errorf("-delta-every has no effect without -data-dir: there is nothing to checkpoint; add -data-dir <dir> or drop it")
+		}
+	}
+	if o.deltaEvery < 0 {
+		return fmt.Errorf("-delta-every must be >= 0 (got %v); 0 disables background delta checkpoints", o.deltaEvery)
 	}
 
 	if o.tenants != "" {

@@ -51,6 +51,10 @@ func TestFlagInvalidCombos(t *testing.T) {
 		{"cluster-self without cluster", []string{"-cluster-self", "h:1"}, "no effect without -cluster"},
 		{"cluster-peers without cluster", []string{"-cluster-peers", "h:1,h:2"}, "no effect without -cluster"},
 		{"cluster-ack without cluster", []string{"-cluster-ack", "1"}, "no effect without -cluster"},
+		{"keep-epochs without data-dir", []string{"-keep-epochs", "3"}, "-keep-epochs has no effect without -data-dir"},
+		{"negative keep-epochs", []string{"-data-dir", "/tmp/d", "-keep-epochs", "-1"}, "-keep-epochs must be >= 0"},
+		{"delta-every without data-dir", []string{"-delta-every", "5s"}, "-delta-every has no effect without -data-dir"},
+		{"negative delta-every", []string{"-data-dir", "/tmp/d", "-delta-every", "-1s"}, "-delta-every must be >= 0"},
 		{"bad key hex", []string{"-key", "zz"}, "-key"},
 		{"short key", []string{"-key", "0011"}, "16, 24, or 32 bytes"},
 		{"bad org", []string{"-org", "nonesuch"}, "-org"},

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/securemem/morphtree/internal/ckpt"
 	"github.com/securemem/morphtree/internal/cluster"
 	"github.com/securemem/morphtree/internal/durable"
 	"github.com/securemem/morphtree/internal/obs"
@@ -122,7 +123,7 @@ func main() {
 	var eng server.Engine
 	var dm *durable.Memory
 	var cn *cluster.Node
-	dcfg := durable.Config{Dir: o.dataDir, Sync: o.sync, Obs: reg, Tracer: tracer}
+	dcfg := durable.Config{Dir: o.dataDir, Sync: o.sync, KeepEpochs: o.keepEpochs, Obs: reg, Tracer: tracer}
 	switch {
 	case o.cluster:
 		self := o.clusterSelf
@@ -160,8 +161,8 @@ func main() {
 		if info.Fresh {
 			log.Printf("morphserve: %s: fresh store, snapshot seq %d", o.dataDir, info.SnapshotSeq)
 		} else {
-			log.Printf("morphserve: %s: recovered snapshot seq %d + %d WAL records (%d writes, %d torn tails truncated, %d lines re-verified) in %v",
-				o.dataDir, info.SnapshotSeq, info.ReplayedRecords, info.ReplayedWrites,
+			log.Printf("morphserve: %s: recovered snapshot seq %d + %d deltas + %d WAL records (%d writes, %d torn tails truncated, %d lines re-verified) in %v",
+				o.dataDir, info.SnapshotSeq, info.DeltasApplied, info.ReplayedRecords, info.ReplayedWrites,
 				info.TornTailCount(), info.SampleVerified, info.Elapsed.Round(time.Millisecond))
 		}
 		m.RegisterMetrics(reg)
@@ -195,12 +196,33 @@ func main() {
 		cancel()
 	}()
 
+	// Background incremental checkpointer: cuts dirty-line deltas on the
+	// -delta-every cadence and compacts the chain into a full snapshot
+	// when it grows too long. Group commits never stall behind it — the
+	// delta cut copies dirty lines in memory and does its file I/O outside
+	// every shard lock.
+	if o.deltaEvery > 0 {
+		var target ckpt.Target
+		switch {
+		case cn != nil:
+			target = cn
+		case dm != nil:
+			target = dm
+		}
+		if target != nil {
+			runner := ckpt.NewRunner(target, o.deltaEvery, 0, func(err error) {
+				log.Printf("morphserve: background checkpoint: %v", err)
+			})
+			defer runner.Stop()
+		}
+	}
+
 	durability := "volatile"
 	switch {
 	case cn != nil:
-		durability = fmt.Sprintf("cluster (%s, fsync=%s, lease=%v, ack=%d)", o.dataDir, o.fsyncMode, o.clusterLease, o.clusterAck)
+		durability = fmt.Sprintf("cluster (%s, fsync=%s, lease=%v, ack=%d, delta-every=%v)", o.dataDir, o.fsyncMode, o.clusterLease, o.clusterAck, o.deltaEvery)
 	case dm != nil:
-		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v)", o.dataDir, o.fsyncMode, o.snapEvery)
+		durability = fmt.Sprintf("durable (%s, fsync=%s, snapshot-every=%v, delta-every=%v)", o.dataDir, o.fsyncMode, o.snapEvery, o.deltaEvery)
 	}
 	if treg != nil {
 		fmt.Printf("morphserve: multi-tenant: %d tenants %v (HELLO required, per-tenant key domains + quotas)\n",
@@ -260,8 +282,8 @@ func main() {
 		if err := cn.Close(); err != nil {
 			log.Printf("morphserve: close cluster node: %v", err)
 		}
-		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints\n",
-			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints)
+		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints, %d deltas, %d compactions\n",
+			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints, d.DeltaCheckpoints, d.Compactions)
 	}
 	if dm != nil {
 		// Serve already flushed the WAL; cut a final checkpoint so the
@@ -273,8 +295,8 @@ func main() {
 			log.Printf("morphserve: close store: %v", err)
 		}
 		d := dm.Durability()
-		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints\n",
-			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints)
+		fmt.Printf("morphserve: durability: %d WAL appends, %d fsyncs, %d audit records, %d checkpoints, %d deltas, %d compactions\n",
+			d.Appends, d.Fsyncs, d.AuditRecords, d.Checkpoints, d.DeltaCheckpoints, d.Compactions)
 	}
 	st := eng.Stats()
 	fmt.Printf("morphserve: served %d reads, %d writes, %d verified fetches; overflows %v, rebases %v, re-encryptions %d\n",

@@ -1,0 +1,79 @@
+package ckpt
+
+import (
+	"sync"
+	"time"
+)
+
+// Target is what the background checkpointer drives — durable.Memory in
+// production, fakes in tests.
+type Target interface {
+	// CheckpointDelta cuts an incremental checkpoint of the dirty lines.
+	CheckpointDelta() error
+	// Checkpoint cuts a full snapshot (compacting the delta chain).
+	Checkpoint() error
+	// DeltaChainLen reports how many deltas sit atop the current base
+	// snapshot.
+	DeltaChainLen() int
+}
+
+// Runner periodically cuts delta checkpoints and compacts the chain into
+// a full snapshot once it grows past MaxChain — bounding both recovery
+// work (base + short chain + WAL tail) and disk amplification. The cut
+// itself stalls writers only for the in-memory dirty-line copy; all file
+// I/O happens outside the engine locks (see durable.CheckpointDelta).
+type Runner struct {
+	t        Target
+	interval time.Duration
+	maxChain int
+	onErr    func(error)
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewRunner starts the background checkpointer. interval is the delta
+// cadence; maxChain the compaction threshold (values < 1 default to 8).
+// onErr, when non-nil, receives checkpoint failures (the runner keeps
+// going — a transient disk error must not end checkpointing forever).
+func NewRunner(t Target, interval time.Duration, maxChain int, onErr func(error)) *Runner {
+	if maxChain < 1 {
+		maxChain = 8
+	}
+	r := &Runner{t: t, interval: interval, maxChain: maxChain, onErr: onErr, stopc: make(chan struct{})}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+func (r *Runner) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-t.C:
+			var err error
+			if r.t.DeltaChainLen() >= r.maxChain {
+				err = r.t.Checkpoint()
+			} else {
+				err = r.t.CheckpointDelta()
+			}
+			if err != nil && r.onErr != nil {
+				r.onErr(err)
+			}
+		}
+	}
+}
+
+// Stop halts the runner and waits for any in-flight checkpoint to finish.
+func (r *Runner) Stop() {
+	select {
+	case <-r.stopc:
+	default:
+		close(r.stopc)
+	}
+	r.wg.Wait()
+}

@@ -147,6 +147,7 @@ type Node struct {
 	cFences     *obs.Counter
 	cPromotes   *obs.Counter
 	cBootstraps *obs.Counter
+	cMigrations *obs.Counter
 	gLag        *obs.Gauge
 
 	mu          sync.Mutex
@@ -161,6 +162,12 @@ type Node struct {
 	pullCl      *wire.Client  // replica's connection to the leader
 	pullAddr    string        // address pullCl is dialed to
 	onCkpt      func(seq uint64)
+
+	// Live shard migration state (see migrate.go).
+	migOut     *migState      // donor: spill being served
+	migIn      *migState      // recipient: shard being installed (puller skips it)
+	migratedTo map[int]string // donor: shard -> its new home, post-cutover
+	owned      map[int]bool   // recipient: migrated-in shards this node serves
 
 	stopc  chan struct{}
 	wg     sync.WaitGroup
@@ -209,6 +216,7 @@ func Open(shcfg shard.Config, dcfg durable.Config, cfg Config) (*Node, error) {
 		cFences:     cfg.Obs.Counter("cluster.fences"),
 		cPromotes:   cfg.Obs.Counter("cluster.promotes"),
 		cBootstraps: cfg.Obs.Counter("cluster.bootstraps"),
+		cMigrations: cfg.Obs.Counter("cluster.migrations"),
 		gLag:        cfg.Obs.Gauge("cluster.repl.lag"),
 		mem:         mem,
 		role:        RoleReplica,
@@ -364,36 +372,42 @@ func (n *Node) codec(epoch uint64, shardIdx int) (*wal.Codec, error) {
 
 // --- server.Engine surface -------------------------------------------
 
-// Read serves a line read on the primary; elsewhere it answers the
-// moved redirect.
+// Read serves a line read on the node that serves the line's shard — the
+// primary for most shards, the recipient for a migrated-in one; elsewhere
+// it answers the moved redirect (naming the shard's new home when the
+// shard was migrated away).
 func (n *Node) Read(addr uint64) ([]byte, error) {
 	n.mu.Lock()
-	if n.role != RolePrimary {
-		err := n.movedLocked()
+	mem := n.mem
+	if err := n.routeShardLocked(n.shardFor(mem, addr)); err != nil {
 		n.mu.Unlock()
 		return nil, err
 	}
-	mem := n.mem
 	n.mu.Unlock()
 	return mem.Read(addr)
 }
 
-// Write journals a line write on the primary and waits for the
-// configured replication cover before acknowledging; elsewhere it
+// Write journals a line write on the node that serves the line's shard.
+// On the primary it waits for the configured replication cover before
+// acknowledging; on a migration recipient the owned shard acks on local
+// durability (its journal is the shard's only authority). Elsewhere it
 // answers the moved redirect.
 func (n *Node) Write(addr uint64, line []byte) error {
 	n.mu.Lock()
-	if n.role != RolePrimary {
-		err := n.movedLocked()
+	mem := n.mem
+	if err := n.routeShardLocked(n.shardFor(mem, addr)); err != nil {
 		n.mu.Unlock()
 		return err
 	}
-	mem := n.mem
 	epoch := n.epoch
+	primary := n.role == RolePrimary
 	n.mu.Unlock()
 	shardIdx, lsn, err := mem.WriteLSN(addr, line)
 	if err != nil {
-		return err
+		return n.translateFenced(err)
+	}
+	if !primary {
+		return nil
 	}
 	return n.waitAck(epoch, shardIdx, lsn)
 }
@@ -409,15 +423,15 @@ func (n *Node) Stats() secmem.Stats { return n.memory().Stats() }
 // Save streams the local engine state (any role).
 func (n *Node) Save(w io.Writer) error { return n.memory().Save(w) }
 
-// FlipDataBit is the adversary interface (tamper testing); primary only,
-// reported as a refusal (false) elsewhere.
+// FlipDataBit is the adversary interface (tamper testing); served by
+// whichever node serves the line's shard, refused (false) elsewhere.
 func (n *Node) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
 	n.mu.Lock()
-	if n.role != RolePrimary {
+	mem := n.mem
+	if err := n.routeShardLocked(n.shardFor(mem, addr)); err != nil {
 		n.mu.Unlock()
 		return false
 	}
-	mem := n.mem
 	n.mu.Unlock()
 	return mem.FlipDataBit(addr, byteOff, bit)
 }
@@ -426,6 +440,14 @@ func (n *Node) FlipDataBit(addr uint64, byteOff int, bit uint) bool {
 // follower checkpointing only truncates its own replay tail, its durable
 // marks — the replication cursor — are unaffected).
 func (n *Node) Checkpoint() error { return n.memory().Checkpoint() }
+
+// CheckpointDelta cuts an incremental checkpoint on the local memory
+// (any role; satisfies ckpt.Target so a background Runner can pace a
+// cluster node exactly like a standalone store).
+func (n *Node) CheckpointDelta() error { return n.memory().CheckpointDelta() }
+
+// DeltaChainLen reports the local delta chain length (ckpt.Target).
+func (n *Node) DeltaChainLen() int { return n.memory().DeltaChainLen() }
 
 // Seq returns the local snapshot sequence number.
 func (n *Node) Seq() uint64 { return n.memory().Seq() }

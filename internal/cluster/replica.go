@@ -153,8 +153,26 @@ func (n *Node) pollLeader() (bool, error) {
 }
 
 // applyResponse installs a snapshot or applies the per-shard batches.
+// Batches for a shard being migrated in (or already owned) are skipped: a
+// replicated apply racing the install would corrupt the adopted state, and
+// an owned shard's journal answers to this node alone.
 func (n *Node) applyResponse(mem *durable.Memory, epoch uint64, marks []uint64, resp *wire.ReplicateResponse) (bool, error) {
+	n.mu.Lock()
+	skip := make(map[int]bool, len(n.owned)+1)
+	if n.migIn != nil {
+		skip[n.migIn.shard] = true
+	}
+	for s := range n.owned {
+		skip[s] = true
+	}
+	n.mu.Unlock()
 	if resp.Snapshot != nil {
+		if len(skip) > 0 {
+			// A full bootstrap would wipe the migrated shard — the only
+			// copy of its acked writes. Fail loudly; the migration (or an
+			// operator) must resolve this, not a silent data loss.
+			return false, fmt.Errorf("cluster: refusing snapshot bootstrap while serving migrated shards %v", keys(skip))
+		}
 		if err := n.installSnapshot(mem, resp); err != nil {
 			return false, err
 		}
@@ -163,7 +181,7 @@ func (n *Node) applyResponse(mem *durable.Memory, epoch uint64, marks []uint64, 
 	}
 	progress := false
 	for i, batch := range resp.Batches {
-		if len(batch) == 0 {
+		if len(batch) == 0 || skip[i] {
 			continue
 		}
 		codec, err := n.codec(epoch, i)
@@ -188,6 +206,15 @@ func (n *Node) applyResponse(mem *durable.Memory, epoch uint64, marks []uint64, 
 	}
 	n.touchLease(resp)
 	return progress, nil
+}
+
+// keys lists a set's members (error messages).
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 func (n *Node) pullAddrSnapshot() string {

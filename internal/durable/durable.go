@@ -120,6 +120,12 @@ type Config struct {
 	// re-reading the segment file. 0 disables the ring (ReadRecords then
 	// always falls back to the on-disk segment).
 	ReplHistory int
+	// KeepEpochs retains that many additional past epochs beyond the
+	// live base+delta chain, so operators can recover to earlier points
+	// in time. 0 (the default) keeps only what the current chain needs.
+	// Retention is chain-aware: a retained delta always keeps its whole
+	// ancestry down to a full snapshot, never leaving orphans.
+	KeepEpochs int
 	// Obs, when non-nil, records wal.fsync.latency, wal.group_commit.batch
 	// (records made durable per fsync) and durable.checkpoint.latency
 	// histograms.
@@ -150,6 +156,11 @@ type Stats struct {
 	AuditRecords uint64
 	// Checkpoints counts snapshots taken (including the bootstrap one).
 	Checkpoints uint64
+	// DeltaCheckpoints counts incremental delta checkpoints cut.
+	DeltaCheckpoints uint64
+	// Compactions counts full checkpoints that collapsed a non-empty
+	// delta chain.
+	Compactions uint64
 }
 
 // RecoveryInfo describes what Open reconstructed.
@@ -164,6 +175,9 @@ type RecoveryInfo struct {
 	AppliedLSN, AppliedWrites []uint64
 	// ReplayedRecords / ReplayedWrites total the WAL records replayed.
 	ReplayedRecords, ReplayedWrites int
+	// DeltasApplied is how many delta segments the recovery chain held;
+	// DeltaLines the total lines installed from them.
+	DeltasApplied, DeltaLines int
 	// TornTails holds, per shard, the torn-tail truncation performed (nil
 	// entry = clean tail).
 	TornTails []*wal.TornTailError
@@ -206,6 +220,9 @@ type committer struct {
 	// ring[0]'s LSN; LSNs in the ring are contiguous). Guarded by mu.
 	ring      []wal.Record
 	ringStart uint64
+	// fenced rejects new writes after a migration cut-over handed this
+	// shard to another node (guarded by mu).
+	fenced bool
 
 	syncMu sync.Mutex // guards synced and the fsync itself
 	synced uint64     // last LSN known durable
@@ -226,10 +243,15 @@ type Memory struct {
 	fsyncLat  *obs.Histogram // wal.fsync.latency
 	batchHist *obs.Histogram // wal.group_commit.batch (records per fsync)
 	ckptLat   *obs.Histogram // durable.checkpoint.latency
+	deltaLat  *obs.Histogram // durable.delta.latency
 	tracer    *obs.Tracer
 
-	ckptMu sync.Mutex // serializes Checkpoint / Flush / Close
+	ckptMu sync.Mutex // serializes Checkpoint / CheckpointDelta / Flush / Close
 	seq    atomic.Uint64
+	// segSeq is the epoch of the live WAL segments — the full snapshot
+	// the current delta chain is based on. seq == segSeq means no deltas
+	// are outstanding.
+	segSeq atomic.Uint64
 	onCkpt func(seq uint64) // set before concurrent use via OnCheckpoint
 
 	commits []*committer
@@ -238,6 +260,10 @@ type Memory struct {
 	fsyncs       atomic.Uint64
 	auditRecords atomic.Uint64
 	checkpoints  atomic.Uint64
+	deltaCkpts   atomic.Uint64
+	compactions  atomic.Uint64
+	deltaBytes   atomic.Uint64
+	recoveryUS   atomic.Uint64 // last recovery duration, microseconds
 
 	bgErrMu sync.Mutex
 	bgErr   error // first background-flusher failure, surfaced on Flush/Close
@@ -267,13 +293,36 @@ func snapshotKey(master []byte) []byte {
 	return h.Sum(nil)
 }
 
+// deltaKey authenticates delta segments; the ckpt stream context binds
+// each file to its exact chain position on top of this role key.
+func deltaKey(master []byte) []byte {
+	h := hmac.New(sha256.New, master)
+	fmt.Fprintf(h, "morphtree/delta")
+	return h.Sum(nil)
+}
+
+// hibernateKey authenticates streamed hibernate/migration state.
+func hibernateKey(master []byte) []byte {
+	h := hmac.New(sha256.New, master)
+	fmt.Fprintf(h, "morphtree/hibernate")
+	return h.Sum(nil)
+}
+
 // Sharded exposes the underlying engine (tests and the crash harness reach
 // the adversary interface through it). Mutations made directly on it bypass
 // the journal.
 func (m *Memory) Sharded() *shard.Sharded { return m.sh }
 
-// Seq returns the current snapshot epoch.
+// Seq returns the current checkpoint epoch (full or delta).
 func (m *Memory) Seq() uint64 { return m.seq.Load() }
+
+// SegSeq returns the epoch of the live WAL segments — the base snapshot
+// of the current delta chain.
+func (m *Memory) SegSeq() uint64 { return m.segSeq.Load() }
+
+// DeltaChainLen reports how many delta checkpoints sit atop the current
+// base snapshot (the ckpt.Runner compacts once this passes its threshold).
+func (m *Memory) DeltaChainLen() int { return int(m.seq.Load() - m.segSeq.Load()) }
 
 // NumShards returns the shard count.
 func (m *Memory) NumShards() int { return len(m.commits) }
@@ -323,16 +372,23 @@ func (m *Memory) RegisterMetrics(reg *obs.Registry) {
 		emit("durable.audit_records", m.auditRecords.Load())
 		emit("durable.checkpoints", m.checkpoints.Load())
 		emit("durable.seq", m.seq.Load())
+		emit("durable.ckpt.deltas", m.deltaCkpts.Load())
+		emit("durable.ckpt.delta_bytes", m.deltaBytes.Load())
+		emit("durable.ckpt.compactions", m.compactions.Load())
+		emit("durable.ckpt.chain", m.seq.Load()-m.segSeq.Load())
+		emit("durable.recovery_us", m.recoveryUS.Load())
 	})
 }
 
 // Durability returns the durability-layer activity counters.
 func (m *Memory) Durability() Stats {
 	return Stats{
-		Appends:      m.appends.Load(),
-		Fsyncs:       m.fsyncs.Load(),
-		AuditRecords: m.auditRecords.Load(),
-		Checkpoints:  m.checkpoints.Load(),
+		Appends:          m.appends.Load(),
+		Fsyncs:           m.fsyncs.Load(),
+		AuditRecords:     m.auditRecords.Load(),
+		Checkpoints:      m.checkpoints.Load(),
+		DeltaCheckpoints: m.deltaCkpts.Load(),
+		Compactions:      m.compactions.Load(),
 	}
 }
 
@@ -359,6 +415,10 @@ func (m *Memory) WriteLSN(addr uint64, line []byte) (int, uint64, error) {
 	}
 	c := m.commits[idx]
 	c.mu.Lock()
+	if c.fenced {
+		c.mu.Unlock()
+		return idx, 0, &ShardFencedError{Shard: idx}
+	}
 	lsn := c.lsn + 1
 	rec := wal.Record{Kind: wal.KindWrite, LSN: lsn, Addr: addr, Line: line}
 	if err := c.log.Append(rec); err != nil {

@@ -111,7 +111,9 @@ func (m *Memory) ReadRecords(shardIdx int, afterLSN uint64, max int) ([]wal.Reco
 	if afterLSN >= durable {
 		return nil, true, nil
 	}
-	seqBefore := m.seq.Load()
+	// Segments belong to the base epoch (delta checkpoints advance seq
+	// without rotating segments), so the file fallback reads at segSeq.
+	seqBefore := m.segSeq.Load()
 	c.mu.Lock()
 	if len(c.ring) > 0 && afterLSN+1 >= c.ringStart {
 		start := int(afterLSN + 1 - c.ringStart)
@@ -148,7 +150,7 @@ func (m *Memory) ReadRecords(shardIdx int, afterLSN uint64, max int) ([]wal.Reco
 	if err != nil && !errors.Is(err, errStopRange) {
 		return nil, false, err
 	}
-	if m.seq.Load() != seqBefore {
+	if m.segSeq.Load() != seqBefore {
 		// A checkpoint swapped segments mid-scan; the file we read may have
 		// been truncated or removed. Ask the follower to retry.
 		return nil, false, nil
@@ -303,10 +305,12 @@ func InstallSnapshot(shcfg shard.Config, cfg Config, blob io.Reader, marks []uin
 		fsyncLat:  cfg.Obs.Histogram("wal.fsync.latency"),
 		batchHist: cfg.Obs.Histogram("wal.group_commit.batch"),
 		ckptLat:   cfg.Obs.Histogram("durable.checkpoint.latency"),
+		deltaLat:  cfg.Obs.Histogram("durable.delta.latency"),
 		tracer:    cfg.Tracer,
 	}
 	m.sh = sh
 	m.seq.Store(1)
+	m.segSeq.Store(1)
 	m.initCommitters(marks, make([]uint64, shcfg.Shards))
 	if err := m.writeSnapshot(1, marks, make([]uint64, shcfg.Shards)); err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/securemem/morphtree/internal/ckpt"
 	"github.com/securemem/morphtree/internal/obs"
 	"github.com/securemem/morphtree/internal/secmem"
 	"github.com/securemem/morphtree/internal/shard"
@@ -48,12 +49,16 @@ func SegmentPath(dir string, seq uint64, shardIdx int) string {
 	return filepath.Join(dir, fmt.Sprintf("wal.%016x-%04d", seq, shardIdx))
 }
 
-// parseSeq extracts the epoch from a snapshot or segment file name.
+// parseSeq extracts the epoch from a snapshot, delta, or segment file
+// name (a delta's epoch is its own seq, not its base).
 func parseSeq(name string) (seq uint64, shardIdx int, isSnap bool, ok bool) {
 	switch {
 	case strings.HasPrefix(name, "snapshot."):
 		s, err := strconv.ParseUint(strings.TrimPrefix(name, "snapshot."), 16, 64)
 		return s, 0, true, err == nil
+	case strings.HasPrefix(name, "delta."):
+		s, _, ok := ckpt.ParseDeltaName(name)
+		return s, 0, false, ok
 	case strings.HasPrefix(name, "wal."):
 		rest := strings.TrimPrefix(name, "wal.")
 		dash := strings.IndexByte(rest, '-')
@@ -272,9 +277,16 @@ func (m *Memory) checkpoint() error {
 		c.log = newLogs[i]
 		c.synced = c.lsn
 		c.baseLSN = c.lsn
+		// The snapshot captured everything; the next delta starts empty.
+		c.eng.ResetDirty()
 	}
 	m.signalDurable()
+	if m.seq.Load() > m.segSeq.Load() {
+		// This full checkpoint collapsed a non-empty delta chain.
+		m.compactions.Add(1)
+	}
 	m.seq.Store(newSeq)
+	m.segSeq.Store(newSeq)
 	m.checkpoints.Add(1)
 	if err := m.removeEpochsBelow(newSeq); err != nil && firstErr == nil {
 		firstErr = err
@@ -285,21 +297,71 @@ func (m *Memory) checkpoint() error {
 	return firstErr
 }
 
-// removeEpochsBelow deletes every snapshot and segment of epochs older than
-// keep, then fsyncs the directory.
-func (m *Memory) removeEpochsBelow(keep uint64) error {
+// removeEpochsBelow is the chain-aware stale-epoch sweep: given the
+// current head epoch it deletes everything not worth keeping —
+//
+//   - files from epochs beyond head (stale next-epoch leftovers a crash
+//     mid-checkpoint abandoned),
+//   - orphan deltas whose ancestry cannot reach a full snapshot (their
+//     base was compacted away, or a link is missing),
+//   - files older than the retention floor (head − KeepEpochs) that no
+//     retained chain requires.
+//
+// A retained delta always keeps its whole ancestry: the required-epoch
+// set is computed by walking every resolvable chain whose head is at or
+// above the floor, so retention can never create the orphans it sweeps.
+func (m *Memory) removeEpochsBelow(head uint64) error {
 	entries, err := os.ReadDir(m.cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("durable: scan %s: %w", m.cfg.Dir, err)
 	}
+	snaps := make(map[uint64]bool)
+	deltas := make(map[uint64]ckpt.Entry)
+	for _, e := range entries {
+		name := e.Name()
+		if s, b, ok := ckpt.ParseDeltaName(name); ok {
+			if s <= head {
+				deltas[s] = ckpt.Entry{Seq: s, Base: b}
+			}
+			continue
+		}
+		if seq, _, isSnap, ok := parseSeq(name); ok && isSnap && seq <= head {
+			snaps[seq] = true
+		}
+	}
+	floor := uint64(1)
+	if head > uint64(m.cfg.KeepEpochs) {
+		floor = head - uint64(m.cfg.KeepEpochs)
+	}
+	var heads []uint64
+	for s := range snaps {
+		if s >= floor {
+			heads = append(heads, s)
+		}
+	}
+	for s := range deltas {
+		if s >= floor {
+			heads = append(heads, s)
+		}
+	}
+	required := ckpt.Required(heads, snaps, deltas)
+
 	var firstErr error
 	removed := false
 	for _, e := range entries {
-		seq, _, _, ok := parseSeq(e.Name())
-		if !ok || seq >= keep {
+		name := e.Name()
+		seq, _, _, ok := parseSeq(name)
+		if !ok {
 			continue
 		}
-		if err := os.Remove(filepath.Join(m.cfg.Dir, e.Name())); err != nil && firstErr == nil {
+		_, _, isDelta := ckpt.ParseDeltaName(name)
+		drop := seq > head ||
+			(isDelta && !required[seq]) ||
+			(seq < floor && !required[seq])
+		if !drop {
+			continue
+		}
+		if err := os.Remove(filepath.Join(m.cfg.Dir, name)); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		removed = true
@@ -333,21 +395,39 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: scan %s: %w", cfg.Dir, err)
 	}
-	var bestSnap uint64
+	snaps := make(map[uint64]bool)
+	deltaEntries := make(map[uint64]ckpt.Entry)
+	var head uint64
 	haveSnap := false
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
-			// A temp file is a snapshot whose write was cut by a crash
-			// before the atomic rename; it never became current.
+			// A temp file is a snapshot or delta whose write was cut by a
+			// crash before the atomic rename; it never became current.
 			if err := os.Remove(filepath.Join(cfg.Dir, name)); err != nil {
 				return nil, nil, fmt.Errorf("durable: remove stale %s: %w", name, err)
 			}
 			continue
 		}
-		if seq, _, isSnap, ok := parseSeq(name); ok && isSnap && (!haveSnap || seq > bestSnap) {
-			bestSnap, haveSnap = seq, true
+		if s, b, ok := ckpt.ParseDeltaName(name); ok {
+			deltaEntries[s] = ckpt.Entry{Seq: s, Base: b}
+			if s > head {
+				head = s
+			}
+			continue
 		}
+		if seq, _, isSnap, ok := parseSeq(name); ok && isSnap {
+			snaps[seq] = true
+			haveSnap = true
+			if seq > head {
+				head = seq
+			}
+		}
+	}
+	if !haveSnap && len(deltaEntries) > 0 {
+		// Deltas with no snapshot at all: every chain is broken.
+		_, _, err := ckpt.ResolveChain(head, snaps, deltaEntries)
+		return nil, nil, err
 	}
 
 	m := &Memory{
@@ -359,6 +439,7 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 		fsyncLat:  cfg.Obs.Histogram("wal.fsync.latency"),
 		batchHist: cfg.Obs.Histogram("wal.group_commit.batch"),
 		ckptLat:   cfg.Obs.Histogram("durable.checkpoint.latency"),
+		deltaLat:  cfg.Obs.Histogram("durable.delta.latency"),
 		tracer:    cfg.Tracer,
 	}
 	info := &RecoveryInfo{}
@@ -372,6 +453,7 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 		}
 		m.sh = sh
 		m.seq.Store(1)
+		m.segSeq.Store(1)
 		m.initCommitters(nil, nil)
 		if err := m.writeSnapshot(1, make([]uint64, shcfg.Shards), make([]uint64, shcfg.Shards)); err != nil {
 			return nil, nil, err
@@ -395,22 +477,68 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 		info.AppliedWrites = make([]uint64, shcfg.Shards)
 		info.TornTails = make([]*wal.TornTailError, shcfg.Shards)
 	} else {
-		sh, covered, coveredWrites, err := readSnapshot(SnapshotPath(cfg.Dir, bestSnap), bestSnap, m.snapKey, shcfg)
+		// Resolve the recovery head: the newest epoch, full or delta. A
+		// delta head must chain down to a full snapshot — a broken link
+		// fails recovery with a typed *ckpt.ChainError, never a silent
+		// fallback to an older epoch (the missing link means acknowledged
+		// state existed that checkpoints alone can no longer rebuild).
+		baseSeq, chain, err := ckpt.ResolveChain(head, snaps, deltaEntries)
 		if err != nil {
 			return nil, nil, err
 		}
+		sh, covered, coveredWrites, err := readSnapshot(SnapshotPath(cfg.Dir, baseSeq), baseSeq, m.snapKey, shcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		// baseCovered anchors the segment replay (segments belong to the
+		// base epoch); covered advances to the chain head's watermark.
+		baseCovered := append([]uint64(nil), covered...)
+		var replayedAddrs []uint64
+		dKey := deltaKey(shcfg.Mem.Key)
+		for _, ent := range chain {
+			hdr, dlines, err := ckpt.ReadDelta(ckpt.DeltaPath(cfg.Dir, ent.Seq, ent.Base), dKey, ent.Seq, ent.Base)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(dlines) != shcfg.Shards {
+				return nil, nil, &shard.MismatchError{Field: "shards", Stream: uint64(len(dlines)), Config: uint64(shcfg.Shards)}
+			}
+			for i, shLines := range dlines {
+				eng := sh.Shard(i)
+				for _, d := range shLines {
+					if err := eng.ApplyDeltaLine(d.Level, d.Index, d.Line, d.MAC); err != nil {
+						return nil, nil, err
+					}
+					if d.Level == -1 {
+						// Data lines join the sample-verify pool below.
+						replayedAddrs = append(replayedAddrs, (d.Index*uint64(shcfg.Shards)+uint64(i))*LineBytes)
+					}
+					info.DeltaLines++
+				}
+			}
+			covered = hdr.CoveredLSN
+			coveredWrites = hdr.CoveredWrites
+			info.DeltasApplied++
+		}
 		m.sh = sh
-		m.seq.Store(bestSnap)
+		m.seq.Store(head)
+		m.segSeq.Store(baseSeq)
 		m.initCommitters(covered, coveredWrites)
-		info.SnapshotSeq = bestSnap
+		for i, c := range m.commits {
+			c.baseLSN = baseCovered[i]
+		}
+		info.SnapshotSeq = baseSeq
 		info.CoveredLSN = append([]uint64(nil), covered...)
 		info.CoveredWrites = append([]uint64(nil), coveredWrites...)
 		info.TornTails = make([]*wal.TornTailError, shcfg.Shards)
 
-		var replayedAddrs []uint64
 		for i, c := range m.commits {
-			path := SegmentPath(cfg.Dir, bestSnap, i)
-			winfo, err := wal.Replay(path, wal.Options{Key: walKey(shcfg.Mem.Key, i, bestSnap)}, covered[i]+1, true, func(r wal.Record) error {
+			path := SegmentPath(cfg.Dir, baseSeq, i)
+			// ReplayedRecords/Writes count only the delivered tail past the
+			// chain's watermark — the work recovery actually redid — not the
+			// validated-but-skipped prefix the deltas already cover.
+			winfo, err := wal.ReplayTail(path, wal.Options{Key: walKey(shcfg.Mem.Key, i, baseSeq)}, baseCovered[i]+1, covered[i]+1, true, func(r wal.Record) error {
+				info.ReplayedRecords++
 				if r.Kind != wal.KindWrite {
 					return nil
 				}
@@ -427,11 +555,18 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 					return err
 				}
 				c.writes++
+				info.ReplayedWrites++
 				replayedAddrs = append(replayedAddrs, r.Addr)
 				return nil
 			})
 			if err != nil {
 				return nil, nil, err
+			}
+			// The delta cut fsyncs its covered prefix, so a surviving
+			// segment never ends below the chain's watermark; the max
+			// guards an empty tail all the same.
+			if winfo.LastLSN < covered[i] {
+				winfo.LastLSN = covered[i]
 			}
 			c.lsn = winfo.LastLSN
 			c.synced = winfo.LastLSN
@@ -445,8 +580,6 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 				c.auditedRb += v
 			}
 			info.TornTails[i] = winfo.TornTail
-			info.ReplayedRecords += winfo.Records
-			info.ReplayedWrites += winfo.Writes
 		}
 		info.AppliedLSN = make([]uint64, len(m.commits))
 		info.AppliedWrites = make([]uint64, len(m.commits))
@@ -477,14 +610,15 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 			}
 		}
 
-		// Retire every other epoch's files (stale next-epoch segments
-		// from a crash mid-checkpoint, prior epochs a crash mid-cleanup
-		// left behind), then reopen this epoch's segments for append.
-		if err := m.removeStaleEpochs(bestSnap); err != nil {
+		// Retire stale files (next-epoch segments a crash mid-checkpoint
+		// abandoned, orphan deltas whose base was compacted away, epochs
+		// past the retention floor), then reopen the base epoch's
+		// segments for append.
+		if err := m.removeEpochsBelow(head); err != nil {
 			return nil, nil, err
 		}
 		for i, c := range m.commits {
-			l, err := wal.Open(SegmentPath(cfg.Dir, bestSnap, i), wal.Options{Key: walKey(shcfg.Mem.Key, i, bestSnap)})
+			l, err := wal.Open(SegmentPath(cfg.Dir, baseSeq, i), wal.Options{Key: walKey(shcfg.Mem.Key, i, baseSeq)})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -498,6 +632,7 @@ func Open(shcfg shard.Config, cfg Config) (*Memory, *RecoveryInfo, error) {
 		go m.flusher()
 	}
 	info.Elapsed = time.Since(start)
+	m.recoveryUS.Store(uint64(info.Elapsed.Microseconds()))
 	return m, info, nil
 }
 
@@ -518,26 +653,3 @@ func (m *Memory) initCommitters(covered, coveredWrites []uint64) {
 	}
 }
 
-// removeStaleEpochs deletes snapshot/segment files from any epoch other
-// than keep.
-func (m *Memory) removeStaleEpochs(keep uint64) error {
-	entries, err := os.ReadDir(m.cfg.Dir)
-	if err != nil {
-		return fmt.Errorf("durable: scan %s: %w", m.cfg.Dir, err)
-	}
-	removed := false
-	for _, e := range entries {
-		seq, _, _, ok := parseSeq(e.Name())
-		if !ok || seq == keep {
-			continue
-		}
-		if err := os.Remove(filepath.Join(m.cfg.Dir, e.Name())); err != nil {
-			return fmt.Errorf("durable: remove stale %s: %w", e.Name(), err)
-		}
-		removed = true
-	}
-	if removed {
-		return wal.SyncDir(m.cfg.Dir)
-	}
-	return nil
-}

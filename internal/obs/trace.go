@@ -35,6 +35,10 @@ const (
 	KindPromote                  // A=new fencing epoch, Dur=catch-up latency
 	KindFence                    // A=observed epoch, B=local epoch (step-down)
 	KindReroute                  // A=fencing epoch, B=1 if leader known
+	KindDeltaCkpt                // A=new epoch, B=dirty lines captured, Dur=cut latency
+	KindMigrateBegin             // A=shard, B=state bytes spilled
+	KindMigrateTail              // A=shard, B=tail records applied
+	KindMigrateCutover           // A=shard, B=final LSN, Dur=total migration time
 	numKinds
 )
 
@@ -43,7 +47,8 @@ var kindNames = [numKinds]string{
 	"format_switch", "cache_evict", "wal_fsync", "snapshot", "shed",
 	"reconnect", "retry", "proof_build", "root_publish",
 	"tenant_bind", "quota_shed", "repl_batch", "promote", "fence",
-	"reroute",
+	"reroute", "delta_ckpt", "migrate_begin", "migrate_tail",
+	"migrate_cutover",
 }
 
 // String returns the snake_case kind name.

@@ -1,0 +1,156 @@
+package secmem
+
+import "fmt"
+
+// Dirty-line tracking: every store mutation stamps the line with the
+// engine's current dirty epoch, so an incremental checkpoint can collect
+// exactly the lines modified since the last committed collection. The
+// stamps are preallocated flat arrays indexed by line number — the write
+// path cost is one slice store, no allocation, no branch on a map — which
+// keeps the //morph:hotpath contract intact (see internal/ckpt and
+// DESIGN.md §17).
+//
+// The protocol is two-phase so a failed checkpoint never loses dirt:
+// CollectDirty snapshots the dirty set under the engine lock and advances
+// the current epoch (writes racing the checkpoint land in the NEXT
+// collection), but the floor only moves when CommitDirty confirms the
+// delta reached stable storage. A crash or write error between the two
+// re-collects the same lines next time.
+
+// DirtyLine is one modified line captured by CollectDirty: Level -1 is a
+// data line (Line = ciphertext, MAC set), levels 0..root-1 are stored
+// counter lines, and Level == root is the on-chip root's encoding (always
+// included — it changes on every write and anchors verification).
+type DirtyLine struct {
+	Level int32
+	Index uint64
+	Line  []byte
+	MAC   uint64
+}
+
+// initDirty sizes the stamp arrays from the geometry. Epoch 0 means
+// never-written (clean); the live epoch starts at 1.
+func (m *Memory) initDirty() {
+	m.dirtyData = make([]uint32, m.geom.DataLines)
+	m.dirtyCtr = make([][]uint32, m.geom.RootLevel())
+	for lvl := range m.dirtyCtr {
+		m.dirtyCtr[lvl] = make([]uint32, m.geom.LevelEntries(lvl))
+	}
+	m.dirtyCur = 1
+	m.dirtyFloor = 1
+}
+
+// CollectDirty captures a copy of every line modified since the last
+// committed collection (plus the root line, always) and returns the cut
+// epoch. The capture runs entirely under the engine lock, so it is a
+// consistent point-in-time cut: fn must not call back into the engine.
+// Lines written after CollectDirty returns carry a later stamp and belong
+// to the next collection. The dirty floor does NOT advance until
+// CommitDirty(cut) — if persisting the collection fails, the same lines
+// are re-collected.
+func (m *Memory) CollectDirty(fn func(DirtyLine)) uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cut := m.dirtyCur
+	m.dirtyCur++
+	fn(DirtyLine{Level: int32(m.geom.RootLevel()), Line: m.root.Encode()})
+	for lvl, stamps := range m.dirtyCtr {
+		for idx, s := range stamps {
+			if s < m.dirtyFloor {
+				continue
+			}
+			raw := m.store.levels[lvl][uint64(idx)]
+			fn(DirtyLine{Level: int32(lvl), Index: uint64(idx), Line: append([]byte(nil), raw...)})
+		}
+	}
+	for idx, s := range m.dirtyData {
+		if s < m.dirtyFloor {
+			continue
+		}
+		d := uint64(idx)
+		fn(DirtyLine{Level: -1, Index: d, Line: append([]byte(nil), m.store.data[d]...), MAC: m.store.dataMAC[d]})
+	}
+	return cut
+}
+
+// CommitDirty marks the collection at cut as durably persisted: lines
+// stamped at or below cut are clean from now on.
+func (m *Memory) CommitDirty(cut uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cut+1 > m.dirtyFloor {
+		m.dirtyFloor = cut + 1
+	}
+}
+
+// ResetDirty marks the entire current state clean — a full snapshot has
+// captured everything, so the next incremental collection starts empty.
+func (m *Memory) ResetDirty() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirtyCur++
+	m.dirtyFloor = m.dirtyCur
+}
+
+// DirtyCount returns how many lines the next CollectDirty would capture,
+// excluding the always-included root line (tests and the checkpoint
+// runner's pacing heuristics use it).
+func (m *Memory) DirtyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, stamps := range m.dirtyCtr {
+		for _, s := range stamps {
+			if s >= m.dirtyFloor {
+				n++
+			}
+		}
+	}
+	for _, s := range m.dirtyData {
+		if s >= m.dirtyFloor {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyDeltaLine installs one line from an authenticated delta segment
+// into the store, bypassing the journal: recovery replays deltas onto a
+// loaded base snapshot before the WAL tail. The applied line keeps its
+// clean stamp (the delta chain already covers it), and any cached trusted
+// block for the line is invalidated so later reads re-verify against the
+// applied bytes.
+func (m *Memory) ApplyDeltaLine(level int32, idx uint64, line []byte, mac uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case level == int32(m.geom.RootLevel()):
+		if len(line) != LineBytes {
+			return fmt.Errorf("secmem: delta root line is %d bytes, want %d", len(line), LineBytes)
+		}
+		blk, err := m.cfg.specAt(m.geom.RootLevel()).Decode(line)
+		if err != nil {
+			return fmt.Errorf("secmem: delta root: %w", err)
+		}
+		m.root = blk
+		m.flushMetadataCache()
+	case level == -1:
+		if idx >= m.geom.DataLines {
+			return fmt.Errorf("secmem: delta data line %d beyond capacity %d", idx, m.geom.DataLines)
+		}
+		if len(line) != LineBytes {
+			return fmt.Errorf("secmem: delta data line is %d bytes, want %d", len(line), LineBytes)
+		}
+		m.store.data[idx] = append([]byte(nil), line...)
+		m.store.dataMAC[idx] = mac
+	case level >= 0 && int(level) < m.geom.RootLevel():
+		if idx >= m.geom.LevelEntries(int(level)) {
+			return fmt.Errorf("secmem: delta level-%d line %d beyond level size %d", level, idx, m.geom.LevelEntries(int(level)))
+		}
+		m.store.levels[level][idx] = append([]byte(nil), line...)
+		delete(m.trusted[level], idx)
+	default:
+		return fmt.Errorf("secmem: delta line level %d out of range", level)
+	}
+	return nil
+}

@@ -78,77 +78,147 @@ func Load(cfg Config, r io.Reader) (*Memory, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := m.restoreInto(r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Restore replaces this engine's live state with a Save stream, atomically
+// under the engine lock: concurrent readers see either the old state or
+// the new one, never a mix. The stream is decoded into a staging engine
+// first, so a malformed stream leaves the live state untouched. Activity
+// stats and registered key domains are kept (both derive from config and
+// operation counts, not from the shipped state). Live shard migration
+// installs streamed donor state through this.
+func (m *Memory) Restore(r io.Reader) error {
+	st, err := m.StageRestore(r)
+	if err != nil {
+		return err
+	}
+	m.CommitRestore(st)
+	return nil
+}
+
+// Staged is decoded state not yet adopted; see StageRestore.
+type Staged struct {
+	fresh *Memory
+}
+
+// StageRestore decodes a Save stream into a staging engine without
+// touching live state. Callers that read from an authenticated transport
+// verify the stream trailer between StageRestore and CommitRestore, so a
+// forged stream is rejected before anything is adopted.
+func (m *Memory) StageRestore(r io.Reader) (*Staged, error) {
+	fresh, err := New(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := fresh.restoreInto(r); err != nil {
+		return nil, err
+	}
+	return &Staged{fresh: fresh}, nil
+}
+
+// CommitRestore atomically adopts staged state. Every adopted line is
+// stamped dirty: installed state is not covered by this engine's local
+// checkpoint chain, so the next incremental checkpoint must capture it in
+// full (a post-install full snapshot resets the stamps as usual).
+func (m *Memory) CommitRestore(st *Staged) {
+	fresh := st.fresh
+	m.mu.Lock()
+	m.store = fresh.store
+	m.root = fresh.root
+	m.trusted = fresh.trusted
+	m.dirtyData = fresh.dirtyData
+	m.dirtyCtr = fresh.dirtyCtr
+	m.dirtyCur = fresh.dirtyCur
+	m.dirtyFloor = fresh.dirtyFloor
+	for idx := range m.store.data {
+		m.dirtyData[idx] = m.dirtyCur
+	}
+	for lvl, level := range m.store.levels {
+		for idx := range level {
+			m.dirtyCtr[lvl][idx] = m.dirtyCur
+		}
+	}
+	m.mu.Unlock()
+}
+
+// restoreInto decodes a Save stream into m's store, root, and trusted
+// cache. Callers must own m exclusively (a fresh engine not yet shared).
+func (m *Memory) restoreInto(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != persistMagic {
-		return nil, fmt.Errorf("secmem: load: bad magic")
+		return fmt.Errorf("secmem: load: bad magic")
 	}
 	version, err := readU64(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if version != persistVersion {
-		return nil, fmt.Errorf("secmem: load: unsupported version %d", version)
+		return fmt.Errorf("secmem: load: unsupported version %d", version)
 	}
 	memBytes, err := readU64(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if memBytes != cfg.MemoryBytes {
-		return nil, fmt.Errorf("secmem: load: capacity %d does not match config %d", memBytes, cfg.MemoryBytes)
+	if memBytes != m.cfg.MemoryBytes {
+		return fmt.Errorf("secmem: load: capacity %d does not match config %d", memBytes, m.cfg.MemoryBytes)
 	}
 	fp, err := readString(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if fp != m.configFingerprint() {
-		return nil, fmt.Errorf("secmem: load: organization %q does not match config %q", fp, m.configFingerprint())
+		return fmt.Errorf("secmem: load: organization %q does not match config %q", fp, m.configFingerprint())
 	}
 	rootRaw := make([]byte, LineBytes)
 	if _, err := io.ReadFull(br, rootRaw); err != nil {
-		return nil, fmt.Errorf("secmem: load root: %w", err)
+		return fmt.Errorf("secmem: load root: %w", err)
 	}
-	root, err := cfg.specAt(m.geom.RootLevel()).Decode(rootRaw)
+	root, err := m.cfg.specAt(m.geom.RootLevel()).Decode(rootRaw)
 	if err != nil {
-		return nil, fmt.Errorf("secmem: load root: %w", err)
+		return fmt.Errorf("secmem: load root: %w", err)
 	}
 	m.root = root
 
 	numLevels, err := readU64(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if numLevels != uint64(len(m.store.levels)) {
-		return nil, fmt.Errorf("secmem: load: %d levels, want %d", numLevels, len(m.store.levels))
+		return fmt.Errorf("secmem: load: %d levels, want %d", numLevels, len(m.store.levels))
 	}
 	for lvl := range m.store.levels {
 		entries, err := readLineMap(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.store.levels[lvl] = entries
 	}
 	numData, err := readU64(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint64(0); i < numData; i++ {
 		idx, err := readU64(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		line := make([]byte, LineBytes)
 		if _, err := io.ReadFull(br, line); err != nil {
-			return nil, fmt.Errorf("secmem: load data: %w", err)
+			return fmt.Errorf("secmem: load data: %w", err)
 		}
 		mac, err := readU64(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.store.data[idx] = line
 		m.store.dataMAC[idx] = mac
 	}
-	return m, nil
+	return nil
 }
 
 // configFingerprint names the counter organization (keys excluded).

@@ -191,6 +191,13 @@ type Memory struct {
 	// Memory suffices and the steady-state increment path allocates
 	// nothing (the //morph:hotpath contract).
 	snapScratch [][]uint64
+	// Dirty-line epoch stamps for incremental checkpoints (see dirty.go):
+	// flat per-line arrays so the write path pays one slice store. Epoch 0
+	// means never written; stamps >= dirtyFloor are dirty.
+	dirtyData  []uint32
+	dirtyCtr   [][]uint32
+	dirtyCur   uint32
+	dirtyFloor uint32
 }
 
 // Instrument attaches obs instruments to the engine. It must be called
@@ -255,6 +262,7 @@ func New(cfg Config) (*Memory, error) {
 	for i := 0; i < levels; i++ {
 		m.snapScratch[i] = make([]uint64, cfg.specAt(i).Arity)
 	}
+	m.initDirty()
 	m.ins.Shard = -1
 	return m, nil
 }
@@ -431,6 +439,7 @@ func (m *Memory) write(addr uint64, line []byte, dom *Domain) error {
 	}
 	m.store.data[d] = ct
 	m.store.dataMAC[d] = m.dataKeyer(dom).Data(ct, ctr, addr)
+	m.dirtyData[d] = m.dirtyCur
 	if dom == nil {
 		delete(m.domains, d)
 	} else {
@@ -628,6 +637,7 @@ func (m *Memory) reencryptData(d uint64, oldCtr, newCtr uint64) error {
 	}
 	m.store.data[d] = ct
 	m.store.dataMAC[d] = keyer.Data(ct, newCtr, addr)
+	m.dirtyData[d] = m.dirtyCur
 	return nil
 }
 
@@ -734,6 +744,7 @@ func (m *Memory) sealBlock(level int, idx uint64, blk counters.Block, parentValu
 	sealed := m.keyer.Counter(blk.Encode(), parentValue, level, idx)
 	blk.SetMAC(sealed)
 	m.store.levels[level][idx] = blk.Encode()
+	m.dirtyCtr[level][idx] = m.dirtyCur
 	return nil
 }
 

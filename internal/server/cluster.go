@@ -26,12 +26,15 @@ type ClusterNode interface {
 	Promote(newEpoch uint64, minMarks []uint64) (*wire.RouteInfo, error)
 	// Follow redirects the node to a leader at an epoch.
 	Follow(epoch uint64, leader string) error
+	// Migrate serves one live-shard-migration phase (donor-side phases on
+	// the primary, Run on a recipient replica).
+	Migrate(req *wire.MigrateRequest) (*wire.MigrateResponse, error)
 }
 
 // isClusterOp reports whether op is one of the cluster control opcodes.
 func isClusterOp(op byte) bool {
 	switch op {
-	case wire.OpRoute, wire.OpReplicate, wire.OpPromote, wire.OpFollow:
+	case wire.OpRoute, wire.OpReplicate, wire.OpPromote, wire.OpFollow, wire.OpMigrate:
 		return true
 	}
 	return false
@@ -91,6 +94,21 @@ func (s *Server) handleCluster(op byte, payload []byte) (byte, []byte) {
 			return wire.EncodeError(err)
 		}
 		return wire.StatusOK, nil
+
+	case wire.OpMigrate:
+		req, err := wire.DecodeMigrateRequest(payload)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		resp, err := cn.Migrate(req)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		body, err := wire.EncodeMigrateResponse(resp)
+		if err != nil {
+			return wire.EncodeError(err)
+		}
+		return wire.StatusOK, body
 	}
 	return wire.StatusError, []byte(fmt.Sprintf("unknown cluster opcode %#x", op))
 }

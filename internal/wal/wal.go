@@ -406,6 +406,19 @@ func ReplayRange(path string, opt Options, firstLSN, fromLSN uint64, fn func(Rec
 	return replayRange(path, opt, firstLSN, fromLSN, false, fn)
 }
 
+// ReplayTail is Replay restricted to records with LSN >= fromLSN: the
+// whole segment prefix is still CRC-, MAC-, and sequence-validated from
+// firstLSN, but only the suffix is delivered. Unlike ReplayRange it may
+// repair a torn tail — this is the recovery path for delta checkpoints,
+// where the segment starts at the base snapshot's watermark but the delta
+// chain already covers everything below fromLSN.
+func ReplayTail(path string, opt Options, firstLSN, fromLSN uint64, repair bool, fn func(Record) error) (ReplayInfo, error) {
+	if fromLSN < firstLSN {
+		fromLSN = firstLSN
+	}
+	return replayRange(path, opt, firstLSN, fromLSN, repair, fn)
+}
+
 func replayRange(path string, opt Options, firstLSN, fromLSN uint64, repair bool, fn func(Record) error) (ReplayInfo, error) {
 	info := ReplayInfo{LastLSN: firstLSN - 1}
 	k, err := deriveKeys(opt)

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMigrateRequestRoundTrip(t *testing.T) {
+	for _, want := range []*MigrateRequest{
+		{Phase: MigrateBegin, Epoch: 3, Shard: 1, Node: "10.0.0.9:7000"},
+		{Phase: MigrateChunk, Epoch: 3, Shard: 1, Node: "10.0.0.9:7000", Cursor: 1 << 20},
+		{Phase: MigrateTail, Epoch: 3, Shard: 7, Node: "r:1", Cursor: 42, Max: 512},
+		{Phase: MigrateCutover, Epoch: 9, Shard: 0, Node: "r:1"},
+		{Phase: MigrateAbort, Epoch: 9, Shard: 0, Node: "r:1"},
+		{Phase: MigrateRun, Epoch: 1, Shard: 1, Donor: "p:1"},
+		{Phase: MigrateRun}, // all-zero message survives too
+	} {
+		p, err := EncodeMigrateRequest(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeMigrateRequest(p)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestMigrateResponseRoundTrip(t *testing.T) {
+	for _, want := range []*MigrateResponse{
+		{Epoch: 3, Mark: 77, Size: 1 << 22},
+		{Epoch: 3, Data: []byte("chunk bytes"), Done: true},
+		{Epoch: 1, Mark: 99, Done: false},
+	} {
+		p, err := EncodeMigrateResponse(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeMigrateResponse(p)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestMigrateCodecRejectsMalformed: every truncation of a valid payload
+// (and an oversized length field) decodes to an error, never a panic or
+// a silently wrong message.
+func TestMigrateCodecRejectsMalformed(t *testing.T) {
+	req, err := EncodeMigrateRequest(&MigrateRequest{
+		Phase: MigrateTail, Epoch: 3, Shard: 1, Node: "node:1", Cursor: 42, Max: 8, Donor: "p:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(req); cut++ {
+		if _, err := DecodeMigrateRequest(req[:cut]); err == nil {
+			t.Fatalf("truncated request (%d of %d bytes) decoded", cut, len(req))
+		}
+	}
+	resp, err := EncodeMigrateResponse(&MigrateResponse{Epoch: 3, Data: []byte("abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(resp); cut++ {
+		if _, err := DecodeMigrateResponse(resp[:cut]); err == nil {
+			t.Fatalf("truncated response (%d of %d bytes) decoded", cut, len(resp))
+		}
+	}
+	// Length fields claiming more than the frame holds.
+	if _, err := DecodeMigrateRequest(append(append([]byte{MigrateBegin}, make([]byte, 12)...), 0xFF, 0xFF)); err == nil {
+		t.Fatal("oversized node length decoded")
+	}
+	huge := &MigrateRequest{Phase: MigrateBegin, Node: strings.Repeat("x", maxNodeAddr+1)}
+	if _, err := EncodeMigrateRequest(huge); err == nil {
+		t.Fatal("oversized node address encoded")
+	}
+	huge = &MigrateRequest{Phase: MigrateRun, Donor: strings.Repeat("x", maxNodeAddr+1)}
+	if _, err := EncodeMigrateRequest(huge); err == nil {
+		t.Fatal("oversized donor address encoded")
+	}
+}
+
+func TestMigratePhaseNames(t *testing.T) {
+	if got := OpName(OpMigrate); got != "migrate" {
+		t.Fatalf("OpName(OpMigrate) = %q", got)
+	}
+	for ph, want := range map[byte]string{
+		MigrateBegin:   "begin",
+		MigrateChunk:   "chunk",
+		MigrateTail:    "tail",
+		MigrateCutover: "cutover",
+		MigrateAbort:   "abort",
+		MigrateRun:     "run",
+	} {
+		if got := MigratePhaseName(ph); got != want {
+			t.Fatalf("MigratePhaseName(%d) = %q, want %q", ph, got, want)
+		}
+	}
+	if got := MigratePhaseName(0xEE); got != "phase_ee" {
+		t.Fatalf("unknown phase name = %q", got)
+	}
+}

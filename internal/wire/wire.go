@@ -104,6 +104,15 @@ const (
 	// payload is the epoch and leader address. A primary receiving a higher
 	// epoch steps down (fencing). Served without an admission slot.
 	OpFollow byte = 0x11
+	// OpMigrate drives live shard migration (an encoded MigrateRequest /
+	// MigrateResponse). The control plane sends MigrateRun to the recipient,
+	// which then issues the donor-side phases against the current primary:
+	// Begin (donor spills the shard and reports its mark), Chunk (stream the
+	// spill), Tail (WAL records past the recipient's cursor), Cutover (donor
+	// fences the shard and reports the final LSN), Abort (donor discards the
+	// spill and unfences). Served without an admission slot: a migration
+	// must not be shed by the client load it is trying to relieve.
+	OpMigrate byte = 0x12
 )
 
 // opNames maps opcodes to the names used in per-op metric keys
@@ -126,6 +135,7 @@ var opNames = map[byte]string{
 	OpRoute:      "route",
 	OpPromote:    "promote",
 	OpFollow:     "follow",
+	OpMigrate:    "migrate",
 }
 
 // OpName returns the lowercase name of an opcode, or "op_%02x" for
